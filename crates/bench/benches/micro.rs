@@ -1,0 +1,163 @@
+//! Criterion micro-benchmarks backing the paper's per-operation claims:
+//! page comparison cost, jhash vs ECC key generation (§3.3), red-black
+//! tree search (§2.1), Scan-Table batch processing (Table 5), DRAM
+//! service, and cache-hierarchy access.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use pageforge_cache::{HierarchyConfig, SystemCaches};
+use pageforge_core::fabric::FlatFabric;
+use pageforge_core::{EngineConfig, PageForgeEngine, INVALID_INDEX};
+use pageforge_ecc::{EccKeyConfig, LineEcc, Secded72};
+use pageforge_ksm::rbtree::RbTree;
+use pageforge_ksm::{jhash2, page_checksum};
+use pageforge_mem::{Dram, DramConfig};
+use pageforge_types::{Gfn, LineAddr, PageData, VmId};
+use pageforge_vm::HostMemory;
+
+fn page_with_divergence_at(byte: usize) -> (PageData, PageData) {
+    let a = PageData::from_fn(|i| (i % 251) as u8);
+    let mut b = a.clone();
+    b.as_bytes_mut()[byte] ^= 0xFF;
+    (a, b)
+}
+
+fn bench_page_compare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_compare");
+    for &at in &[0usize, 1024, 4095] {
+        let (a, b) = page_with_divergence_at(at);
+        g.bench_function(format!("diverge_at_{at}"), |bench| {
+            bench.iter(|| black_box(a.bytes_examined(black_box(&b))))
+        });
+    }
+    let a = PageData::from_fn(|i| i as u8);
+    let b = a.clone();
+    g.bench_function("identical_full_page", |bench| {
+        bench.iter(|| black_box(a.content_cmp(black_box(&b))))
+    });
+    g.finish();
+}
+
+fn bench_hash_keys(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_keys");
+    let page = PageData::from_fn(|i| (i * 31 % 256) as u8);
+    // KSM's key: jhash2 over 1 KB.
+    g.bench_function("jhash_1kb", |bench| {
+        bench.iter(|| black_box(page_checksum(black_box(&page))))
+    });
+    // PageForge's key: ECC minikeys of 4 lines (256 B touched).
+    let cfg = EccKeyConfig::default();
+    g.bench_function("ecc_key_4_lines", |bench| {
+        bench.iter(|| black_box(cfg.page_key(black_box(&page))))
+    });
+    g.bench_function("jhash2_256_words", |bench| {
+        let words: Vec<u32> = (0..256).collect();
+        bench.iter(|| black_box(jhash2(black_box(&words), 17)))
+    });
+    g.finish();
+}
+
+fn bench_ecc_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecc_codec");
+    g.bench_function("encode_word", |bench| {
+        bench.iter(|| black_box(Secded72::encode(black_box(0xDEAD_BEEF_0123_4567))))
+    });
+    let code = Secded72::encode(0xDEAD_BEEF_0123_4567);
+    g.bench_function("decode_clean_word", |bench| {
+        bench.iter(|| black_box(Secded72::decode(black_box(0xDEAD_BEEF_0123_4567), code)))
+    });
+    let line = [0x5Au8; 64];
+    g.bench_function("encode_line", |bench| {
+        bench.iter(|| black_box(LineEcc::encode(black_box(&line))))
+    });
+    g.finish();
+}
+
+fn bench_rbtree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rbtree");
+    g.bench_function("insert_1000", |bench| {
+        bench.iter_batched(
+            RbTree::<u64>::new,
+            |mut t| {
+                for i in 0..1000u64 {
+                    t.insert_ord(i.wrapping_mul(0x9E3779B97F4A7C15));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut tree = RbTree::new();
+    for i in 0..10_000u64 {
+        tree.insert_ord(i.wrapping_mul(0x9E3779B97F4A7C15));
+    }
+    g.bench_function("find_in_10k", |bench| {
+        bench.iter(|| black_box(tree.find_ord(black_box(&(5_000u64.wrapping_mul(0x9E3779B97F4A7C15))))))
+    });
+    g.finish();
+}
+
+fn bench_scan_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_table");
+    // One full-table batch: candidate compared against a 7-node tree.
+    let mut mem = HostMemory::new();
+    let pages: Vec<_> = (0..8u64)
+        .map(|i| {
+            mem.map_new_page(
+                VmId(0),
+                Gfn(i),
+                PageData::from_fn(move |j| ((i * 37 + j as u64) % 251) as u8),
+            )
+        })
+        .collect();
+    g.bench_function("batch_7_entries", |bench| {
+        bench.iter_batched(
+            || PageForgeEngine::new(EngineConfig::default()),
+            |mut eng| {
+                eng.insert_pfe(pages[7], true, 0);
+                for (i, &p) in pages[..7].iter().enumerate() {
+                    eng.insert_ppn(i as u8, p, INVALID_INDEX, INVALID_INDEX - 1);
+                }
+                let mut fabric = FlatFabric::all_dram(80);
+                black_box(eng.run_batch(&mem, &mut fabric, 0))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory_system");
+    g.bench_function("dram_service", |bench| {
+        let mut dram = Dram::new(DramConfig::micro50());
+        let mut t = 0u64;
+        let mut addr = 0u64;
+        bench.iter(|| {
+            addr = addr.wrapping_add(97) % 1_000_000;
+            t += 50;
+            black_box(dram.service(LineAddr(addr), t, false))
+        })
+    });
+    g.bench_function("cache_hierarchy_access", |bench| {
+        let mut caches = SystemCaches::new(HierarchyConfig::micro50(4));
+        let mut addr = 0u64;
+        bench.iter(|| {
+            addr = addr.wrapping_add(13) % 100_000;
+            black_box(caches.access((addr % 4) as usize, LineAddr(addr), addr % 5 == 0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_page_compare,
+    bench_hash_keys,
+    bench_ecc_codec,
+    bench_rbtree,
+    bench_scan_table,
+    bench_memory_system
+);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Minimal, dependency-free command-line arguments shared by the bench
+//! binaries.
+
+use std::path::PathBuf;
+
+use pageforge_types::DEFAULT_SEED;
+
+/// Arguments accepted by every bench binary.
+///
+/// * `--seed <u64>` — RNG seed (default `0xC0FFEE`);
+/// * `--quick` — down-scaled configuration (4 cores, short windows) for
+///   smoke runs;
+/// * `--out <dir>` — directory for JSON results (default `results/`);
+/// * `--print-config` — print the Table 2 configuration and exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// RNG seed.
+    pub seed: u64,
+    /// Use the down-scaled quick configuration.
+    pub quick: bool,
+    /// JSON output directory.
+    pub out_dir: PathBuf,
+    /// Print the architecture configuration and exit.
+    pub print_config: bool,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            seed: DEFAULT_SEED,
+            quick: false,
+            out_dir: PathBuf::from("results"),
+            print_config: false,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown or malformed arguments.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument list (testable).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = BenchArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    let v = iter.next().expect("--seed requires a value");
+                    out.seed = parse_u64(&v);
+                }
+                "--quick" => out.quick = true,
+                "--out" => {
+                    out.out_dir = PathBuf::from(iter.next().expect("--out requires a value"));
+                }
+                "--print-config" => out.print_config = true,
+                other => panic!(
+                    "unknown argument `{other}`; \
+                     usage: [--seed N] [--quick] [--out DIR] [--print-config]"
+                ),
+            }
+        }
+        out
+    }
+}
+
+fn parse_u64(s: &str) -> u64 {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).expect("valid hex seed")
+    } else {
+        s.parse().expect("valid decimal seed")
+    }
+}
+
+/// Prints the Table 2 architecture parameters.
+pub fn print_table2() {
+    println!("Architecture parameters (Table 2):");
+    println!("  10 single-issue out-of-order cores @ 2 GHz");
+    println!("  L1: 32KB 8-way WB, 2-cycle RT, 16 MSHRs, 64B lines");
+    println!("  L2: 256KB 8-way WB, 6-cycle RT, 16 MSHRs");
+    println!("  L3: 32MB 20-way WB shared, 20-cycle RT, 24 MSHRs/slice");
+    println!("  Coherence: snoopy MESI at L3, 512b bus");
+    println!("  Memory: 16GB, 2 channels, 8 ranks/channel, 8 banks/rank, 1 GHz DDR");
+    println!("  VMs: 10, 1 core each (512MB in the paper; scaled images here)");
+    println!("  KSM/PageForge: sleep_millisecs=5, pages_to_scan=400 (scaled 56)");
+    println!("  Scan table: 31 Other Pages + 1 PFE (~260B); ECC hash key: 32 bits");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = BenchArgs::from_args(Vec::<String>::new());
+        assert_eq!(a.seed, DEFAULT_SEED);
+        assert!(!a.quick);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = BenchArgs::from_args(
+            ["--seed", "0x2A", "--quick", "--out", "/tmp/x"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.seed, 42);
+        assert!(a.quick);
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn decimal_seed() {
+        let a = BenchArgs::from_args(["--seed", "7"].iter().map(|s| s.to_string()));
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        BenchArgs::from_args(["--frobnicate".to_string()]);
+    }
+}

@@ -1,0 +1,12 @@
+//! Ablation (section 4.3): running the software algorithm with
+//! cache-bypassing accesses - pollution gone, CPU cycles and memory
+//! latency still paid.
+
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let t = experiments::ablation_cache_bypass(args.seed, args.quick);
+    t.print();
+    t.write_json(&args.out_dir, "ablation_cache_bypass");
+}

@@ -1,0 +1,11 @@
+//! Ablation (sections 3.3/3.6): how the number of ECC minikey offsets trades
+//! key width and fetch traffic against change-detection quality.
+
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let t = experiments::ablation_ecc_offsets(args.seed, experiments::pages_per_vm(args.quick));
+    t.print();
+    t.write_json(&args.out_dir, "ablation_ecc_offsets");
+}

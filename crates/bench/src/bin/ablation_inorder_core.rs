@@ -1,0 +1,11 @@
+//! Ablation (section 4.3): PageForge vs running the software algorithm on a
+//! simple in-order core - area and power comparison.
+
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let t = experiments::ablation_inorder_core();
+    t.print();
+    t.write_json(&args.out_dir, "ablation_inorder_core");
+}

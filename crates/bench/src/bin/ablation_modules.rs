@@ -1,0 +1,11 @@
+//! Ablation (section 4.1): one PageForge module vs one per memory
+//! controller - scan rate vs memory pressure.
+
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let t = experiments::ablation_modules(args.seed);
+    t.print();
+    t.write_json(&args.out_dir, "ablation_modules");
+}

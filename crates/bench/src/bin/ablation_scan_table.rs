@@ -1,0 +1,11 @@
+//! Ablation (section 6.4): Scan-Table capacity vs refill rate, search
+//! latency, and structure size.
+
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let t = experiments::ablation_scan_table(args.seed, experiments::pages_per_vm(args.quick));
+    t.print();
+    t.write_json(&args.out_dir, "ablation_scan_table");
+}

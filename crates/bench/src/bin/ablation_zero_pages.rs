@@ -1,0 +1,11 @@
+//! Ablation: the kernel's `use_zero_pages` knob - empty pages merge with a
+//! zero anchor without touching the stable/unstable trees.
+
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let t = experiments::ablation_zero_pages(args.seed, experiments::pages_per_vm(args.quick));
+    t.print();
+    t.write_json(&args.out_dir, "ablation_zero_pages");
+}

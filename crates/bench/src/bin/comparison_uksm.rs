@@ -1,0 +1,11 @@
+//! Related work (section 7.2): UKSM's CPU-budget governor and whole-system
+//! scanning, compared with KSM's fixed knobs on the same VM images.
+
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let t = experiments::comparison_uksm(args.seed, experiments::pages_per_vm(args.quick));
+    t.print();
+    t.write_json(&args.out_dir, "comparison_uksm");
+}

@@ -1,0 +1,12 @@
+//! Extension beyond the paper: a heterogeneous mix of all five TailBench
+//! apps co-located on one host. Cross-VM duplication shrinks to the shared
+//! guest-OS pages, but the KSM-vs-PageForge interference ordering persists.
+
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let t = experiments::extension_heterogeneous(args.seed);
+    t.print();
+    t.write_json(&args.out_dir, "extension_heterogeneous");
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 10: 95th-percentile (tail) latency of Baseline /
+//! KSM / PageForge, normalized to Baseline.
+
+use pageforge_bench::args::print_table2;
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    if args.print_config {
+        print_table2();
+        return;
+    }
+    let mut suite = experiments::run_latency_suite_cached(args.seed, args.quick, &args.out_dir);
+    let t = experiments::figure10(&mut suite);
+    t.print();
+    t.write_json(&args.out_dir, "fig10_tail_latency");
+    println!("\nPaper: KSM average 2.36x (Silo >5x), PageForge average 1.11x.");
+}

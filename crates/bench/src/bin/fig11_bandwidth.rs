@@ -1,0 +1,19 @@
+//! Regenerates Figure 11: memory bandwidth consumption during the most
+//! memory-intensive phase of page deduplication.
+
+use pageforge_bench::args::print_table2;
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    if args.print_config {
+        print_table2();
+        return;
+    }
+    let suite = experiments::run_latency_suite_cached(args.seed, args.quick, &args.out_dir);
+    let t = experiments::figure11(&suite);
+    t.print();
+    t.write_json(&args.out_dir, "fig11_bandwidth");
+    println!("\nPaper: Baseline ~2 GB/s, KSM ~10 GB/s, PageForge ~12 GB/s");
+    println!("(PageForge > KSM because its traffic is additive to the cores', section 6.4.1).");
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 7: memory allocation without and with page merging,
+//! broken into Unmergeable / Mergeable-Zero / Mergeable-Non-Zero.
+
+use pageforge_bench::args::print_table2;
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    if args.print_config {
+        print_table2();
+        return;
+    }
+    let (t, results) = experiments::figure7(args.seed, experiments::pages_per_vm(args.quick));
+    t.print();
+    t.write_json(&args.out_dir, "fig7_memory_savings");
+    let avg: f64 =
+        results.iter().map(|r| r.savings()).sum::<f64>() / results.len() as f64;
+    println!(
+        "\nAverage footprint reduction: {:.1}% (paper: 48%) -> ~{:.1}x the VMs per machine",
+        avg * 100.0,
+        1.0 / (1.0 - avg)
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 9: mean sojourn latency of Baseline / KSM /
+//! PageForge, normalized to Baseline (geometric mean across the VMs).
+
+use pageforge_bench::args::print_table2;
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    if args.print_config {
+        print_table2();
+        return;
+    }
+    let suite = experiments::run_latency_suite_cached(args.seed, args.quick, &args.out_dir);
+    let t = experiments::figure9(&suite);
+    t.print();
+    t.write_json(&args.out_dir, "fig9_mean_latency");
+    println!("\nPaper: KSM average 1.68x, PageForge average 1.10x.");
+}

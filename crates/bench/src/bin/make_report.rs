@@ -1,0 +1,88 @@
+//! Assembles every JSON table under `results/` into one Markdown report
+//! (`results/REPORT.md`), so a full evaluation run can be archived or
+//! diffed as a single artifact.
+//!
+//! Run the experiments first (e.g. `--bin run_all`), then:
+//! `cargo run --release -p pageforge-bench --bin make_report`
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use pageforge_bench::{BenchArgs, Table};
+
+/// Preferred ordering: paper artifacts first, then ablations/extensions.
+const ORDER: &[&str] = &[
+    "table3_apps",
+    "fig7_memory_savings",
+    "fig8_hash_keys",
+    "table4_ksm_characterization",
+    "fig9_mean_latency",
+    "fig10_tail_latency",
+    "fig11_bandwidth",
+    "table5_design",
+    "ablation_ecc_offsets",
+    "ablation_scan_table",
+    "ablation_inorder_core",
+    "ablation_cache_bypass",
+    "ablation_modules",
+    "ablation_zero_pages",
+    "comparison_uksm",
+    "sweep_scan_rate",
+    "extension_heterogeneous",
+];
+
+fn markdown_table(t: &Table) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {}\n", t.title);
+    let _ = writeln!(out, "| {} |", t.headers.join(" | "));
+    let _ = writeln!(out, "|{}|", vec!["---"; t.headers.len()].join("|"));
+    for row in &t.rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out.push('\n');
+    out
+}
+
+fn load(dir: &Path, name: &str) -> Option<Table> {
+    let raw = std::fs::read_to_string(dir.join(format!("{name}.json"))).ok()?;
+    let value: serde_json::Value = serde_json::from_str(&raw).ok()?;
+    let title = value.get("title")?.as_str()?.to_owned();
+    let to_strings = |v: &serde_json::Value| -> Option<Vec<String>> {
+        v.as_array()?
+            .iter()
+            .map(|c| c.as_str().map(str::to_owned))
+            .collect()
+    };
+    let headers = to_strings(value.get("headers")?)?;
+    let mut table = Table::new(&title, &headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for row in value.get("rows")?.as_array()? {
+        table.row(to_strings(row)?);
+    }
+    Some(table)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut report = String::from(
+        "# PageForge reproduction — generated evaluation report\n\n\
+         Produced by `make_report` from the JSON artifacts under `results/`.\n\
+         See EXPERIMENTS.md for paper-vs-measured commentary.\n\n",
+    );
+    let mut found = 0;
+    for name in ORDER {
+        if let Some(table) = load(&args.out_dir, name) {
+            report.push_str(&markdown_table(&table));
+            found += 1;
+        }
+    }
+    if found == 0 {
+        eprintln!(
+            "no result JSONs under {} — run the bench binaries first (e.g. --bin run_all)",
+            args.out_dir.display()
+        );
+        std::process::exit(1);
+    }
+    let path = args.out_dir.join("REPORT.md");
+    std::fs::write(&path, &report).expect("write report");
+    println!("wrote {} ({found} tables)", path.display());
+}

@@ -1,0 +1,11 @@
+//! Sweep (section 2.1): scanning aggressiveness (pages_to_scan) vs latency
+//! overhead, under KSM and under PageForge.
+
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let t = experiments::sweep_scan_rate(args.seed, args.quick);
+    t.print();
+    t.write_json(&args.out_dir, "sweep_scan_rate");
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 3: the applications and their offered load.
+
+use pageforge_bench::args::print_table2;
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    if args.print_config {
+        print_table2();
+        return;
+    }
+    let t = experiments::table3();
+    t.print();
+    t.write_json(&args.out_dir, "table3_apps");
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table 4: characterization of the KSM configuration
+//! (KSM process cycles, page-comparison/hash breakdown, L3 miss rates).
+
+use pageforge_bench::args::print_table2;
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    if args.print_config {
+        print_table2();
+        return;
+    }
+    let suite = experiments::run_latency_suite_cached(args.seed, args.quick, &args.out_dir);
+    let t = experiments::table4(&suite);
+    t.print();
+    t.write_json(&args.out_dir, "table4_ksm_characterization");
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 5: PageForge design characteristics — Scan-Table
+//! processing cycles and the area/power model.
+
+use pageforge_bench::args::print_table2;
+use pageforge_bench::{experiments, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    if args.print_config {
+        print_table2();
+        return;
+    }
+    let t = experiments::table5(args.seed, experiments::pages_per_vm(args.quick));
+    t.print();
+    t.write_json(&args.out_dir, "table5_design");
+}

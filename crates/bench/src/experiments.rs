@@ -1,0 +1,915 @@
+//! The experiment drivers behind each table/figure binary.
+//!
+//! Everything here is deterministic given the seed. The functions return
+//! [`Table`]s; the binaries print them and drop JSON copies under
+//! `results/`.
+
+use pageforge_core::fabric::FlatFabric;
+use pageforge_core::{EngineConfig, PageForge, PageForgeConfig, PowerModel};
+use pageforge_ecc::EccKeyConfig;
+use pageforge_ksm::{Ksm, KsmConfig};
+use pageforge_sim::{DedupMode, SimConfig, SimResult, System};
+use pageforge_vm::{AppProfile, HostMemory};
+use pageforge_workloads::apps::AppSpec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::report::{pct, ratio, Table};
+
+/// The applications of Table 3, in the paper's order.
+pub const APPS: [&str; 5] = ["img_dnn", "masstree", "moses", "silo", "sphinx"];
+
+/// VMs per experiment (Table 2).
+pub const N_VMS: u32 = 10;
+
+// ---------------------------------------------------------------------
+// Table 3
+// ---------------------------------------------------------------------
+
+/// Table 3: applications and offered load.
+pub fn table3() -> Table {
+    let mut t = Table::new("Table 3: Applications executed", &["Application", "QPS"]);
+    for app in AppSpec::tailbench_suite() {
+        t.row(vec![app.name.clone(), format!("{}", app.qps)]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------
+
+/// One Figure 7 bar pair.
+#[derive(Debug, Clone)]
+pub struct MemorySavings {
+    /// Application name.
+    pub app: String,
+    /// Pages without merging (the guest footprint).
+    pub without: usize,
+    /// Frames with merging at steady state.
+    pub with: usize,
+    /// Ground-truth unmergeable pages.
+    pub unmergeable: usize,
+    /// Ground-truth zero pages.
+    pub zero: usize,
+    /// Ground-truth mergeable non-zero pages.
+    pub non_zero: usize,
+    /// Frames the non-zero mergeable pages compressed into.
+    pub non_zero_after: usize,
+}
+
+impl MemorySavings {
+    /// Fraction of the footprint saved.
+    pub fn savings(&self) -> f64 {
+        1.0 - self.with as f64 / self.without as f64
+    }
+}
+
+/// Runs the Figure 7 experiment for one app profile.
+pub fn memory_savings_for(profile: &AppProfile, seed: u64) -> MemorySavings {
+    let mut mem = HostMemory::new();
+    let image = profile.generate(&mut mem, N_VMS, seed);
+    let without = mem.mapped_guest_pages();
+    let counts = image.category_counts();
+
+    let mut ksm = Ksm::new(KsmConfig::default(), image.mergeable_hints());
+    ksm.run_to_steady_state(&mut mem, 16);
+
+    let with = mem.allocated_frames();
+    // The zero class merges into exactly one frame; whatever else was
+    // freed came out of the non-zero mergeable class.
+    let zero_after = usize::from(counts.zero > 0);
+    let non_zero_after = with - counts.unmergeable - zero_after;
+    MemorySavings {
+        app: profile.name.clone(),
+        without,
+        with,
+        unmergeable: counts.unmergeable,
+        zero: counts.zero,
+        non_zero: counts.non_zero,
+        non_zero_after,
+    }
+}
+
+/// Figure 7: memory allocation with and without page merging.
+pub fn figure7(seed: u64, pages_per_vm: usize) -> (Table, Vec<MemorySavings>) {
+    let mut t = Table::new(
+        "Figure 7: Memory allocation without and with page merging (pages)",
+        &[
+            "App",
+            "Without",
+            "With",
+            "Unmergeable",
+            "Zero->",
+            "NonZero",
+            "NonZero->",
+            "Savings",
+        ],
+    );
+    let mut results = Vec::new();
+    for profile in AppProfile::tailbench_suite_scaled(pages_per_vm) {
+        let s = memory_savings_for(&profile, seed);
+        t.row(vec![
+            s.app.clone(),
+            s.without.to_string(),
+            s.with.to_string(),
+            s.unmergeable.to_string(),
+            format!("{}->{}", s.zero, usize::from(s.zero > 0)),
+            s.non_zero.to_string(),
+            s.non_zero_after.to_string(),
+            pct(s.savings()),
+        ]);
+        results.push(s);
+    }
+    let avg = results.iter().map(MemorySavings::savings).sum::<f64>() / results.len() as f64;
+    t.row(vec![
+        "average".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        pct(avg),
+    ]);
+    (t, results)
+}
+
+// ---------------------------------------------------------------------
+// Figure 8
+// ---------------------------------------------------------------------
+
+/// Hash-key comparison outcome fractions for one app.
+#[derive(Debug, Clone)]
+pub struct HashKeyOutcome {
+    /// Application name.
+    pub app: String,
+    /// Fraction of jhash checks that matched.
+    pub jhash_match: f64,
+    /// Fraction of ECC-key checks that matched.
+    pub ecc_match: f64,
+    /// Total key checks observed.
+    pub checks: u64,
+}
+
+/// Runs the Figure 8 experiment: KSM with a shadow ECC key, churn between
+/// passes, steady-state key-match fractions.
+pub fn hash_keys_for(profile: &AppProfile, seed: u64, rounds: usize) -> HashKeyOutcome {
+    let mut mem = HostMemory::new();
+    let image = profile.generate(&mut mem, N_VMS, seed);
+    let cfg = KsmConfig {
+        shadow_ecc: Some(EccKeyConfig::default()),
+        ..KsmConfig::default()
+    };
+    let mut ksm = Ksm::new(cfg, image.mergeable_hints());
+    // Warm up: reach merge steady state.
+    ksm.run_to_steady_state(&mut mem, 10);
+    let warm = ksm.stats().clone();
+
+    // Measured rounds: churn, then one full pass.
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xF168);
+    let hints = image.mergeable_hints().len();
+    for _ in 0..rounds {
+        image.churn_step(&mut mem, &profile.churn, &mut rng);
+        let mut scanned = 0;
+        while scanned < hints {
+            let r = ksm.scan_batch(&mut mem, ksm.config().pages_to_scan);
+            scanned += ksm.config().pages_to_scan;
+            if r.pass_completed {
+                break;
+            }
+        }
+    }
+    let s = ksm.stats();
+    let jhash_checks = (s.jhash_matches - warm.jhash_matches)
+        + (s.jhash_mismatches - warm.jhash_mismatches);
+    let ecc_checks =
+        (s.ecc_matches - warm.ecc_matches) + (s.ecc_mismatches - warm.ecc_mismatches);
+    HashKeyOutcome {
+        app: profile.name.clone(),
+        jhash_match: (s.jhash_matches - warm.jhash_matches) as f64 / jhash_checks.max(1) as f64,
+        ecc_match: (s.ecc_matches - warm.ecc_matches) as f64 / ecc_checks.max(1) as f64,
+        checks: jhash_checks,
+    }
+}
+
+/// Figure 8: outcome of hash-key comparisons, jhash vs ECC keys.
+pub fn figure8(seed: u64, pages_per_vm: usize, rounds: usize) -> (Table, Vec<HashKeyOutcome>) {
+    let mut t = Table::new(
+        "Figure 8: Outcome of hash key comparisons",
+        &[
+            "App",
+            "jhash match",
+            "jhash mismatch",
+            "ECC match",
+            "ECC mismatch",
+            "extra ECC FPs",
+        ],
+    );
+    let mut results = Vec::new();
+    for profile in AppProfile::tailbench_suite_scaled(pages_per_vm) {
+        let o = hash_keys_for(&profile, seed, rounds);
+        t.row(vec![
+            o.app.clone(),
+            pct(o.jhash_match),
+            pct(1.0 - o.jhash_match),
+            pct(o.ecc_match),
+            pct(1.0 - o.ecc_match),
+            pct(o.ecc_match - o.jhash_match),
+        ]);
+        results.push(o);
+    }
+    let delta = results
+        .iter()
+        .map(|o| o.ecc_match - o.jhash_match)
+        .sum::<f64>()
+        / results.len() as f64;
+    t.row(vec![
+        "average".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        pct(delta),
+    ]);
+    (t, results)
+}
+
+// ---------------------------------------------------------------------
+// The latency suite (Table 4, Figures 9, 10, 11)
+// ---------------------------------------------------------------------
+
+/// Builds the configuration for one (app, mode) cell.
+pub fn sim_config(app: &str, mode: DedupMode, seed: u64, quick: bool) -> SimConfig {
+    if quick {
+        SimConfig::quick(app, mode, seed)
+    } else {
+        SimConfig::micro50(app, mode, seed)
+    }
+}
+
+/// Runs Baseline/KSM/PageForge for one app. The triple shares the seed so
+/// arrival processes and memory images are identical across modes.
+pub fn run_triple(app: &str, seed: u64, quick: bool) -> [SimResult; 3] {
+    let run = |mode| System::new(sim_config(app, mode, seed, quick)).run();
+    [
+        run(DedupMode::None),
+        run(DedupMode::Ksm(SimConfig::scaled_ksm())),
+        run(DedupMode::PageForge(SimConfig::scaled_pageforge())),
+    ]
+}
+
+/// Runs the whole 5-app × 3-config latency suite.
+pub fn run_latency_suite(seed: u64, quick: bool) -> Vec<[SimResult; 3]> {
+    APPS.iter().map(|app| run_triple(app, seed, quick)).collect()
+}
+
+/// Like [`run_latency_suite`], but cached on disk: Figures 9–11 and
+/// Table 4 all read the same 15 simulations, so the first binary to run
+/// pays for them and the rest reuse the JSON
+/// (`<out_dir>/latency_suite_<seed>_<scale>.json`). Delete the file to
+/// force a re-run.
+pub fn run_latency_suite_cached(
+    seed: u64,
+    quick: bool,
+    out_dir: &std::path::Path,
+) -> Vec<[SimResult; 3]> {
+    let scale = if quick { "quick" } else { "full" };
+    let path = out_dir.join(format!("latency_suite_{seed:#x}_{scale}.json"));
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(suite) = serde_json::from_slice::<Vec<[SimResult; 3]>>(&bytes) {
+            eprintln!("(reusing cached simulations from {})", path.display());
+            return suite;
+        }
+    }
+    let suite = run_latency_suite(seed, quick);
+    if let Err(e) = std::fs::create_dir_all(out_dir).and_then(|_| {
+        std::fs::write(&path, serde_json::to_vec(&suite).expect("suite serializes"))
+    }) {
+        eprintln!("warning: could not cache simulations: {e}");
+    }
+    suite
+}
+
+/// Figure 9: mean sojourn latency normalized to Baseline.
+pub fn figure9(suite: &[[SimResult; 3]]) -> Table {
+    let mut t = Table::new(
+        "Figure 9: Mean sojourn latency normalized to Baseline",
+        &["App", "Baseline", "KSM", "PageForge"],
+    );
+    let mut ksm_sum = 0.0;
+    let mut pf_sum = 0.0;
+    for triple in suite {
+        let base = triple[0].mean_sojourn();
+        let ksm = triple[1].mean_sojourn() / base;
+        let pf = triple[2].mean_sojourn() / base;
+        ksm_sum += ksm;
+        pf_sum += pf;
+        t.row(vec![
+            triple[0].app.clone(),
+            ratio(1.0),
+            ratio(ksm),
+            ratio(pf),
+        ]);
+    }
+    let n = suite.len() as f64;
+    t.row(vec![
+        "average".into(),
+        ratio(1.0),
+        ratio(ksm_sum / n),
+        ratio(pf_sum / n),
+    ]);
+    t
+}
+
+/// Figure 10: 95th-percentile (tail) latency normalized to Baseline.
+pub fn figure10(suite: &mut [[SimResult; 3]]) -> Table {
+    let mut t = Table::new(
+        "Figure 10: 95th percentile latency normalized to Baseline",
+        &["App", "Baseline", "KSM", "PageForge"],
+    );
+    let mut ksm_sum = 0.0;
+    let mut pf_sum = 0.0;
+    for triple in suite.iter_mut() {
+        let app = triple[0].app.clone();
+        let base = triple[0].p95_sojourn();
+        let ksm = triple[1].p95_sojourn() / base;
+        let pf = triple[2].p95_sojourn() / base;
+        ksm_sum += ksm;
+        pf_sum += pf;
+        t.row(vec![app, ratio(1.0), ratio(ksm), ratio(pf)]);
+    }
+    let n = suite.len() as f64;
+    t.row(vec![
+        "average".into(),
+        ratio(1.0),
+        ratio(ksm_sum / n),
+        ratio(pf_sum / n),
+    ]);
+    t
+}
+
+/// Figure 11: memory bandwidth in the most memory-intensive dedup phase.
+pub fn figure11(suite: &[[SimResult; 3]]) -> Table {
+    let mut t = Table::new(
+        "Figure 11: Peak-window memory bandwidth (GB/s)",
+        &["App", "Baseline", "KSM", "PageForge"],
+    );
+    let mut sums = [0.0f64; 3];
+    for triple in suite {
+        let mut row = vec![triple[0].app.clone()];
+        for (i, r) in triple.iter().enumerate() {
+            sums[i] += r.bandwidth_peak_gbps;
+            row.push(format!("{:.2}", r.bandwidth_peak_gbps));
+        }
+        t.row(row);
+    }
+    let n = suite.len() as f64;
+    t.row(vec![
+        "average".into(),
+        format!("{:.2}", sums[0] / n),
+        format!("{:.2}", sums[1] / n),
+        format!("{:.2}", sums[2] / n),
+    ]);
+    t
+}
+
+/// Table 4: characterization of the KSM configuration.
+pub fn table4(suite: &[[SimResult; 3]]) -> Table {
+    let mut t = Table::new(
+        "Table 4: Characterization of the KSM configuration",
+        &[
+            "App",
+            "KSM cyc avg",
+            "KSM cyc max",
+            "PageCmp/KSM",
+            "HashGen/KSM",
+            "L3 miss KSM",
+            "L3 miss Base",
+        ],
+    );
+    for triple in suite {
+        let base = &triple[0];
+        let ksm = &triple[1];
+        let d = ksm.dedup.as_ref().expect("KSM summary");
+        t.row(vec![
+            ksm.app.clone(),
+            pct(d.core_cycles_frac_avg),
+            pct(d.core_cycles_frac_max),
+            pct(d.compare_frac),
+            pct(d.hash_frac),
+            pct(ksm.l3_miss_rate),
+            pct(base.l3_miss_rate),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Table 5
+// ---------------------------------------------------------------------
+
+/// Table 5: PageForge design characteristics — Scan-Table processing-time
+/// distribution measured per application, plus the area/power model.
+pub fn table5(seed: u64, pages_per_vm: usize) -> Table {
+    // Measure engine batch cycles across the TailBench profiles.
+    let mut all_means = Vec::new();
+    for profile in AppProfile::tailbench_suite_scaled(pages_per_vm) {
+        let mut mem = HostMemory::new();
+        let image = profile.generate(&mut mem, N_VMS, seed);
+        let mut pf = PageForge::new(PageForgeConfig::default(), image.mergeable_hints());
+        let mut fabric = FlatFabric::all_dram(80);
+        // Two passes: enough for the unstable tree to fill and searches to
+        // traverse realistic depths.
+        for _ in 0..3 {
+            loop {
+                let r = pf.scan_batch(&mut mem, &mut fabric, 0, pf.config().pages_to_scan);
+                if r.pass_completed {
+                    break;
+                }
+            }
+        }
+        all_means.push((profile.name.clone(), pf.engine_stats().run_cycles));
+    }
+    let grand_mean =
+        all_means.iter().map(|(_, s)| s.mean()).sum::<f64>() / all_means.len() as f64;
+    let across_app_std = {
+        let var = all_means
+            .iter()
+            .map(|(_, s)| (s.mean() - grand_mean).powi(2))
+            .sum::<f64>()
+            / all_means.len() as f64;
+        var.sqrt()
+    };
+
+    let model = PowerModel::hp_22nm();
+    let table_bytes = pageforge_core::ScanTable::default().size_bytes();
+    let st = model.scan_table(table_bytes);
+    let total = model.pageforge_module(table_bytes);
+
+    let mut t = Table::new(
+        "Table 5: PageForge design characteristics",
+        &["Item", "Value", "Notes"],
+    );
+    t.row(vec![
+        "Processing the Scan table (avg cycles)".into(),
+        format!("{grand_mean:.0}"),
+        "paper: 7,486".into(),
+    ]);
+    t.row(vec![
+        "Applic. standard dev.".into(),
+        format!("{across_app_std:.0}"),
+        "paper: 1,296".into(),
+    ]);
+    t.row(vec![
+        "OS checking (cycles)".into(),
+        format!("{}", PageForgeConfig::default().os_check_interval),
+        "paper: 12,000".into(),
+    ]);
+    t.row(vec![
+        "Scan table area (mm2)".into(),
+        format!("{:.3}", st.area_mm2),
+        "paper: 0.010".into(),
+    ]);
+    t.row(vec![
+        "Scan table power (W)".into(),
+        format!("{:.3}", st.power_w),
+        "paper: 0.028".into(),
+    ]);
+    t.row(vec![
+        "ALU area (mm2)".into(),
+        format!("{:.3}", model.alu.area_mm2),
+        "paper: 0.019".into(),
+    ]);
+    t.row(vec![
+        "ALU power (W)".into(),
+        format!("{:.3}", model.alu.power_w),
+        "paper: 0.009".into(),
+    ]);
+    t.row(vec![
+        "Total PageForge area (mm2)".into(),
+        format!("{:.3}", total.area_mm2),
+        "paper: 0.029".into(),
+    ]);
+    t.row(vec![
+        "Total PageForge power (W)".into(),
+        format!("{:.3}", total.power_w),
+        "paper: 0.037".into(),
+    ]);
+    t
+}
+
+// ---------------------------------------------------------------------
+// Ablations (§3.3, §4.1, §4.3, §6.4)
+// ---------------------------------------------------------------------
+
+/// Ablation: number of ECC minikey offsets vs key quality (false-positive
+/// match rate when pages changed).
+pub fn ablation_ecc_offsets(seed: u64, pages_per_vm: usize) -> Table {
+    let mut t = Table::new(
+        "Ablation: ECC minikeys per page vs change-detection quality",
+        &["Minikeys", "Key bits", "Bytes fetched", "ECC match rate", "jhash match rate"],
+    );
+    let profile = &AppProfile::tailbench_suite_scaled(pages_per_vm)[0];
+    for n in [1usize, 2, 4, 8] {
+        let offsets: Vec<usize> = (0..n).map(|i| 3 + i * (64 / n)).collect();
+        let mut mem = HostMemory::new();
+        let image = profile.generate(&mut mem, 4, seed);
+        let cfg = KsmConfig {
+            shadow_ecc: Some(EccKeyConfig::with_offsets(offsets).expect("valid offsets")),
+            ..KsmConfig::default()
+        };
+        let mut ksm = Ksm::new(cfg, image.mergeable_hints());
+        ksm.run_to_steady_state(&mut mem, 8);
+        let warm = ksm.stats().clone();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            image.churn_step(&mut mem, &profile.churn, &mut rng);
+            loop {
+                let r = ksm.scan_batch(&mut mem, ksm.config().pages_to_scan);
+                if r.pass_completed {
+                    break;
+                }
+            }
+        }
+        let s = ksm.stats();
+        let ecc_total = (s.ecc_matches - warm.ecc_matches) + (s.ecc_mismatches - warm.ecc_mismatches);
+        let j_total =
+            (s.jhash_matches - warm.jhash_matches) + (s.jhash_mismatches - warm.jhash_mismatches);
+        t.row(vec![
+            n.to_string(),
+            (8 * n).to_string(),
+            (64 * n).to_string(),
+            pct((s.ecc_matches - warm.ecc_matches) as f64 / ecc_total.max(1) as f64),
+            pct((s.jhash_matches - warm.jhash_matches) as f64 / j_total.max(1) as f64),
+        ]);
+    }
+    t
+}
+
+/// Ablation: Scan Table capacity vs refills per candidate (§4.1 discusses
+/// why the table is kept small; more entries mean fewer OS interactions
+/// but a bigger structure).
+pub fn ablation_scan_table(seed: u64, pages_per_vm: usize) -> Table {
+    let mut t = Table::new(
+        "Ablation: Scan Table entries vs refills and search latency",
+        &["Entries", "Refills/candidate", "Avg batch cycles", "Table bytes"],
+    );
+    let profile = &AppProfile::tailbench_suite_scaled(pages_per_vm)[0];
+    for entries in [7usize, 15, 31, 63] {
+        let mut mem = HostMemory::new();
+        let image = profile.generate(&mut mem, N_VMS, seed);
+        let cfg = PageForgeConfig {
+            engine: EngineConfig {
+                table_entries: entries,
+                ..EngineConfig::default()
+            },
+            ..PageForgeConfig::default()
+        };
+        let mut pf = PageForge::new(cfg, image.mergeable_hints());
+        let mut fabric = FlatFabric::all_dram(80);
+        for _ in 0..2 {
+            loop {
+                let r = pf.scan_batch(&mut mem, &mut fabric, 0, pf.config().pages_to_scan);
+                if r.pass_completed {
+                    break;
+                }
+            }
+        }
+        let s = pf.stats();
+        let table_bytes = pageforge_core::ScanTable::new(entries).size_bytes();
+        t.row(vec![
+            entries.to_string(),
+            format!("{:.2}", s.refills as f64 / s.candidates.max(1) as f64),
+            format!("{:.0}", pf.engine_stats().run_cycles.mean()),
+            table_bytes.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablation (§4.3): PageForge vs an in-order core running the software
+/// algorithm — area/power comparison from the calibrated model.
+pub fn ablation_inorder_core() -> Table {
+    let model = PowerModel::hp_22nm();
+    let pf = model.pageforge_module(pageforge_core::ScanTable::default().size_bytes());
+    let a9 = PowerModel::a9_core();
+    let chip = PowerModel::server_chip();
+    let mut t = Table::new(
+        "Ablation: PageForge vs in-order-core alternative (22nm)",
+        &["Design", "Area (mm2)", "Power (W)", "vs PageForge power"],
+    );
+    t.row(vec![
+        "PageForge module".into(),
+        format!("{:.3}", pf.area_mm2),
+        format!("{:.3}", pf.power_w),
+        ratio(1.0),
+    ]);
+    t.row(vec![
+        "ARM-A9-class in-order core".into(),
+        format!("{:.2}", a9.area_mm2),
+        format!("{:.2}", a9.power_w),
+        ratio(a9.power_w / pf.power_w),
+    ]);
+    t.row(vec![
+        "10-core server chip (Table 2)".into(),
+        format!("{:.1}", chip.area_mm2),
+        format!("{:.1}", chip.power_w),
+        ratio(chip.power_w / pf.power_w),
+    ]);
+    t
+}
+
+/// How many pages per VM to use outside `--quick` runs. The paper's VMs
+/// have 131,072 pages (512 MB); we default to 2,048 (8 MB) so the content
+/// statistics are faithful while experiments stay laptop-sized.
+pub fn pages_per_vm(quick: bool) -> usize {
+    if quick {
+        256
+    } else {
+        2048
+    }
+}
+
+/// Churn/steady-state rounds for the Figure 8 measurement.
+pub fn fig8_rounds(quick: bool) -> usize {
+    if quick {
+        3
+    } else {
+        6
+    }
+}
+
+// ---------------------------------------------------------------------
+// Related work & design-space extensions
+// ---------------------------------------------------------------------
+
+/// Comparison with UKSM (§7.2): whole-system scanning with a CPU-budget
+/// governor vs KSM's fixed `pages_to_scan`/`sleep_millisecs`.
+///
+/// Reports, per CPU-share setting, how quickly UKSM converges to steady
+/// state and what it costs, against KSM's fixed-knob behaviour.
+pub fn comparison_uksm(seed: u64, pages_per_vm: usize) -> Table {
+    use pageforge_ksm::{Uksm, UksmConfig};
+
+    let profile = &AppProfile::tailbench_suite_scaled(pages_per_vm)[0];
+    let mut t = Table::new(
+        "UKSM vs KSM: convergence and CPU cost (img_dnn image)",
+        &[
+            "Config",
+            "Intervals",
+            "Frames",
+            "Savings",
+            "Dedup cycles (M)",
+        ],
+    );
+
+    // KSM reference.
+    {
+        let mut mem = HostMemory::new();
+        let image = profile.generate(&mut mem, N_VMS, seed);
+        let before = mem.mapped_guest_pages();
+        let mut ksm = Ksm::new(KsmConfig::default(), image.mergeable_hints());
+        let passes = ksm.run_to_steady_state(&mut mem, 16);
+        t.row(vec![
+            "KSM (400 pages / 5 ms)".into(),
+            format!("{passes} passes"),
+            mem.allocated_frames().to_string(),
+            pct(1.0 - mem.allocated_frames() as f64 / before as f64),
+            format!("{:.1}", ksm.stats().cycles.total() as f64 / 1e6),
+        ]);
+    }
+
+    for share in [0.05, 0.2, 0.5] {
+        let mut mem = HostMemory::new();
+        let image = profile.generate(&mut mem, N_VMS, seed);
+        let before = mem.mapped_guest_pages();
+        drop(image); // UKSM scans everything; no hints needed.
+        let cfg = UksmConfig {
+            cpu_share: share,
+            ..UksmConfig::default()
+        };
+        let mut uksm = Uksm::new(cfg, &mem);
+        let intervals = uksm.run_to_steady_state(&mut mem, 40_000);
+        t.row(vec![
+            format!("UKSM @ {:.0}% CPU", share * 100.0),
+            intervals.to_string(),
+            mem.allocated_frames().to_string(),
+            pct(1.0 - mem.allocated_frames() as f64 / before as f64),
+            format!("{:.1}", uksm.inner().stats().cycles.total() as f64 / 1e6),
+        ]);
+    }
+    t
+}
+
+/// Ablation (§4.1): one PageForge module vs several. More modules scan
+/// faster but add memory pressure; the paper argues a single module
+/// suffices. Measured on the quick system so the run stays short.
+pub fn ablation_modules(seed: u64) -> Table {
+    let mut t = Table::new(
+        "Ablation: number of PageForge modules (silo, quick system)",
+        &[
+            "Modules",
+            "Mean latency",
+            "Peak BW (GB/s)",
+            "Engine lines",
+            "Frames",
+        ],
+    );
+    let base = System::new(sim_config("silo", DedupMode::None, seed, true)).run();
+    t.row(vec![
+        "0 (Baseline)".into(),
+        ratio(1.0),
+        format!("{:.2}", base.bandwidth_peak_gbps),
+        "0".into(),
+        base.mem_stats.allocated_frames.to_string(),
+    ]);
+    for modules in [1usize, 2, 4] {
+        let mut cfg = sim_config(
+            "silo",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+            seed,
+            true,
+        );
+        cfg.pf_modules = modules;
+        let r = System::new(cfg).run();
+        let d = r.dedup.as_ref().expect("pf summary");
+        t.row(vec![
+            modules.to_string(),
+            ratio(r.mean_sojourn() / base.mean_sojourn()),
+            format!("{:.2}", r.bandwidth_peak_gbps),
+            d.engine_lines_fetched.to_string(),
+            r.mem_stats.allocated_frames.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Extension (beyond the paper): a heterogeneous VM mix — every VM runs a
+/// different TailBench app. Cross-VM duplication is lower (only the guest
+/// OS/library pages are shared), so savings drop, but the interference
+/// ordering (KSM ≫ PageForge) must persist.
+pub fn extension_heterogeneous(seed: u64) -> Table {
+    let mut t = Table::new(
+        "Extension: heterogeneous VM mix (all five apps co-located)",
+        &["Config", "Mean latency", "p95 latency", "Frames", "Savings"],
+    );
+    let apps = ["img_dnn", "masstree", "moses", "silo", "sphinx"];
+    let mk = |mode| {
+        let mut cfg = SimConfig::heterogeneous(&apps, mode, seed);
+        cfg.cores = 5;
+        cfg.hierarchy = pageforge_cache::HierarchyConfig::micro50(5);
+        cfg.hierarchy.l3.size_bytes = 2 << 20;
+        for p in &mut cfg.profiles {
+            p.pages_per_vm = 512;
+        }
+        cfg.warmup_cycles = 4_000_000;
+        cfg.measure_cycles = 60_000_000;
+        match &mut cfg.dedup {
+            DedupMode::Ksm(k) => k.pages_to_scan = 16,
+            DedupMode::PageForge(p) => p.pages_to_scan = 16,
+            DedupMode::None => {}
+        }
+        cfg
+    };
+    let base = System::new(mk(DedupMode::None)).run();
+    let mut rows = vec![base];
+    rows.push(System::new(mk(DedupMode::Ksm(SimConfig::scaled_ksm()))).run());
+    rows.push(System::new(mk(DedupMode::PageForge(SimConfig::scaled_pageforge()))).run());
+    let base_mean = rows[0].mean_sojourn();
+    let mut base_p95 = 0.0;
+    for (i, r) in rows.iter_mut().enumerate() {
+        if i == 0 {
+            base_p95 = r.p95_sojourn();
+        }
+        let mean = r.mean_sojourn();
+        let p95 = r.p95_sojourn();
+        t.row(vec![
+            r.label.clone(),
+            ratio(mean / base_mean),
+            ratio(p95 / base_p95),
+            r.mem_stats.allocated_frames.to_string(),
+            pct(r.mem_stats.savings_fraction()),
+        ]);
+    }
+    t
+}
+
+/// Ablation (§4.3, second alternative): KSM with cache-bypassing accesses.
+/// Pollution disappears but the CPU cycles remain — the paper predicts it
+/// lands between KSM and PageForge, closer to KSM.
+pub fn ablation_cache_bypass(seed: u64, quick: bool) -> Table {
+    let mut t = Table::new(
+        "Ablation: software dedup with uncacheable accesses (silo)",
+        &["Config", "Mean latency", "p95 latency", "L3 miss", "Frames"],
+    );
+    let bypass_cfg = {
+        let mut k = SimConfig::scaled_ksm();
+        k.cache_bypass = true;
+        k
+    };
+    let configs: Vec<(&str, DedupMode)> = vec![
+        ("Baseline", DedupMode::None),
+        ("KSM", DedupMode::Ksm(SimConfig::scaled_ksm())),
+        ("KSM (uncacheable)", DedupMode::Ksm(bypass_cfg)),
+        ("PageForge", DedupMode::PageForge(SimConfig::scaled_pageforge())),
+    ];
+    let mut base: Option<(f64, f64)> = None;
+    for (name, mode) in configs {
+        let mut r = System::new(sim_config("silo", mode, seed, quick)).run();
+        let mean = r.mean_sojourn();
+        let p95 = r.p95_sojourn();
+        let (bm, bp) = *base.get_or_insert((mean, p95));
+        t.row(vec![
+            name.into(),
+            ratio(mean / bm),
+            ratio(p95 / bp),
+            pct(r.l3_miss_rate),
+            r.mem_stats.allocated_frames.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablation: Linux's `use_zero_pages` knob — zero pages bypass the trees
+/// entirely. Measures tree traffic and time-to-steady-state with and
+/// without the shortcut.
+pub fn ablation_zero_pages(seed: u64, pages_per_vm: usize) -> Table {
+    let mut t = Table::new(
+        "Ablation: use_zero_pages shortcut (img_dnn image)",
+        &["Config", "Passes", "Frames", "Zero merges", "Tree inserts", "Dedup cycles (M)"],
+    );
+    let profile = &AppProfile::tailbench_suite_scaled(pages_per_vm)[0];
+    for use_zero in [false, true] {
+        let mut mem = HostMemory::new();
+        let image = profile.generate(&mut mem, N_VMS, seed);
+        let cfg = KsmConfig {
+            use_zero_pages: use_zero,
+            ..KsmConfig::default()
+        };
+        let mut ksm = Ksm::new(cfg, image.mergeable_hints());
+        let passes = ksm.run_to_steady_state(&mut mem, 16);
+        let s = ksm.stats();
+        t.row(vec![
+            if use_zero { "use_zero_pages=1" } else { "use_zero_pages=0" }.into(),
+            passes.to_string(),
+            mem.allocated_frames().to_string(),
+            s.merged_zero.to_string(),
+            s.inserted_unstable.to_string(),
+            format!("{:.1}", s.cycles.total() as f64 / 1e6),
+        ]);
+    }
+    t
+}
+
+/// Sweep: the `pages_to_scan`/`sleep_millisecs` aggressiveness trade-off
+/// (§2.1: "two parameters are used to tune the aggressiveness of the
+/// algorithm"). More aggressive scanning merges faster but costs more
+/// latency — under KSM. Under PageForge the cost stays flat.
+pub fn sweep_scan_rate(seed: u64, quick: bool) -> Table {
+    let mut t = Table::new(
+        "Sweep: scan aggressiveness vs latency overhead (silo)",
+        &[
+            "pages_to_scan",
+            "KSM mean",
+            "KSM p95",
+            "KSM core% avg",
+            "PF mean",
+            "PF p95",
+        ],
+    );
+    let base = System::new(sim_config("silo", DedupMode::None, seed, quick)).run();
+    let base_mean = base.mean_sojourn();
+    let mut base_mut = base;
+    let base_p95 = base_mut.p95_sojourn();
+
+    for pages in [8usize, 16, 32, 64] {
+        let mut kc = SimConfig::scaled_ksm();
+        kc.pages_to_scan = pages;
+        let mut cfg = sim_config("silo", DedupMode::Ksm(kc.clone()), seed, quick);
+        // sim_config's quick() rescales pages_to_scan; reapply the sweep value.
+        if let DedupMode::Ksm(k) = &mut cfg.dedup {
+            k.pages_to_scan = pages;
+        }
+        let mut ksm = System::new(cfg).run();
+        let kd = ksm.dedup.clone().expect("ksm summary");
+
+        let mut pc = SimConfig::scaled_pageforge();
+        pc.pages_to_scan = pages;
+        let mut cfg = sim_config("silo", DedupMode::PageForge(pc), seed, quick);
+        if let DedupMode::PageForge(p) = &mut cfg.dedup {
+            p.pages_to_scan = pages;
+        }
+        let mut pf = System::new(cfg).run();
+
+        t.row(vec![
+            pages.to_string(),
+            ratio(ksm.mean_sojourn() / base_mean),
+            ratio(ksm.p95_sojourn() / base_p95),
+            pct(kd.core_cycles_frac_avg),
+            ratio(pf.mean_sojourn() / base_mean),
+            ratio(pf.p95_sojourn() / base_p95),
+        ]);
+    }
+    t
+}

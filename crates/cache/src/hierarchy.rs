@@ -1,0 +1,538 @@
+//! The full chip cache hierarchy with snoopy MESI coherence.
+//!
+//! Topology (Figure 5 / Table 2): per-core private L1 and L2, one shared
+//! (logically sliced) L3, a wide snoopy bus, and the memory controllers
+//! behind it. The L3 is inclusive of the private levels, so an L3 eviction
+//! back-invalidates L1/L2 copies.
+
+use serde::{Deserialize, Serialize};
+
+use pageforge_types::{Cycle, LineAddr};
+
+use crate::cache::{CacheConfig, CacheStats, LineState, SetAssocCache};
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// Own L1.
+    L1,
+    /// Own L2.
+    L2,
+    /// Another core's private cache (snoop intervention).
+    Peer,
+    /// The shared L3.
+    L3,
+    /// Nowhere on chip: the line comes from DRAM (the caller charges memory
+    /// latency on top of [`Access::latency`]).
+    Memory,
+}
+
+/// Result of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Where the line was found.
+    pub level: HitLevel,
+    /// On-chip latency in cycles (excluding DRAM time for
+    /// [`HitLevel::Memory`]).
+    pub latency: Cycle,
+}
+
+/// Geometry and timing of the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Number of cores (private L1/L2 pairs).
+    pub cores: usize,
+    /// Per-core L1 geometry.
+    pub l1: CacheConfig,
+    /// Per-core L2 geometry.
+    pub l2: CacheConfig,
+    /// Shared L3 geometry.
+    pub l3: CacheConfig,
+    /// Extra cycles for a snoop intervention from a peer cache.
+    pub peer_transfer_latency: Cycle,
+    /// Bus transit latency added to every off-core hop.
+    pub bus_latency: Cycle,
+}
+
+impl HierarchyConfig {
+    /// The paper's configuration (Table 2) with `cores` cores.
+    pub fn micro50(cores: usize) -> Self {
+        HierarchyConfig {
+            cores,
+            l1: CacheConfig::l1_micro50(),
+            l2: CacheConfig::l2_micro50(),
+            l3: CacheConfig::l3_micro50(),
+            peer_transfer_latency: 12,
+            bus_latency: 4,
+        }
+    }
+}
+
+/// The chip's caches: `cores` private L1/L2 pairs and a shared L3.
+#[derive(Debug, Clone)]
+pub struct SystemCaches {
+    cfg: HierarchyConfig,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    l3: SetAssocCache,
+}
+
+impl SystemCaches {
+    /// Builds an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cores` is zero.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        assert!(cfg.cores > 0, "at least one core required");
+        SystemCaches {
+            l1: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
+            l2: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l2)).collect(),
+            l3: SetAssocCache::new(cfg.l3),
+            cfg,
+        }
+    }
+
+    /// The hierarchy configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// One load (`write = false`) or store (`write = true`) by `core`.
+    ///
+    /// Walks L1 → L2 → snoop peers → L3; allocates the line on the way back
+    /// up. For stores, peer copies are invalidated and the line installs
+    /// Modified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: LineAddr, write: bool) -> Access {
+        assert!(core < self.cfg.cores, "core {core} out of range");
+        let mut latency = self.cfg.l1.latency;
+
+        // L1.
+        if let Some(state) = self.l1[core].lookup(addr) {
+            if write && state == LineState::Shared {
+                // Upgrade: invalidate peers, go Modified.
+                latency += self.cfg.bus_latency;
+                self.invalidate_peers(core, addr);
+                self.l1[core].set_state(addr, LineState::Modified);
+                self.l2[core].set_state(addr, LineState::Modified);
+            } else if write {
+                self.l1[core].set_state(addr, LineState::Modified);
+            }
+            return Access {
+                level: HitLevel::L1,
+                latency,
+            };
+        }
+
+        // L2.
+        latency += self.cfg.l2.latency;
+        if let Some(state) = self.l2[core].lookup(addr) {
+            let new_state = if write {
+                if state == LineState::Shared {
+                    latency += self.cfg.bus_latency;
+                    self.invalidate_peers(core, addr);
+                }
+                LineState::Modified
+            } else {
+                state
+            };
+            self.l2[core].set_state(addr, new_state);
+            self.fill_private(core, addr, new_state, 1); // fill L1 only
+            return Access {
+                level: HitLevel::L2,
+                latency,
+            };
+        }
+
+        // Off-core: bus + snoop + L3.
+        latency += self.cfg.bus_latency + self.cfg.l3.latency;
+        let peer_had_it = self.snoop(core, addr, write);
+        if peer_had_it {
+            latency += self.cfg.peer_transfer_latency;
+        }
+
+        let l3_state = self.l3.lookup(addr);
+        let level = if peer_had_it {
+            HitLevel::Peer
+        } else if l3_state.is_some() {
+            HitLevel::L3
+        } else {
+            HitLevel::Memory
+        };
+
+        // Install in L3 (inclusive), then the private levels.
+        let install = if write {
+            LineState::Modified
+        } else if peer_had_it || self.any_peer_holds(core, addr) {
+            LineState::Shared
+        } else {
+            LineState::Exclusive
+        };
+        if l3_state.is_none() {
+            if let Some((victim, vstate)) = self.l3.fill(addr, LineState::Shared) {
+                // Inclusive L3: back-invalidate private copies of the victim.
+                self.back_invalidate(victim);
+                let _ = vstate; // writeback already counted by the L3 stats
+            }
+        }
+        self.fill_private(core, addr, install, 2);
+        Access { level, latency }
+    }
+
+    /// The PageForge probe (§3.2.2): "the control logic issues each request
+    /// to the on-chip network first. If the request is serviced from the
+    /// network, no other action is taken."
+    ///
+    /// Returns the on-chip latency when some cache holds the line; `None`
+    /// when the request must fall through to DRAM. Peer Modified lines are
+    /// downgraded to Shared (the snoop supplies the data) but nothing is
+    /// allocated anywhere — the PageForge module has no cache.
+    pub fn probe_from_mc(&mut self, addr: LineAddr) -> Option<Cycle> {
+        let mut latency = self.cfg.bus_latency;
+        // Snoopy bus: every private cache is checked.
+        let mut found = false;
+        for core in 0..self.cfg.cores {
+            if let Some(state) = self.l1[core].peek(addr) {
+                if state == LineState::Modified {
+                    self.l1[core].set_state(addr, LineState::Shared);
+                    self.l2[core].set_state(addr, LineState::Shared);
+                }
+                found = true;
+            } else if let Some(state) = self.l2[core].peek(addr) {
+                if state == LineState::Modified {
+                    self.l2[core].set_state(addr, LineState::Shared);
+                }
+                found = true;
+            }
+        }
+        if found {
+            latency += self.cfg.peer_transfer_latency;
+            return Some(latency);
+        }
+        // L3 peek: a probe hit is serviced from the L3 without LRU update
+        // (the MC-side read does not re-rank working sets).
+        if self.l3.peek(addr).is_some() {
+            return Some(latency + self.cfg.l3.latency);
+        }
+        None
+    }
+
+    fn fill_private(&mut self, core: usize, addr: LineAddr, state: LineState, levels: u8) {
+        if levels >= 2 {
+            if let Some((victim, vstate)) = self.l2[core].fill(addr, state) {
+                if vstate.is_dirty() {
+                    self.l3.set_state(victim, LineState::Modified);
+                }
+                self.l1[core].invalidate(victim); // L2 inclusive of L1
+            }
+        }
+        if let Some((victim, vstate)) = self.l1[core].fill(addr, state) {
+            if vstate.is_dirty() {
+                self.l2[core].set_state(victim, LineState::Modified);
+            }
+        }
+    }
+
+    /// Snoops peer caches; on a write, invalidates their copies. Returns
+    /// whether any peer held the line.
+    fn snoop(&mut self, requester: usize, addr: LineAddr, write: bool) -> bool {
+        let mut found = false;
+        for core in 0..self.cfg.cores {
+            if core == requester {
+                continue;
+            }
+            let in_l1 = self.l1[core].peek(addr).is_some();
+            let in_l2 = self.l2[core].peek(addr).is_some();
+            if in_l1 || in_l2 {
+                found = true;
+                if write {
+                    self.l1[core].invalidate(addr);
+                    self.l2[core].invalidate(addr);
+                } else {
+                    // Downgrade M/E to S; dirty data is reflected to L3.
+                    if self.l1[core].peek(addr).is_some_and(LineState::is_dirty)
+                        || self.l2[core].peek(addr).is_some_and(LineState::is_dirty)
+                    {
+                        self.l3.set_state(addr, LineState::Modified);
+                    }
+                    self.l1[core].set_state(addr, LineState::Shared);
+                    self.l2[core].set_state(addr, LineState::Shared);
+                }
+            }
+        }
+        found
+    }
+
+    fn any_peer_holds(&self, requester: usize, addr: LineAddr) -> bool {
+        (0..self.cfg.cores).any(|core| {
+            core != requester
+                && (self.l1[core].peek(addr).is_some() || self.l2[core].peek(addr).is_some())
+        })
+    }
+
+    fn invalidate_peers(&mut self, requester: usize, addr: LineAddr) {
+        for core in 0..self.cfg.cores {
+            if core != requester {
+                self.l1[core].invalidate(addr);
+                self.l2[core].invalidate(addr);
+            }
+        }
+    }
+
+    fn back_invalidate(&mut self, addr: LineAddr) {
+        for core in 0..self.cfg.cores {
+            self.l1[core].invalidate(addr);
+            self.l2[core].invalidate(addr);
+        }
+    }
+
+    /// Stats of one core's L1.
+    pub fn l1_stats(&self, core: usize) -> &CacheStats {
+        self.l1[core].stats()
+    }
+
+    /// Stats of one core's L2.
+    pub fn l2_stats(&self, core: usize) -> &CacheStats {
+        self.l2[core].stats()
+    }
+
+    /// Stats of the shared L3 (Table 4 reports its miss rate).
+    pub fn l3_stats(&self) -> &CacheStats {
+        self.l3.stats()
+    }
+
+    /// The MESI state a core's private caches hold for `addr` (the more
+    /// privileged of its L1/L2 states), for tests and validation.
+    pub fn private_state(&self, core: usize, addr: LineAddr) -> Option<LineState> {
+        let l1 = self.l1[core].peek(addr);
+        let l2 = self.l2[core].peek(addr);
+        match (l1, l2) {
+            (Some(a), Some(b)) => Some(if a == LineState::Modified || b == LineState::Modified {
+                LineState::Modified
+            } else if a == LineState::Exclusive || b == LineState::Exclusive {
+                LineState::Exclusive
+            } else {
+                LineState::Shared
+            }),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Verifies the single-writer MESI invariant for `addr`: at most one
+    /// core may hold the line Modified or Exclusive, and if one does, no
+    /// other core holds it at all.
+    pub fn check_coherence(&self, addr: LineAddr) -> Result<(), String> {
+        let holders: Vec<(usize, LineState)> = (0..self.cfg.cores)
+            .filter_map(|c| self.private_state(c, addr).map(|s| (c, s)))
+            .collect();
+        let owners: Vec<&(usize, LineState)> = holders
+            .iter()
+            .filter(|(_, s)| matches!(s, LineState::Modified | LineState::Exclusive))
+            .collect();
+        if owners.len() > 1 {
+            return Err(format!("{addr}: multiple owners {owners:?}"));
+        }
+        if owners.len() == 1 && holders.len() > 1 {
+            return Err(format!(
+                "{addr}: owner coexists with sharers {holders:?}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Clears all statistics (post-warm-up).
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.l1 {
+            c.reset_stats();
+        }
+        for c in &mut self.l2 {
+            c.reset_stats();
+        }
+        self.l3.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pageforge_types::LINE_SIZE;
+
+    /// A small hierarchy so eviction paths are exercised quickly.
+    fn small(cores: usize) -> SystemCaches {
+        SystemCaches::new(HierarchyConfig {
+            cores,
+            l1: CacheConfig {
+                size_bytes: 4 * LINE_SIZE,
+                ways: 2,
+                latency: 2,
+                mshrs: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 16 * LINE_SIZE,
+                ways: 4,
+                latency: 6,
+                mshrs: 4,
+            },
+            l3: CacheConfig {
+                size_bytes: 64 * LINE_SIZE,
+                ways: 4,
+                latency: 20,
+                mshrs: 8,
+            },
+            peer_transfer_latency: 12,
+            bus_latency: 4,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_l1_hit() {
+        let mut s = small(2);
+        let a = s.access(0, LineAddr(5), false);
+        assert_eq!(a.level, HitLevel::Memory);
+        let b = s.access(0, LineAddr(5), false);
+        assert_eq!(b.level, HitLevel::L1);
+        assert!(b.latency < a.latency);
+    }
+
+    #[test]
+    fn peer_hit_is_detected() {
+        let mut s = small(2);
+        s.access(0, LineAddr(5), false);
+        let a = s.access(1, LineAddr(5), false);
+        assert_eq!(a.level, HitLevel::Peer);
+    }
+
+    #[test]
+    fn write_invalidates_peer_copies() {
+        let mut s = small(2);
+        s.access(0, LineAddr(5), false);
+        s.access(1, LineAddr(5), true); // core 1 writes
+        // Core 0's next access misses its L1 (copy invalidated).
+        let a = s.access(0, LineAddr(5), false);
+        assert_ne!(a.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn read_after_peer_write_sees_peer() {
+        let mut s = small(2);
+        s.access(0, LineAddr(9), true); // core 0 has it Modified
+        let a = s.access(1, LineAddr(9), false);
+        assert_eq!(a.level, HitLevel::Peer);
+        // Now both are Shared; a store by core 1 upgrades.
+        let b = s.access(1, LineAddr(9), true);
+        assert!(matches!(b.level, HitLevel::L1 | HitLevel::L2));
+    }
+
+    #[test]
+    fn l3_hit_after_private_eviction() {
+        let mut s = small(1);
+        // Touch enough distinct lines mapping to the same L1/L2 sets that
+        // the line is evicted from private caches but still in L3.
+        s.access(0, LineAddr(0), false);
+        for i in 1..=16 {
+            s.access(0, LineAddr(i * 4), false); // L2 has 4 sets
+        }
+        let a = s.access(0, LineAddr(0), false);
+        assert!(
+            matches!(a.level, HitLevel::L3 | HitLevel::Memory),
+            "got {:?}",
+            a.level
+        );
+    }
+
+    #[test]
+    fn probe_finds_cached_line_without_allocating() {
+        let mut s = small(2);
+        s.access(0, LineAddr(7), false);
+        let probe = s.probe_from_mc(LineAddr(7));
+        assert!(probe.is_some());
+        // A line nobody has:
+        assert_eq!(s.probe_from_mc(LineAddr(1000)), None);
+    }
+
+    #[test]
+    fn probe_downgrades_modified_lines() {
+        let mut s = small(2);
+        s.access(0, LineAddr(7), true); // Modified in core 0
+        s.probe_from_mc(LineAddr(7));
+        // Core 0 still hits L1 (line not stolen, just downgraded).
+        let a = s.access(0, LineAddr(7), false);
+        assert_eq!(a.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn probe_does_not_pollute() {
+        let mut s = small(1);
+        for i in 0..1000 {
+            s.probe_from_mc(LineAddr(i));
+        }
+        // Nothing was allocated anywhere.
+        assert_eq!(s.l1_stats(0).accesses(), 0);
+        let a = s.access(0, LineAddr(1), false);
+        assert_eq!(a.level, HitLevel::Memory);
+    }
+
+    #[test]
+    fn l3_miss_rate_reflects_pollution() {
+        let mut s = small(1);
+        // A working set that fits L3: high hit rate on re-access.
+        for i in 0..32 {
+            s.access(0, LineAddr(i), false);
+        }
+        s.reset_stats();
+        for _ in 0..4 {
+            for i in 0..32 {
+                s.access(0, LineAddr(i), false);
+            }
+        }
+        let quiet = s.l3_stats().miss_rate();
+        // Now stream a huge polluting scan through the same cache.
+        for i in 100..1000 {
+            s.access(0, LineAddr(i), false);
+        }
+        s.reset_stats();
+        for _ in 0..4 {
+            for i in 0..32 {
+                s.access(0, LineAddr(i), false);
+                s.access(0, LineAddr(500 + i * 7), false); // ongoing pollution
+            }
+        }
+        let polluted = s.l3_stats().miss_rate();
+        assert!(
+            polluted > quiet,
+            "pollution should raise L3 miss rate: {quiet} -> {polluted}"
+        );
+    }
+
+    #[test]
+    fn inclusive_l3_back_invalidates() {
+        let mut s = small(1);
+        // Fill far beyond L3 capacity (64 lines, 16 sets × 4 ways).
+        for i in 0..256 {
+            s.access(0, LineAddr(i), false);
+        }
+        // Early lines must be gone from L1 as well (back-invalidated or
+        // evicted): accessing line 0 is a full miss.
+        let a = s.access(0, LineAddr(0), false);
+        assert_eq!(a.level, HitLevel::Memory);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_panics() {
+        let mut s = small(1);
+        s.access(1, LineAddr(0), false);
+    }
+
+    #[test]
+    fn paper_config_constructs() {
+        let s = SystemCaches::new(HierarchyConfig::micro50(10));
+        assert_eq!(s.config().cores, 10);
+    }
+}

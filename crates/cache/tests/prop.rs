@@ -1,0 +1,98 @@
+//! Property tests: the MESI single-writer invariant holds under arbitrary
+//! interleavings of core accesses and memory-controller probes.
+
+use proptest::prelude::*;
+
+use pageforge_cache::{CacheConfig, HierarchyConfig, SystemCaches};
+use pageforge_types::{LineAddr, LINE_SIZE};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access { core: u8, addr: u8, write: bool },
+    Probe { addr: u8 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (any::<u8>(), any::<u8>(), any::<bool>())
+                .prop_map(|(core, addr, write)| Op::Access { core, addr, write }),
+            1 => any::<u8>().prop_map(|addr| Op::Probe { addr }),
+        ],
+        1..300,
+    )
+}
+
+fn small_hierarchy(cores: usize) -> SystemCaches {
+    SystemCaches::new(HierarchyConfig {
+        cores,
+        l1: CacheConfig { size_bytes: 4 * LINE_SIZE, ways: 2, latency: 2, mshrs: 4 },
+        l2: CacheConfig { size_bytes: 16 * LINE_SIZE, ways: 4, latency: 6, mshrs: 4 },
+        l3: CacheConfig { size_bytes: 64 * LINE_SIZE, ways: 4, latency: 20, mshrs: 8 },
+        peer_transfer_latency: 12,
+        bus_latency: 4,
+    })
+}
+
+proptest! {
+    /// After every operation, no line has two owners, and an owner never
+    /// coexists with sharers. Addresses are confined to 32 lines so sets
+    /// conflict hard and evictions/back-invalidations fire constantly.
+    #[test]
+    fn mesi_single_writer_invariant(ops in arb_ops(), cores in 2usize..5) {
+        let mut s = small_hierarchy(cores);
+        for op in &ops {
+            match *op {
+                Op::Access { core, addr, write } => {
+                    s.access(core as usize % cores, LineAddr(u64::from(addr % 32)), write);
+                }
+                Op::Probe { addr } => {
+                    s.probe_from_mc(LineAddr(u64::from(addr % 32)));
+                }
+            }
+            for a in 0..32u64 {
+                s.check_coherence(LineAddr(a)).map_err(TestCaseError::fail)?;
+            }
+        }
+    }
+
+    /// A writer always ends up the sole owner of its line.
+    #[test]
+    fn writer_becomes_owner(pre in arb_ops(), core in 0usize..3, addr in 0u8..32) {
+        let cores = 3;
+        let mut s = small_hierarchy(cores);
+        for op in &pre {
+            if let Op::Access { core, addr, write } = *op {
+                s.access(core as usize % cores, LineAddr(u64::from(addr % 32)), write);
+            }
+        }
+        let line = LineAddr(u64::from(addr));
+        s.access(core, line, true);
+        // The writer holds it Modified...
+        let state = s.private_state(core, line);
+        prop_assert_eq!(state, Some(pageforge_cache::LineState::Modified));
+        // ...and nobody else holds it at all.
+        for c in 0..cores {
+            if c != core {
+                prop_assert_eq!(s.private_state(c, line), None);
+            }
+        }
+    }
+
+    /// Probes never install lines: core-visible cache state is unchanged by
+    /// any probe storm.
+    #[test]
+    fn probes_allocate_nothing(addrs in proptest::collection::vec(0u8..64, 1..100)) {
+        let mut s = small_hierarchy(2);
+        s.access(0, LineAddr(1), false);
+        s.access(1, LineAddr(2), true);
+        let miss_before = s.l1_stats(0).accesses() + s.l1_stats(1).accesses();
+        for &a in &addrs {
+            s.probe_from_mc(LineAddr(u64::from(a)));
+        }
+        // Core accesses unchanged; both cores still hold their lines.
+        prop_assert_eq!(miss_before, s.l1_stats(0).accesses() + s.l1_stats(1).accesses());
+        prop_assert!(s.private_state(0, LineAddr(1)).is_some());
+        prop_assert!(s.private_state(1, LineAddr(2)).is_some());
+    }
+}

@@ -1,0 +1,748 @@
+//! The OS-side PageForge driver: KSM implemented over the Scan Table
+//! (§3.4 of the paper).
+//!
+//! The driver keeps the same stable/unstable red-black trees as software
+//! KSM, but *all page comparisons and hash-key generation happen in the
+//! memory controller*. For each candidate the driver loads the root of the
+//! relevant tree plus a few subsequent levels in breadth-first order into
+//! the Scan Table, sets `Less`/`More` to mirror the tree edges, triggers
+//! the hardware, and polls `get_PFE_info` every `os_check_interval` cycles.
+//! If the hardware ran off the loaded slice, the driver refills the table
+//! with the subtree the search descended into.
+//!
+//! Continuation encoding: entries whose tree child was not loaded point
+//! their `Less`/`More` at *distinct invalid indices* (`capacity + 2·i +
+//! direction`), so the final `Ptr` value tells the driver exactly which
+//! node and direction the hardware walked off at — both to refill from the
+//! right subtree and to learn content-correct insertion points without
+//! re-comparing pages in software.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pageforge_ecc::{EccHashKey, EccKeyConfig};
+use pageforge_ksm::rbtree::{NodeId, Side};
+use pageforge_ksm::tree::{PageRef, PageTree, TreeKind};
+use pageforge_ksm::KsmWork;
+use pageforge_types::stats::RunningStats;
+use pageforge_types::{Cycle, Gfn, Ppn, VmId};
+use pageforge_vm::HostMemory;
+
+use crate::engine::{EngineConfig, EngineStats, PageForgeEngine};
+use crate::fabric::MemoryFabric;
+use crate::scan_table::INVALID_INDEX;
+
+/// Driver configuration (the paper runs PageForge with KSM's knobs,
+/// Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageForgeConfig {
+    /// Candidate pages per work interval.
+    pub pages_to_scan: usize,
+    /// Sleep between work intervals, milliseconds (consumed by the
+    /// simulator's scheduler).
+    pub sleep_millisecs: u64,
+    /// Hardware parameters.
+    pub engine: EngineConfig,
+    /// OS polling period for `get_PFE_info` (Table 5: 12,000 cycles).
+    pub os_check_interval: Cycle,
+    /// OS cycles consumed per Scan Table refill (the `insert_PPN` /
+    /// `update_PFE` calls).
+    pub os_refill_cycles: Cycle,
+    /// OS cycles consumed per `get_PFE_info` poll.
+    pub os_check_cycles: Cycle,
+}
+
+impl Default for PageForgeConfig {
+    fn default() -> Self {
+        PageForgeConfig {
+            pages_to_scan: 400,
+            sleep_millisecs: 5,
+            engine: EngineConfig::default(),
+            os_check_interval: 12_000,
+            os_refill_cycles: 350,
+            os_check_cycles: 60,
+        }
+    }
+}
+
+/// Cumulative driver statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PageForgeStats {
+    /// Completed passes over the hint list.
+    pub passes: u64,
+    /// Candidates processed.
+    pub candidates: u64,
+    /// Merges into the stable tree.
+    pub merged_stable: u64,
+    /// Merges via the unstable tree.
+    pub merged_unstable: u64,
+    /// Insertions into the unstable tree.
+    pub inserted_unstable: u64,
+    /// Candidates dropped because the ECC key changed.
+    pub dropped_changed: u64,
+    /// Candidates skipped (already merged).
+    pub already_shared: u64,
+    /// Candidates skipped (unmapped).
+    pub unmapped: u64,
+    /// ECC key comparisons that matched (page deemed unchanged).
+    pub key_matches: u64,
+    /// ECC key comparisons that mismatched.
+    pub key_mismatches: u64,
+    /// Scan Table refills issued.
+    pub refills: u64,
+    /// OS-side cycles consumed (refills + polls); tiny by design.
+    pub os_cycles: Cycle,
+    /// Per-candidate search latency (cycles from first trigger to
+    /// decision).
+    pub candidate_cycles: RunningStats,
+}
+
+/// Report for one `scan_interval` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IntervalReport {
+    /// Cycle at which the interval's work finished.
+    pub finished_at: Cycle,
+    /// Pages merged.
+    pub merged: u64,
+    /// OS cycles consumed during the interval.
+    pub os_cycles: Cycle,
+    /// Whether a pass boundary (unstable reset) occurred.
+    pub pass_completed: bool,
+}
+
+/// Outcome of a hardware tree search.
+enum HwSearch {
+    /// Identical page found at this tree node.
+    Found(NodeId),
+    /// Not found; insertion point is `(parent, side)` (`None` ⇒ the tree
+    /// was empty).
+    NotFound(Option<(NodeId, Side)>),
+}
+
+/// The PageForge system: hardware engine + OS driver state.
+#[derive(Debug, Clone)]
+pub struct PageForge {
+    cfg: PageForgeConfig,
+    engine: PageForgeEngine,
+    stable: PageTree,
+    unstable: PageTree,
+    hints: Vec<(VmId, Gfn)>,
+    cursor: usize,
+    prev_key: HashMap<(VmId, Gfn), EccHashKey>,
+    stats: PageForgeStats,
+}
+
+impl PageForge {
+    /// Creates a driver scanning the given hint list.
+    pub fn new(cfg: PageForgeConfig, hints: Vec<(VmId, Gfn)>) -> Self {
+        let engine = PageForgeEngine::new(cfg.engine.clone());
+        PageForge {
+            cfg,
+            engine,
+            stable: PageTree::new(TreeKind::Stable),
+            unstable: PageTree::new(TreeKind::Unstable),
+            hints,
+            cursor: 0,
+            prev_key: HashMap::new(),
+            stats: PageForgeStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PageForgeConfig {
+        &self.cfg
+    }
+
+    /// Driver statistics.
+    pub fn stats(&self) -> &PageForgeStats {
+        &self.stats
+    }
+
+    /// Hardware engine statistics (Table 5's cycle distribution).
+    pub fn engine_stats(&self) -> &EngineStats {
+        self.engine.stats()
+    }
+
+    /// The ECC key configuration in use.
+    pub fn ecc_config(&self) -> &EccKeyConfig {
+        &self.engine.config().ecc
+    }
+
+    /// The stable tree.
+    pub fn stable_tree(&self) -> &PageTree {
+        &self.stable
+    }
+
+    /// The unstable tree.
+    pub fn unstable_tree(&self) -> &PageTree {
+        &self.unstable
+    }
+
+    /// Processes one work interval of `pages_to_scan` candidates starting
+    /// at cycle `now`. Time advances as the hardware runs; the returned
+    /// report says when the interval's work completed.
+    pub fn scan_interval(
+        &mut self,
+        mem: &mut HostMemory,
+        fabric: &mut impl MemoryFabric,
+        now: Cycle,
+    ) -> IntervalReport {
+        self.scan_batch(mem, fabric, now, self.cfg.pages_to_scan)
+    }
+
+    /// Processes up to `n` candidates.
+    pub fn scan_batch(
+        &mut self,
+        mem: &mut HostMemory,
+        fabric: &mut impl MemoryFabric,
+        now: Cycle,
+        n: usize,
+    ) -> IntervalReport {
+        let mut report = IntervalReport {
+            finished_at: now,
+            ..IntervalReport::default()
+        };
+        if self.hints.is_empty() {
+            return report;
+        }
+        let os_before = self.stats.os_cycles;
+        let mut t = now;
+        for _ in 0..n {
+            let (vm, gfn) = self.hints[self.cursor];
+            let (merged, t_after) = self.process_candidate(mem, fabric, vm, gfn, t);
+            if merged {
+                report.merged += 1;
+            }
+            t = t_after;
+            self.cursor += 1;
+            if self.cursor == self.hints.len() {
+                self.cursor = 0;
+                self.unstable.clear();
+                self.stats.passes += 1;
+                report.pass_completed = true;
+            }
+        }
+        report.finished_at = t;
+        report.os_cycles = self.stats.os_cycles - os_before;
+        report
+    }
+
+    /// Runs full passes until a pass merges nothing (steady state) or
+    /// `max_passes` is reached; returns the passes run.
+    pub fn run_to_steady_state(
+        &mut self,
+        mem: &mut HostMemory,
+        fabric: &mut impl MemoryFabric,
+        max_passes: usize,
+    ) -> usize {
+        let mut t = 0;
+        for pass in 1..=max_passes {
+            let mut merged = 0;
+            loop {
+                let r = self.scan_batch(mem, fabric, t, self.cfg.pages_to_scan);
+                merged += r.merged;
+                t = r.finished_at;
+                if r.pass_completed {
+                    break;
+                }
+            }
+            if merged == 0 && pass >= 2 {
+                return pass;
+            }
+        }
+        max_passes
+    }
+
+    /// One candidate through the full §3.4 flow. Returns (merged, time).
+    fn process_candidate(
+        &mut self,
+        mem: &mut HostMemory,
+        fabric: &mut impl MemoryFabric,
+        vm: VmId,
+        gfn: Gfn,
+        now: Cycle,
+    ) -> (bool, Cycle) {
+        self.stats.candidates += 1;
+        let Some(ppn) = mem.translate(vm, gfn) else {
+            self.stats.unmapped += 1;
+            return (false, now);
+        };
+        if mem.is_cow(ppn) {
+            self.stats.already_shared += 1;
+            return (false, now);
+        }
+        let started = now;
+
+        // --- Stable tree search (hardware) --------------------------------
+        let (stable_result, mut t) = self.hw_search(TreeKind::Stable, mem, fabric, ppn, now);
+        if let HwSearch::Found(hit) = stable_result {
+            let target = *self.stable.node(hit);
+            if mem.merge_into(target.ppn, ppn).is_ok() {
+                self.stats.merged_stable += 1;
+                self.stats.candidate_cycles.push((t - started) as f64);
+                return (true, t);
+            }
+        }
+        let stable_insert_point = match stable_result {
+            HwSearch::NotFound(point) => point,
+            HwSearch::Found(_) => None, // merge raced; re-derive on promotion
+        };
+
+        // --- Hash key decision (key came for free from the hardware) ------
+        // `hw_search` always armed the PFE with this candidate, so the key
+        // (if ready) belongs to it.
+        let mut info = self.engine.pfe_info();
+        if info.hash.is_none() {
+            // The search ended before the key completed (no batch had L
+            // set): one empty last-refill run forces the remaining fetches.
+            self.engine.clear_others();
+            self.engine.update_pfe(true, INVALID_INDEX);
+            let run = self.engine.run_batch(mem, fabric, t);
+            t = self.os_wait(run.finished_at);
+            info = self.engine.pfe_info();
+        }
+        let new_key = info.hash.expect("last-refill run completes the key");
+        let prev = self.prev_key.insert((vm, gfn), new_key);
+        if prev == Some(new_key) {
+            self.stats.key_matches += 1;
+        } else {
+            self.stats.key_mismatches += 1;
+            self.stats.dropped_changed += 1;
+            self.stats.candidate_cycles.push((t - started) as f64);
+            return (false, t);
+        }
+
+        // --- Unstable tree search (hardware) -------------------------------
+        let (unstable_result, t2) = self.hw_search(TreeKind::Unstable, mem, fabric, ppn, t);
+        t = t2;
+        let merged = match unstable_result {
+            HwSearch::Found(hit) => {
+                let target = *self.unstable.node(hit);
+                match mem.merge_into(target.ppn, ppn) {
+                    Ok(()) => {
+                        self.unstable.remove(hit);
+                        let stable_ref = PageRef {
+                            ppn: target.ppn,
+                            epoch: mem.frame_epoch(target.ppn).expect("merged frame exists"),
+                            vm: target.vm,
+                            gfn: target.gfn,
+                        };
+                        self.promote_to_stable(mem, stable_insert_point, stable_ref);
+                        self.stats.merged_unstable += 1;
+                        true
+                    }
+                    Err(_) => {
+                        self.stats.dropped_changed += 1;
+                        false
+                    }
+                }
+            }
+            HwSearch::NotFound(point) => {
+                let me = PageRef::capture(mem, vm, gfn).expect("translated above");
+                match point {
+                    Some((parent, side)) => {
+                        self.unstable.insert_at(Some(parent), side, me);
+                    }
+                    None => {
+                        self.unstable.insert_at(None, Side::Left, me);
+                    }
+                }
+                self.stats.inserted_unstable += 1;
+                false
+            }
+        };
+        self.stats.candidate_cycles.push((t - started) as f64);
+        (merged, t)
+    }
+
+    /// Inserts a freshly merged page into the stable tree, preferring the
+    /// insertion point the earlier hardware search discovered.
+    fn promote_to_stable(
+        &mut self,
+        mem: &HostMemory,
+        point: Option<(NodeId, Side)>,
+        stable_ref: PageRef,
+    ) {
+        match point {
+            Some((parent, side)) => {
+                self.stable.insert_at(Some(parent), side, stable_ref);
+            }
+            None if self.stable.is_empty() => {
+                self.stable.insert_at(None, Side::Left, stable_ref);
+            }
+            None => {
+                // No hint (raced stable-tree hit): fall back to a software
+                // walk. Rare; accounted as OS work, not hardware work.
+                let data = mem
+                    .frame_data(stable_ref.ppn)
+                    .expect("merged frame exists")
+                    .clone();
+                let mut scratch = KsmWork::new();
+                self.stable.insert(mem, &data, stable_ref, &mut scratch);
+            }
+        }
+    }
+
+    /// Drives the hardware through one tree: load BFS slices, trigger,
+    /// poll, refill into the descended subtree until resolution.
+    ///
+    /// Always leaves the engine's PFE armed with this candidate (so the
+    /// caller can read or force the hash key), even when the tree is empty.
+    fn hw_search(
+        &mut self,
+        which: TreeKind,
+        mem: &HostMemory,
+        fabric: &mut impl MemoryFabric,
+        cand_ppn: Ppn,
+        now: Cycle,
+    ) -> (HwSearch, Cycle) {
+        let capacity = self.engine.table().capacity();
+        let mut t = now;
+        let mut first_batch = true;
+        // (node, side) the search last walked off at; None = start at root.
+        let mut continue_from: Option<(NodeId, Side)> = None;
+
+        'search: loop {
+            let tree = match which {
+                TreeKind::Stable => &mut self.stable,
+                TreeKind::Unstable => &mut self.unstable,
+            };
+            let subtree_root = match continue_from {
+                None => tree.raw().root(),
+                Some((node, side)) => match side {
+                    Side::Left => tree.raw().left(node),
+                    Side::Right => tree.raw().right(node),
+                },
+            };
+            let Some(start_node) = subtree_root else {
+                if first_batch {
+                    // Empty tree: arm the candidate anyway so the PFE (and
+                    // later the hash key) belongs to it.
+                    self.engine.clear_others();
+                    self.engine.insert_pfe(cand_ppn, false, INVALID_INDEX);
+                }
+                return (HwSearch::NotFound(continue_from), t);
+            };
+
+            // Collect a breadth-first slice, pruning stale nodes.
+            let slice = tree.raw().bfs_from(start_node, capacity);
+            let stale: Vec<NodeId> = slice
+                .iter()
+                .copied()
+                .filter(|&id| !tree.node_is_valid(mem, tree.node(id)))
+                .collect();
+            if !stale.is_empty() {
+                for id in stale {
+                    tree.prune(id);
+                }
+                // Pruning may rotate ancestors; restart from the root.
+                continue_from = None;
+                first_batch = true;
+                continue 'search;
+            }
+
+            // The whole subtree fits in one slice ⇒ no further refill can
+            // be needed ⇒ this is the last one: set L so the key completes.
+            let last_refill = slice.len() == count_subtree(tree, start_node);
+
+            // Load the Scan Table.
+            let mut index_of: HashMap<NodeId, u8> = HashMap::new();
+            for (i, &id) in slice.iter().enumerate() {
+                index_of.insert(id, i as u8);
+            }
+            let entries: Vec<(Ppn, u8, u8)> = slice
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    let node = tree.node(id);
+                    let less = child_index(tree, &index_of, id, Side::Left, capacity, i);
+                    let more = child_index(tree, &index_of, id, Side::Right, capacity, i);
+                    (node.ppn, less, more)
+                })
+                .collect();
+            self.engine.clear_others();
+            for (i, &(ppn, less, more)) in entries.iter().enumerate() {
+                self.engine.insert_ppn(i as u8, ppn, less, more);
+            }
+            if first_batch {
+                self.engine.insert_pfe(cand_ppn, last_refill, 0);
+                first_batch = false;
+            } else {
+                self.engine.update_pfe(last_refill, 0);
+            }
+            self.stats.refills += 1;
+            self.stats.os_cycles += self.cfg.os_refill_cycles;
+
+            // Trigger and poll.
+            let run = self.engine.run_batch(mem, fabric, t);
+            t = self.os_wait(run.finished_at);
+            let info = self.engine.pfe_info();
+            debug_assert!(info.scanned);
+            if info.duplicate {
+                return (HwSearch::Found(slice[info.ptr as usize]), t);
+            }
+            let (entry, side) = decode_invalid(info.ptr, capacity)
+                .expect("non-empty batch always ends at an encoded continuation");
+            continue_from = Some((slice[entry], side));
+            // Loop: the child may be loaded next, or be absent (NotFound).
+        }
+    }
+
+    fn os_wait(&mut self, finished_at: Cycle) -> Cycle {
+        // The OS discovers completion at the next polling boundary.
+        let interval = self.cfg.os_check_interval;
+        self.stats.os_cycles += self.cfg.os_check_cycles;
+        finished_at.div_ceil(interval) * interval
+    }
+}
+
+/// Encoded-invalid helpers: `capacity + 2·entry + side`.
+fn encode_invalid(entry: usize, side: Side, capacity: usize) -> u8 {
+    let code = capacity + 2 * entry + usize::from(side == Side::Right);
+    debug_assert!(code < INVALID_INDEX as usize, "table too large to encode");
+    code as u8
+}
+
+fn decode_invalid(ptr: u8, capacity: usize) -> Option<(usize, Side)> {
+    if ptr == INVALID_INDEX || (ptr as usize) < capacity {
+        return None;
+    }
+    let off = ptr as usize - capacity;
+    let side = if off.is_multiple_of(2) { Side::Left } else { Side::Right };
+    Some((off / 2, side))
+}
+
+fn child_index(
+    tree: &PageTree,
+    index_of: &HashMap<NodeId, u8>,
+    id: NodeId,
+    side: Side,
+    capacity: usize,
+    my_index: usize,
+) -> u8 {
+    let child = match side {
+        Side::Left => tree.raw().left(id),
+        Side::Right => tree.raw().right(id),
+    };
+    match child.and_then(|c| index_of.get(&c)) {
+        Some(&i) => i,
+        None => encode_invalid(my_index, side, capacity),
+    }
+}
+
+fn count_subtree(tree: &PageTree, start: NodeId) -> usize {
+    let mut count = 0;
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        count += 1;
+        if let Some(l) = tree.raw().left(n) {
+            stack.push(l);
+        }
+        if let Some(r) = tree.raw().right(n) {
+            stack.push(r);
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FlatFabric;
+    use pageforge_types::PageData;
+
+    fn page(b: u8) -> PageData {
+        PageData::from_fn(|i| b.wrapping_mul(17).wrapping_add((i % 11) as u8))
+    }
+
+    fn identical_vms(n: u32, b: u8) -> (HostMemory, Vec<(VmId, Gfn)>) {
+        let mut mem = HostMemory::new();
+        let mut hints = Vec::new();
+        for v in 0..n {
+            mem.map_new_page(VmId(v), Gfn(0), page(b));
+            hints.push((VmId(v), Gfn(0)));
+        }
+        (mem, hints)
+    }
+
+    fn fabric() -> FlatFabric {
+        FlatFabric::all_dram(80)
+    }
+
+    #[test]
+    fn merges_identical_pages_like_ksm() {
+        let (mut mem, hints) = identical_vms(4, 1);
+        let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+        let mut f = fabric();
+        pf.run_to_steady_state(&mut mem, &mut f, 8);
+        assert_eq!(mem.allocated_frames(), 1);
+        assert_eq!(pf.stats().merged_unstable, 1);
+        assert_eq!(pf.stats().merged_stable, 2);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn first_pass_records_keys_only() {
+        let (mut mem, hints) = identical_vms(3, 2);
+        let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+        let mut f = fabric();
+        let r = pf.scan_batch(&mut mem, &mut f, 0, 3);
+        assert_eq!(r.merged, 0);
+        assert_eq!(pf.stats().key_mismatches, 3, "first sighting is a mismatch");
+        assert_eq!(mem.allocated_frames(), 3);
+    }
+
+    #[test]
+    fn distinct_pages_never_merge() {
+        let mut mem = HostMemory::new();
+        let mut hints = Vec::new();
+        for v in 0..6u32 {
+            mem.map_new_page(VmId(v), Gfn(0), page(v as u8));
+            hints.push((VmId(v), Gfn(0)));
+        }
+        let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+        let mut f = fabric();
+        pf.run_to_steady_state(&mut mem, &mut f, 6);
+        assert_eq!(mem.allocated_frames(), 6);
+        assert_eq!(pf.stats().merged_stable + pf.stats().merged_unstable, 0);
+    }
+
+    #[test]
+    fn mixed_contents_reach_content_optimal_state() {
+        // 12 pages, 4 distinct contents → 4 frames at steady state.
+        let mut mem = HostMemory::new();
+        let mut hints = Vec::new();
+        for i in 0..12u32 {
+            mem.map_new_page(VmId(i), Gfn(0), page((i % 4) as u8));
+            hints.push((VmId(i), Gfn(0)));
+        }
+        let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+        let mut f = fabric();
+        pf.run_to_steady_state(&mut mem, &mut f, 10);
+        assert_eq!(mem.allocated_frames(), 4);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn changed_page_is_dropped() {
+        let (mut mem, hints) = identical_vms(2, 5);
+        let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+        let mut f = fabric();
+        pf.scan_batch(&mut mem, &mut f, 0, 2);
+        // Mutate one of the ECC-sampled lines so the key changes.
+        let off = pf.ecc_config().offsets()[0] * 64;
+        mem.guest_write(VmId(0), Gfn(0), off, &[0xEE]);
+        let r = pf.scan_batch(&mut mem, &mut f, 1_000_000, 2);
+        assert_eq!(r.merged, 0);
+        assert!(pf.stats().dropped_changed >= 1);
+    }
+
+    #[test]
+    fn key_false_positive_merges_anyway_safely() {
+        // A change the ECC key cannot see (unsampled line): the key matches
+        // (false positive), the unstable search runs — and the exhaustive
+        // comparison correctly keeps the pages apart.
+        let (mut mem, hints) = identical_vms(2, 7);
+        let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+        let mut f = fabric();
+        pf.scan_batch(&mut mem, &mut f, 0, 2);
+        // Line 0 is not sampled by the default config (offsets 3,19,35,51).
+        mem.guest_write(VmId(0), Gfn(0), 1, &[0x55]);
+        pf.scan_batch(&mut mem, &mut f, 1_000_000, 2);
+        assert_eq!(
+            mem.allocated_frames(),
+            2,
+            "false-positive keys never cause bad merges"
+        );
+        assert!(pf.stats().key_matches >= 1);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn large_tree_needs_refills() {
+        // 80 distinct pages: the 31-entry table cannot hold the whole
+        // unstable tree, so searches must refill.
+        let mut mem = HostMemory::new();
+        let mut hints = Vec::new();
+        for i in 0..80u32 {
+            mem.map_new_page(VmId(0), Gfn(i as u64), page(i as u8));
+            hints.push((VmId(0), Gfn(i as u64)));
+        }
+        let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+        let mut f = fabric();
+        pf.scan_batch(&mut mem, &mut f, 0, 80); // pass 1
+        pf.scan_batch(&mut mem, &mut f, 1 << 30, 80); // pass 2 builds big tree
+        assert!(
+            pf.stats().refills as usize > pf.stats().candidates as usize / 2,
+            "refills {} candidates {}",
+            pf.stats().refills,
+            pf.stats().candidates
+        );
+        assert_eq!(mem.allocated_frames(), 80);
+    }
+
+    #[test]
+    fn interval_advances_time_and_charges_os() {
+        let (mut mem, hints) = identical_vms(4, 3);
+        let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+        let mut f = fabric();
+        let r = pf.scan_interval(&mut mem, &mut f, 0);
+        assert!(r.finished_at > 0);
+        assert!(r.os_cycles > 0);
+        // OS cycles are tiny relative to elapsed time (that's the point).
+        assert!(r.os_cycles < r.finished_at / 10);
+    }
+
+    #[test]
+    fn engine_cycle_stats_populated() {
+        let (mut mem, hints) = identical_vms(6, 4);
+        let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+        let mut f = fabric();
+        pf.run_to_steady_state(&mut mem, &mut f, 6);
+        let stats = pf.engine_stats();
+        assert!(stats.runs > 0);
+        assert!(stats.run_cycles.mean() > 0.0);
+        assert!(stats.lines_from_dram > 0);
+    }
+
+    #[test]
+    fn cow_break_then_remerge() {
+        let (mut mem, hints) = identical_vms(3, 9);
+        let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+        let mut f = fabric();
+        pf.run_to_steady_state(&mut mem, &mut f, 6);
+        assert_eq!(mem.allocated_frames(), 1);
+        let original = mem.guest_read(VmId(2), Gfn(0)).unwrap().as_bytes()[0];
+        mem.guest_write(VmId(2), Gfn(0), 0, &[original ^ 1]);
+        assert_eq!(mem.allocated_frames(), 2);
+        mem.guest_write(VmId(2), Gfn(0), 0, &[original]);
+        pf.run_to_steady_state(&mut mem, &mut f, 8);
+        assert_eq!(mem.allocated_frames(), 1);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_hints_are_a_noop() {
+        let mut mem = HostMemory::new();
+        let mut pf = PageForge::new(PageForgeConfig::default(), vec![]);
+        let mut f = fabric();
+        let r = pf.scan_interval(&mut mem, &mut f, 5);
+        assert_eq!(r.finished_at, 5);
+        assert_eq!(r.merged, 0);
+    }
+
+    #[test]
+    fn decode_encode_round_trip() {
+        for cap in [4usize, 31] {
+            for entry in 0..cap.min(20) {
+                for side in [Side::Left, Side::Right] {
+                    let code = encode_invalid(entry, side, cap);
+                    assert_eq!(decode_invalid(code, cap), Some((entry, side)));
+                }
+            }
+            assert_eq!(decode_invalid(INVALID_INDEX, cap), None);
+            assert_eq!(decode_invalid(0, cap), None);
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! The PageForge hardware engine: the page-comparator state machine and the
+//! background ECC hash-key generator (§3.2–§3.3).
+//!
+//! The engine owns the Scan Table and exposes the Table 1 software
+//! interface (`insert_PPN`, `insert_PFE`, `update_PFE`, `get_PFE_info`,
+//! `update_ECC_offset`). When triggered, it compares the candidate page
+//! against the loaded Other Pages in lockstep, one 64-byte line pair at a
+//! time, following the software-provided `Less`/`More` indices, and
+//! snatches the candidate's ECC codes as its lines stream through the
+//! memory controller to assemble the hash key for free.
+
+use serde::{Deserialize, Serialize};
+
+use pageforge_ecc::{EccKeyConfig, EccKeyConfigError, KeyBuilder, LineEcc};
+use pageforge_types::stats::RunningStats;
+use pageforge_types::{Cycle, PageData, Ppn, LINES_PER_PAGE};
+use pageforge_vm::HostMemory;
+
+use crate::fabric::MemoryFabric;
+use crate::scan_table::{PfeInfo, ScanTable, DEFAULT_OTHER_PAGES};
+
+/// Hardware parameters of the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of Other Pages entries in the Scan Table.
+    pub table_entries: usize,
+    /// ECC hash-key line offsets (Figure 6; changeable via
+    /// `update_ECC_offset`).
+    pub ecc: EccKeyConfig,
+    /// Cycles the comparator spends per 64-byte line pair once both lines
+    /// have arrived (a wide XOR/compare plus FSM transition).
+    pub compare_cycles_per_line: Cycle,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            table_entries: DEFAULT_OTHER_PAGES,
+            ecc: EccKeyConfig::default(),
+            compare_cycles_per_line: 2,
+        }
+    }
+}
+
+/// Counters and the per-batch cycle distribution (Table 5 reports a mean of
+/// 7,486 cycles with σ ≈ 1,296 for processing the Scan Table).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Batches processed (engine triggers).
+    pub runs: u64,
+    /// Pairwise page comparisons performed.
+    pub comparisons: u64,
+    /// Line reads issued.
+    pub lines_fetched: u64,
+    /// Line reads serviced by the on-chip network.
+    pub lines_on_chip: u64,
+    /// Line reads serviced from DRAM.
+    pub lines_from_dram: u64,
+    /// Duplicates found.
+    pub duplicates: u64,
+    /// Hash keys completed.
+    pub keys_completed: u64,
+    /// Distribution of cycles per batch.
+    pub run_cycles: RunningStats,
+}
+
+/// Result of one engine trigger (`run_batch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineRun {
+    /// Cycle at which the Scanned bit was set.
+    pub finished_at: Cycle,
+    /// Cycles the batch took.
+    pub cycles: Cycle,
+    /// Page comparisons performed in this batch.
+    pub comparisons: u64,
+}
+
+/// The PageForge module: Scan Table + comparator FSM + key snatcher.
+#[derive(Debug, Clone)]
+pub struct PageForgeEngine {
+    cfg: EngineConfig,
+    table: ScanTable,
+    key: KeyBuilder,
+    stats: EngineStats,
+}
+
+impl PageForgeEngine {
+    /// Builds an idle engine.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let key = cfg.ecc.builder();
+        PageForgeEngine {
+            table: ScanTable::new(cfg.table_entries),
+            key,
+            cfg,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The Scan Table (read-only; the OS mutates it through the API calls).
+    pub fn table(&self) -> &ScanTable {
+        &self.table
+    }
+
+    // ------------------------------------------------------------------
+    // Table 1: the five-function OS interface.
+    // ------------------------------------------------------------------
+
+    /// `insert_PPN`: fill an Other Pages entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the table capacity.
+    pub fn insert_ppn(&mut self, index: u8, ppn: Ppn, less: u8, more: u8) {
+        self.table.insert_ppn(index, ppn, less, more);
+    }
+
+    /// `insert_PFE`: load a new candidate page. Resets the hash-key
+    /// builder — a new candidate means a new key.
+    pub fn insert_pfe(&mut self, ppn: Ppn, last_refill: bool, ptr: u8) {
+        self.table.insert_pfe(ppn, last_refill, ptr);
+        self.key = self.cfg.ecc.builder();
+    }
+
+    /// `update_PFE`: rearm for another batch of the same candidate. The
+    /// partially-built hash key is retained.
+    pub fn update_pfe(&mut self, last_refill: bool, ptr: u8) {
+        self.table.update_pfe(last_refill, ptr);
+    }
+
+    /// `get_PFE_info`: status snapshot.
+    pub fn pfe_info(&self) -> PfeInfo {
+        self.table.pfe_info()
+    }
+
+    /// `update_ECC_offset`: change the hash-key line offsets. Takes effect
+    /// for the *next* candidate ("such offsets are rarely changed", §3.6).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`EccKeyConfigError`] if the offsets are invalid.
+    pub fn update_ecc_offset(&mut self, offsets: Vec<usize>) -> Result<(), EccKeyConfigError> {
+        self.cfg.ecc = EccKeyConfig::with_offsets(offsets)?;
+        Ok(())
+    }
+
+    /// Clears the Other Pages array (OS helper before a refill).
+    pub fn clear_others(&mut self) {
+        self.table.clear_others();
+    }
+
+    // ------------------------------------------------------------------
+    // Hardware operation.
+    // ------------------------------------------------------------------
+
+    /// Triggers the engine: processes the loaded batch starting at cycle
+    /// `start`, following `Ptr` through the Other Pages entries until a
+    /// duplicate is found or the walk reaches an invalid index. Sets the
+    /// S/D/H bits accordingly.
+    ///
+    /// Page *contents* are read from `mem` (the simulation's ground truth);
+    /// *timing* comes from `fabric` (on-chip network first, then DRAM,
+    /// §3.2.2). Candidate lines are re-fetched for every comparison — the
+    /// module deliberately has no cache (§3.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no valid candidate was loaded, or a loaded page does not
+    /// exist in `mem` (the OS driver must load valid frames).
+    pub fn run_batch(
+        &mut self,
+        mem: &HostMemory,
+        fabric: &mut impl MemoryFabric,
+        start: Cycle,
+    ) -> EngineRun {
+        assert!(self.table.pfe().valid, "run_batch without a candidate");
+        let mut now = start;
+        let mut comparisons = 0u64;
+        let cand_ppn = self.table.pfe().ppn;
+        let cand: PageData = mem
+            .frame_data(cand_ppn)
+            .unwrap_or_else(|| panic!("candidate frame {cand_ppn} does not exist"))
+            .clone();
+
+        loop {
+            let ptr = self.table.pfe().ptr;
+            let Some(other_entry) = self.table.other(ptr) else {
+                // Invalid index: batch exhausted without a match.
+                self.table.pfe_mut().scanned = true;
+                break;
+            };
+            let other_ppn = other_entry.ppn;
+            let (less, more) = (other_entry.less, other_entry.more);
+            let other: &PageData = mem
+                .frame_data(other_ppn)
+                .unwrap_or_else(|| panic!("loaded frame {other_ppn} does not exist"));
+
+            comparisons += 1;
+            let mut outcome = std::cmp::Ordering::Equal;
+            for line in 0..LINES_PER_PAGE {
+                // Lockstep fetch of the line pair: one offset, two PPNs.
+                let a = self.fetch(fabric, cand_ppn, line, now);
+                let b = self.fetch(fabric, other_ppn, line, now);
+                now = a.max(b) + self.cfg.compare_cycles_per_line;
+                // Snatch the candidate's ECC code as it passes through the
+                // controller (§3.3.2).
+                self.observe_candidate_line(&cand, line);
+                let cmp = cand.line(line).cmp(other.line(line));
+                if cmp != std::cmp::Ordering::Equal {
+                    outcome = cmp;
+                    break;
+                }
+            }
+            match outcome {
+                std::cmp::Ordering::Equal => {
+                    let pfe = self.table.pfe_mut();
+                    pfe.duplicate = true;
+                    pfe.scanned = true;
+                    self.stats.duplicates += 1;
+                    break;
+                }
+                std::cmp::Ordering::Less => self.table.pfe_mut().ptr = less,
+                std::cmp::Ordering::Greater => self.table.pfe_mut().ptr = more,
+            }
+        }
+
+        // Force-complete the hash key on the last refill or on a duplicate
+        // (§3.3.1 / §3.6): fetch whatever sampled lines are still missing.
+        let pfe = *self.table.pfe();
+        if (pfe.last_refill || pfe.duplicate) && !self.key.is_complete() {
+            for line in self.key.missing() {
+                let done = self.fetch(fabric, cand_ppn, line, now);
+                now = done;
+                self.observe_candidate_line(&cand, line);
+            }
+        }
+        if self.key.is_complete() && !self.table.pfe().hash_ready {
+            self.table.pfe_mut().hash = self.key.finish();
+            self.table.pfe_mut().hash_ready = true;
+            self.stats.keys_completed += 1;
+        }
+
+        let cycles = now - start;
+        self.stats.runs += 1;
+        self.stats.comparisons += comparisons;
+        self.stats.run_cycles.push(cycles as f64);
+        EngineRun {
+            finished_at: now,
+            cycles,
+            comparisons,
+        }
+    }
+
+    fn fetch(&mut self, fabric: &mut impl MemoryFabric, ppn: Ppn, line: usize, now: Cycle) -> Cycle {
+        let read = fabric.read_line(ppn.line_addr(line), now);
+        self.stats.lines_fetched += 1;
+        if read.on_chip {
+            self.stats.lines_on_chip += 1;
+        } else {
+            self.stats.lines_from_dram += 1;
+        }
+        read.ready_at
+    }
+
+    fn observe_candidate_line(&mut self, cand: &PageData, line: usize) {
+        if self.cfg.ecc.offsets().contains(&line) {
+            self.key.observe(line, LineEcc::encode(cand.line(line)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FlatFabric;
+    use crate::scan_table::INVALID_INDEX;
+    use pageforge_types::{Gfn, VmId};
+
+    fn page(b: u8) -> PageData {
+        PageData::from_fn(|i| b.wrapping_add((i / 64) as u8))
+    }
+
+    /// Maps pages with contents from `bytes`, returns their PPNs.
+    fn mem_with(bytes: &[u8]) -> (HostMemory, Vec<Ppn>) {
+        let mut mem = HostMemory::new();
+        let ppns = bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| mem.map_new_page(VmId(0), Gfn(i as u64), page(b)))
+            .collect();
+        (mem, ppns)
+    }
+
+    #[test]
+    fn finds_duplicate_in_single_entry_table() {
+        let (mem, ppns) = mem_with(&[5, 5]);
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        eng.insert_pfe(ppns[0], true, 0);
+        eng.insert_ppn(0, ppns[1], INVALID_INDEX, INVALID_INDEX);
+        let mut fabric = FlatFabric::all_dram(80);
+        let run = eng.run_batch(&mem, &mut fabric, 0);
+        let info = eng.pfe_info();
+        assert!(info.scanned);
+        assert!(info.duplicate);
+        assert_eq!(info.ptr, 0, "ptr names the matching entry");
+        assert_eq!(run.comparisons, 1);
+        // Full page compared: 64 line pairs fetched.
+        assert!(eng.stats().lines_fetched >= 128);
+    }
+
+    #[test]
+    fn walks_less_more_pointers() {
+        // Tree: entry 0 holds content 30 (root), entry 1 holds 10 (left),
+        // entry 2 holds 50 (right). Candidate = 50: walk root → more → hit.
+        let (mem, p) = mem_with(&[30, 10, 50, 50]);
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        eng.insert_pfe(p[3], true, 0);
+        eng.insert_ppn(0, p[0], 1, 2);
+        eng.insert_ppn(1, p[1], INVALID_INDEX, INVALID_INDEX);
+        eng.insert_ppn(2, p[2], INVALID_INDEX, INVALID_INDEX);
+        let mut fabric = FlatFabric::all_dram(80);
+        let run = eng.run_batch(&mem, &mut fabric, 0);
+        assert!(eng.pfe_info().duplicate);
+        assert_eq!(eng.pfe_info().ptr, 2);
+        assert_eq!(run.comparisons, 2, "root then right child");
+    }
+
+    #[test]
+    fn no_match_sets_scanned_only() {
+        let (mem, p) = mem_with(&[30, 99]);
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        eng.insert_pfe(p[1], true, 0);
+        eng.insert_ppn(0, p[0], 40, 41); // encoded invalid continuations
+        let mut fabric = FlatFabric::all_dram(80);
+        eng.run_batch(&mem, &mut fabric, 0);
+        let info = eng.pfe_info();
+        assert!(info.scanned);
+        assert!(!info.duplicate);
+        assert_eq!(info.ptr, 41, "candidate (99) > node (30) → More path");
+    }
+
+    #[test]
+    fn hash_key_completed_on_last_refill() {
+        let (mem, p) = mem_with(&[1, 2]);
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        eng.insert_pfe(p[0], true, 0);
+        eng.insert_ppn(0, p[1], INVALID_INDEX, INVALID_INDEX);
+        let mut fabric = FlatFabric::all_dram(80);
+        eng.run_batch(&mem, &mut fabric, 0);
+        let info = eng.pfe_info();
+        assert!(info.hash_ready);
+        let expected = EccKeyConfig::default().page_key(mem.frame_data(p[0]).unwrap());
+        assert_eq!(info.hash, Some(expected));
+    }
+
+    #[test]
+    fn hash_key_not_forced_without_last_refill() {
+        // Pages diverge at line 0, so only line 0 streams through — the key
+        // (offsets 3,19,35,51) cannot complete, and L=0 means no forcing.
+        let (mem, p) = mem_with(&[1, 2]);
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        eng.insert_pfe(p[0], false, 0);
+        eng.insert_ppn(0, p[1], INVALID_INDEX, INVALID_INDEX);
+        let mut fabric = FlatFabric::all_dram(80);
+        eng.run_batch(&mem, &mut fabric, 0);
+        assert!(!eng.pfe_info().hash_ready);
+        assert_eq!(eng.pfe_info().hash, None);
+    }
+
+    #[test]
+    fn hash_key_survives_refills() {
+        let (mem, p) = mem_with(&[7, 8, 9]);
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        // Batch 1 without L.
+        eng.insert_pfe(p[0], false, 0);
+        eng.insert_ppn(0, p[1], INVALID_INDEX, INVALID_INDEX);
+        let mut fabric = FlatFabric::all_dram(80);
+        eng.run_batch(&mem, &mut fabric, 0);
+        // Refill with L: key must complete for the *candidate* (p0).
+        eng.clear_others();
+        eng.insert_ppn(0, p[2], INVALID_INDEX, INVALID_INDEX);
+        eng.update_pfe(true, 0);
+        eng.run_batch(&mem, &mut fabric, 50_000);
+        let expected = EccKeyConfig::default().page_key(mem.frame_data(p[0]).unwrap());
+        assert_eq!(eng.pfe_info().hash, Some(expected));
+    }
+
+    #[test]
+    fn new_candidate_resets_key() {
+        let (mem, p) = mem_with(&[7, 7, 8]);
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        let mut fabric = FlatFabric::all_dram(80);
+        eng.insert_pfe(p[0], true, 0);
+        eng.insert_ppn(0, p[1], INVALID_INDEX, INVALID_INDEX);
+        eng.run_batch(&mem, &mut fabric, 0);
+        let key0 = eng.pfe_info().hash;
+        // New candidate with different content.
+        eng.clear_others();
+        eng.insert_pfe(p[2], true, 0);
+        eng.insert_ppn(0, p[0], INVALID_INDEX, INVALID_INDEX);
+        eng.run_batch(&mem, &mut fabric, 100_000);
+        let key1 = eng.pfe_info().hash;
+        assert_ne!(key0, key1);
+    }
+
+    #[test]
+    fn cycles_scale_with_divergence_depth() {
+        // Early-diverging pages finish much faster than identical pages.
+        let mut mem = HostMemory::new();
+        let a = mem.map_new_page(VmId(0), Gfn(0), PageData::from_fn(|_| 1));
+        let b = mem.map_new_page(VmId(0), Gfn(1), PageData::from_fn(|_| 2));
+        let c = mem.map_new_page(VmId(0), Gfn(2), PageData::from_fn(|_| 1));
+        let mut fabric = FlatFabric::all_dram(80);
+
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        eng.insert_pfe(a, true, 0);
+        eng.insert_ppn(0, b, INVALID_INDEX, INVALID_INDEX);
+        let diverge = eng.run_batch(&mem, &mut fabric, 0);
+
+        let mut eng2 = PageForgeEngine::new(EngineConfig::default());
+        eng2.insert_pfe(a, true, 0);
+        eng2.insert_ppn(0, c, INVALID_INDEX, INVALID_INDEX);
+        let full = eng2.run_batch(&mem, &mut fabric, 0);
+        assert!(full.cycles > 10 * diverge.cycles);
+    }
+
+    #[test]
+    fn walk_stops_at_duplicate() {
+        // Chain 0 -> 1 -> 2; entry 1 matches. Entry 2 must never be
+        // compared (lines_fetched bounded accordingly).
+        let (mem, p) = mem_with(&[9, 5, 9, 7]);
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        eng.insert_pfe(p[0], true, 0);
+        eng.insert_ppn(0, p[1], 1, 1);
+        eng.insert_ppn(1, p[2], 2, 2);
+        eng.insert_ppn(2, p[3], INVALID_INDEX, INVALID_INDEX);
+        let mut fabric = FlatFabric::all_dram(80);
+        let run = eng.run_batch(&mem, &mut fabric, 0);
+        assert_eq!(run.comparisons, 2, "entry 2 must not be visited");
+        assert_eq!(eng.pfe_info().ptr, 1);
+        assert!(eng.pfe_info().duplicate);
+    }
+
+    #[test]
+    fn rerun_after_duplicate_requires_rearm() {
+        let (mem, p) = mem_with(&[4, 4]);
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        let mut fabric = FlatFabric::all_dram(80);
+        eng.insert_pfe(p[0], true, 0);
+        eng.insert_ppn(0, p[1], INVALID_INDEX, INVALID_INDEX);
+        eng.run_batch(&mem, &mut fabric, 0);
+        assert!(eng.pfe_info().duplicate);
+        // update_PFE clears S/D so the same candidate can continue.
+        eng.update_pfe(true, 0);
+        assert!(!eng.pfe_info().duplicate);
+        assert!(!eng.pfe_info().scanned);
+    }
+
+    #[test]
+    fn update_ecc_offset_validates() {
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        assert!(eng.update_ecc_offset(vec![1, 2, 3, 4]).is_ok());
+        assert!(eng.update_ecc_offset(vec![64]).is_err());
+        assert!(eng.update_ecc_offset(vec![]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "without a candidate")]
+    fn run_without_candidate_panics() {
+        let mem = HostMemory::new();
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        let mut fabric = FlatFabric::all_dram(80);
+        eng.run_batch(&mem, &mut fabric, 0);
+    }
+
+    #[test]
+    fn run_cycle_stats_accumulate() {
+        let (mem, p) = mem_with(&[1, 1]);
+        let mut eng = PageForgeEngine::new(EngineConfig::default());
+        let mut fabric = FlatFabric::all_dram(80);
+        eng.insert_pfe(p[0], true, 0);
+        eng.insert_ppn(0, p[1], INVALID_INDEX, INVALID_INDEX);
+        eng.run_batch(&mem, &mut fabric, 0);
+        assert_eq!(eng.stats().runs, 1);
+        assert!(eng.stats().run_cycles.mean() > 0.0);
+    }
+}

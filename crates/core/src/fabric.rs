@@ -1,0 +1,99 @@
+//! The memory fabric the PageForge engine issues its line reads into.
+//!
+//! §3.2.2: "the control logic issues each request to the on-chip network
+//! first. If the request is serviced from the network, no other action is
+//! taken. Otherwise, it places the request in the memory controller's Read
+//! Request Buffer, and the request is eventually serviced from the DRAM."
+//!
+//! The engine is written against this small trait so the `pageforge-core`
+//! crate stays independent of the cache and DRAM crates; the full-system
+//! simulator implements it over `SystemCaches` + `MemoryController`, and
+//! tests use [`FlatFabric`].
+
+use pageforge_types::{Cycle, LineAddr};
+
+/// Completion of one line read issued by the PageForge module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricRead {
+    /// Cycle at which the line data (and its ECC code) reaches the
+    /// PageForge control logic.
+    pub ready_at: Cycle,
+    /// `true` when the line was supplied by the on-chip network (a cache);
+    /// `false` when it came from DRAM.
+    pub on_chip: bool,
+}
+
+/// Where PageForge's line reads get serviced from.
+pub trait MemoryFabric {
+    /// Issues a read of `addr` at cycle `now`.
+    fn read_line(&mut self, addr: LineAddr, now: Cycle) -> FabricRead;
+}
+
+/// A test fabric with fixed latencies and a configurable on-chip hit
+/// predicate.
+#[derive(Debug, Clone)]
+pub struct FlatFabric {
+    /// Latency of an on-chip (cache) hit.
+    pub chip_latency: Cycle,
+    /// Latency of a DRAM access.
+    pub dram_latency: Cycle,
+    /// Every n-th line is an on-chip hit (0 = never).
+    pub chip_hit_modulo: u64,
+    /// Reads issued, for assertions.
+    pub reads: u64,
+}
+
+impl FlatFabric {
+    /// A fabric where everything misses to DRAM at the given latency.
+    pub fn all_dram(dram_latency: Cycle) -> Self {
+        FlatFabric {
+            chip_latency: 24,
+            dram_latency,
+            chip_hit_modulo: 0,
+            reads: 0,
+        }
+    }
+}
+
+impl MemoryFabric for FlatFabric {
+    fn read_line(&mut self, addr: LineAddr, now: Cycle) -> FabricRead {
+        self.reads += 1;
+        let on_chip = self.chip_hit_modulo != 0 && addr.0.is_multiple_of(self.chip_hit_modulo);
+        FabricRead {
+            ready_at: now + if on_chip { self.chip_latency } else { self.dram_latency },
+            on_chip,
+        }
+    }
+}
+
+impl<F: MemoryFabric + ?Sized> MemoryFabric for &mut F {
+    fn read_line(&mut self, addr: LineAddr, now: Cycle) -> FabricRead {
+        (**self).read_line(addr, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_fabric_latencies() {
+        let mut f = FlatFabric::all_dram(80);
+        let r = f.read_line(LineAddr(5), 100);
+        assert_eq!(r.ready_at, 180);
+        assert!(!r.on_chip);
+        assert_eq!(f.reads, 1);
+    }
+
+    #[test]
+    fn chip_hits_by_modulo() {
+        let mut f = FlatFabric {
+            chip_latency: 10,
+            dram_latency: 100,
+            chip_hit_modulo: 2,
+            reads: 0,
+        };
+        assert!(f.read_line(LineAddr(4), 0).on_chip);
+        assert!(!f.read_line(LineAddr(5), 0).on_chip);
+    }
+}

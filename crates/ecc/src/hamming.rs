@@ -1,0 +1,398 @@
+//! The (72,64) SECDED Hamming codec.
+//!
+//! Construction (following the paper's §6.2): take the (127,120) Hamming
+//! code, truncate the data bits to 64, and add an overall parity bit. The
+//! resulting codeword has 72 bits: 64 data bits, 7 Hamming check bits, and
+//! 1 overall parity bit. Single-bit errors are corrected; double-bit errors
+//! are detected.
+//!
+//! Layout: codeword positions `1..=71` hold the Hamming code; positions that
+//! are powers of two (1, 2, 4, 8, 16, 32, 64) hold the check bits and the
+//! remaining 64 positions hold the data bits in ascending order. The overall
+//! parity bit covers all 71 Hamming positions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pageforge_types::{LINE_SIZE, WORDS_PER_LINE};
+
+/// Highest codeword position used by the truncated Hamming code.
+const MAX_POS: u32 = 71;
+
+/// Per-data-bit contribution to the 7 check bits: `COLUMNS[i]` is the
+/// syndrome column (the codeword position) of data bit `i`.
+const fn build_columns() -> [u8; 64] {
+    let mut cols = [0u8; 64];
+    let mut pos = 1u32;
+    let mut i = 0usize;
+    while pos <= MAX_POS {
+        if !pos.is_power_of_two() {
+            cols[i] = pos as u8;
+            i += 1;
+        }
+        pos += 1;
+    }
+    cols
+}
+
+/// `COLUMNS[i]` = codeword position of data bit `i` (never a power of two).
+const COLUMNS: [u8; 64] = build_columns();
+
+/// Maps a codeword position back to the data-bit index stored there, or 64
+/// for check-bit positions.
+const fn build_pos_to_data() -> [u8; 72] {
+    let mut map = [64u8; 72];
+    let mut i = 0usize;
+    while i < 64 {
+        map[COLUMNS[i] as usize] = i as u8;
+        i += 1;
+    }
+    map
+}
+
+const POS_TO_DATA: [u8; 72] = build_pos_to_data();
+
+/// The 8 stored ECC bits of one 64-bit word: 7 Hamming check bits (low bits)
+/// plus the overall parity bit (bit 7).
+///
+/// This is exactly what one ECC DRAM chip stores per 64-bit burst beat
+/// (Figure 4 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct EccCode(pub u8);
+
+impl EccCode {
+    /// The 7 Hamming check bits.
+    pub fn check_bits(self) -> u8 {
+        self.0 & 0x7F
+    }
+
+    /// The overall parity bit.
+    pub fn overall_parity(self) -> bool {
+        self.0 & 0x80 != 0
+    }
+}
+
+impl fmt::Debug for EccCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EccCode({:#04x})", self.0)
+    }
+}
+
+impl fmt::LowerHex for EccCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for EccCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl From<EccCode> for u8 {
+    fn from(c: EccCode) -> u8 {
+        c.0
+    }
+}
+
+/// Outcome of decoding a (data, code) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decoded {
+    /// No error: data is returned as received.
+    Clean(u64),
+    /// A single flipped data bit was corrected; the corrected word and the
+    /// flipped bit index are returned.
+    CorrectedData {
+        /// The corrected data word.
+        data: u64,
+        /// Index (0..64) of the data bit that was flipped.
+        bit: u8,
+    },
+    /// A single flipped *check or parity* bit was corrected; the data was
+    /// intact and is returned unmodified.
+    CorrectedCheck(u64),
+    /// A double-bit error was detected; the data cannot be trusted.
+    DoubleError,
+}
+
+impl Decoded {
+    /// The usable data word, or `None` on an uncorrectable error.
+    pub fn data(self) -> Option<u64> {
+        match self {
+            Decoded::Clean(d) | Decoded::CorrectedData { data: d, .. } | Decoded::CorrectedCheck(d) => {
+                Some(d)
+            }
+            Decoded::DoubleError => None,
+        }
+    }
+
+    /// `true` if any error was observed (corrected or not).
+    pub fn saw_error(self) -> bool {
+        !matches!(self, Decoded::Clean(_))
+    }
+}
+
+/// The (72,64) SECDED codec. All methods are associated functions; the codec
+/// is stateless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Secded72;
+
+impl Secded72 {
+    /// Computes the 7 Hamming check bits of `data`.
+    fn hamming_bits(data: u64) -> u8 {
+        let mut syndrome = 0u8;
+        let mut d = data;
+        let mut i = 0usize;
+        while d != 0 {
+            let tz = d.trailing_zeros() as usize;
+            i += tz;
+            syndrome ^= COLUMNS[i];
+            d >>= tz;
+            d >>= 1;
+            i += 1;
+        }
+        syndrome
+    }
+
+    /// Encodes a 64-bit word into its 8-bit ECC code.
+    ///
+    /// ```
+    /// use pageforge_ecc::Secded72;
+    /// let c = Secded72::encode(0);
+    /// assert_eq!(u8::from(c), 0); // all-zero word has all-zero code
+    /// ```
+    pub fn encode(data: u64) -> EccCode {
+        let check = Self::hamming_bits(data);
+        // Overall parity covers data bits and check bits.
+        let parity = (data.count_ones() + check.count_ones()) & 1;
+        EccCode(check | ((parity as u8) << 7))
+    }
+
+    /// Decodes a received (data, code) pair, correcting a single-bit error
+    /// and detecting double-bit errors.
+    ///
+    /// ```
+    /// use pageforge_ecc::{Decoded, Secded72};
+    /// let code = Secded72::encode(99);
+    /// assert_eq!(Secded72::decode(99, code), Decoded::Clean(99));
+    /// ```
+    pub fn decode(data: u64, received: EccCode) -> Decoded {
+        let expected = Self::encode(data);
+        let syndrome = expected.check_bits() ^ received.check_bits();
+        // Parity of the *received* codeword: data + received check bits +
+        // received parity bit must be even.
+        let received_parity_ok = (data.count_ones()
+            + received.check_bits().count_ones()
+            + u32::from(received.overall_parity()))
+            & 1
+            == 0;
+        match (syndrome, received_parity_ok) {
+            (0, true) => Decoded::Clean(data),
+            // Parity violated, zero syndrome: the overall parity bit itself
+            // flipped.
+            (0, false) => Decoded::CorrectedCheck(data),
+            // Parity violated, nonzero syndrome: single-bit error at
+            // codeword position `syndrome`.
+            (s, false) => {
+                let pos = s as usize;
+                if pos > MAX_POS as usize {
+                    // Syndrome points outside the truncated code: treat as
+                    // uncorrectable (can only arise from multi-bit errors).
+                    return Decoded::DoubleError;
+                }
+                let bit = POS_TO_DATA[pos];
+                if bit == 64 {
+                    // A check-bit position: data unaffected.
+                    Decoded::CorrectedCheck(data)
+                } else {
+                    Decoded::CorrectedData {
+                        data: data ^ (1u64 << bit),
+                        bit,
+                    }
+                }
+            }
+            // Parity satisfied but nonzero syndrome: an even number (≥2) of
+            // bits flipped.
+            (_, true) => Decoded::DoubleError,
+        }
+    }
+}
+
+/// The stored ECC of one 64-byte cache line: one [`EccCode`] per 64-bit word,
+/// 8 bytes total ("for each line, an 8B ECC code", §3.3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct LineEcc(pub [EccCode; WORDS_PER_LINE]);
+
+impl LineEcc {
+    /// Encodes a 64-byte line (little-endian words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line.len() != 64`.
+    pub fn encode(line: &[u8]) -> Self {
+        assert_eq!(line.len(), LINE_SIZE, "a cache line is {LINE_SIZE} bytes");
+        let mut codes = [EccCode::default(); WORDS_PER_LINE];
+        for (w, code) in codes.iter_mut().enumerate() {
+            let word = u64::from_le_bytes(line[w * 8..w * 8 + 8].try_into().expect("8 bytes"));
+            *code = Secded72::encode(word);
+        }
+        LineEcc(codes)
+    }
+
+    /// The least-significant 8 bits of the line's 64-bit ECC code: the
+    /// "minikey" PageForge extracts for hash-key generation (Figure 6).
+    ///
+    /// With little-endian word order, these are the code bits of word 0.
+    pub fn minikey(self) -> u8 {
+        self.0[0].0
+    }
+
+    /// The ECC bytes as stored in the spare DRAM chip.
+    pub fn as_bytes(self) -> [u8; WORDS_PER_LINE] {
+        let mut out = [0u8; WORDS_PER_LINE];
+        for (b, code) in out.iter_mut().zip(self.0.iter()) {
+            *b = code.0;
+        }
+        out
+    }
+}
+
+impl fmt::Debug for LineEcc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineEcc({:02x?})", self.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_nonpowers_in_range() {
+        for (i, &c) in COLUMNS.iter().enumerate() {
+            let c = u32::from(c);
+            assert!(c >= 3 && c <= MAX_POS, "column {i} = {c}");
+            assert!(!c.is_power_of_two(), "column {i} = {c} is a power of two");
+        }
+        // All distinct.
+        let mut sorted = COLUMNS;
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        for data in [0u64, 1, u64::MAX, 0xDEAD_BEEF_CAFE_BABE, 0x8000_0000_0000_0000] {
+            let code = Secded72::encode(data);
+            assert_eq!(Secded72::decode(data, code), Decoded::Clean(data));
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_data_bit_flip() {
+        let data = 0x0123_4567_89AB_CDEFu64;
+        let code = Secded72::encode(data);
+        for bit in 0..64 {
+            let corrupted = data ^ (1u64 << bit);
+            let decoded = Secded72::decode(corrupted, code);
+            assert_eq!(
+                decoded,
+                Decoded::CorrectedData { data, bit: bit as u8 },
+                "bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_check_bit_flip() {
+        let data = 0xFEED_F00D_0000_1234u64;
+        let code = Secded72::encode(data);
+        for bit in 0..8 {
+            let corrupted = EccCode(code.0 ^ (1 << bit));
+            let decoded = Secded72::decode(data, corrupted);
+            assert_eq!(decoded, Decoded::CorrectedCheck(data), "check bit {bit}");
+        }
+    }
+
+    #[test]
+    fn detects_double_data_bit_flips() {
+        let data = 0xAAAA_5555_3333_CCCCu64;
+        let code = Secded72::encode(data);
+        for (a, b) in [(0u32, 1u32), (5, 40), (62, 63), (0, 63), (13, 37)] {
+            let corrupted = data ^ (1u64 << a) ^ (1u64 << b);
+            assert_eq!(
+                Secded72::decode(corrupted, code),
+                Decoded::DoubleError,
+                "bits {a},{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_data_plus_check_double_flip() {
+        let data = 7u64;
+        let code = Secded72::encode(data);
+        let corrupted_data = data ^ (1 << 20);
+        let corrupted_code = EccCode(code.0 ^ 0b100);
+        assert_eq!(
+            Secded72::decode(corrupted_data, corrupted_code),
+            Decoded::DoubleError
+        );
+    }
+
+    #[test]
+    fn decoded_data_accessor() {
+        assert_eq!(Decoded::Clean(5).data(), Some(5));
+        assert_eq!(Decoded::CorrectedData { data: 5, bit: 0 }.data(), Some(5));
+        assert_eq!(Decoded::CorrectedCheck(5).data(), Some(5));
+        assert_eq!(Decoded::DoubleError.data(), None);
+        assert!(!Decoded::Clean(5).saw_error());
+        assert!(Decoded::DoubleError.saw_error());
+    }
+
+    #[test]
+    fn code_is_content_sensitive() {
+        // Different words usually get different codes; at minimum these do.
+        assert_ne!(Secded72::encode(0), Secded72::encode(1));
+        assert_ne!(Secded72::encode(1), Secded72::encode(2));
+    }
+
+    #[test]
+    fn line_ecc_encodes_per_word() {
+        let mut line = [0u8; LINE_SIZE];
+        line[8] = 1; // word 1 = 1
+        let ecc = LineEcc::encode(&line);
+        assert_eq!(ecc.0[0], Secded72::encode(0));
+        assert_eq!(ecc.0[1], Secded72::encode(1));
+        assert_eq!(ecc.minikey(), u8::from(Secded72::encode(0)));
+    }
+
+    #[test]
+    fn line_ecc_minikey_tracks_word0() {
+        let mut a = [0u8; LINE_SIZE];
+        let mut b = [0u8; LINE_SIZE];
+        a[0] = 1;
+        b[0] = 2;
+        assert_ne!(LineEcc::encode(&a).minikey(), LineEcc::encode(&b).minikey());
+    }
+
+    #[test]
+    #[should_panic(expected = "cache line")]
+    fn line_ecc_wrong_length_panics() {
+        let _ = LineEcc::encode(&[0u8; 32]);
+    }
+
+    #[test]
+    fn line_ecc_bytes_round_trip() {
+        let line = [0x5Au8; LINE_SIZE];
+        let ecc = LineEcc::encode(&line);
+        let bytes = ecc.as_bytes();
+        for (w, &b) in bytes.iter().enumerate() {
+            assert_eq!(b, ecc.0[w].0);
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! RedHat's Kernel Same-page Merging, Algorithm 1 of the paper.
+//!
+//! The daemon runs in *passes* over the `madvise(MADV_MERGEABLE)` hint list.
+//! For each candidate page it:
+//!
+//! 1. searches the **stable tree** (merged, CoW-protected pages) and merges
+//!    on a hit;
+//! 2. otherwise computes the page's jhash checksum and compares it with the
+//!    previous pass's value — a changed page is dropped for this pass;
+//! 3. otherwise searches the **unstable tree**: on a hit the two pages are
+//!    merged, CoW-protected, and promoted to the stable tree; on a miss the
+//!    candidate is inserted into the unstable tree.
+//!
+//! At the end of each pass the unstable tree is discarded ("throw away and
+//! regenerate"). Work is metered in [`KsmWork`] units and priced by a
+//! [`CostModel`] so the simulator can charge the daemon to a core, and an
+//! optional *shadow* ECC key (PageForge's §3.3 scheme) is evaluated at every
+//! checksum decision to produce the Figure 8 comparison.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pageforge_ecc::{EccHashKey, EccKeyConfig};
+use pageforge_types::{Gfn, VmId};
+use pageforge_vm::HostMemory;
+
+use crate::cost::{CostModel, KsmCycles, KsmWork};
+use crate::jhash::{page_checksum, KSM_HASH_BYTES};
+use crate::tree::{PageRef, PageTree, SearchInsert, TreeKind};
+
+/// KSM tuning knobs (§2.1; values from Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KsmConfig {
+    /// Pages scanned per work interval (`pages_to_scan`, default 400).
+    pub pages_to_scan: usize,
+    /// Sleep between work intervals in milliseconds (`sleep_millisecs`,
+    /// default 5). Consumed by the simulator's scheduler, not here.
+    pub sleep_millisecs: u64,
+    /// Cost model for charging the daemon's work to a core.
+    pub cost: CostModel,
+    /// When set, an ECC hash key is computed alongside every jhash
+    /// checksum check so the two schemes can be compared (Figure 8). The
+    /// shadow adds no cycles to the KSM cost — it models what the PageForge
+    /// hardware would have produced for free.
+    pub shadow_ecc: Option<EccKeyConfig>,
+    /// Linux's `use_zero_pages` knob: empty pages merge directly with the
+    /// kernel zero page, skipping both tree searches. (The first all-zero
+    /// candidate becomes the anchor frame.)
+    pub use_zero_pages: bool,
+    /// §4.3's alternative design: issue the daemon's page reads as
+    /// *uncacheable* accesses. Cache pollution disappears, but the CPU
+    /// cycles remain and every scanned line pays full memory latency
+    /// (plus MSHR pressure, which the paper notes and the simulator
+    /// charges as uncached-read stalls).
+    pub cache_bypass: bool,
+}
+
+impl Default for KsmConfig {
+    fn default() -> Self {
+        KsmConfig {
+            pages_to_scan: 400,
+            sleep_millisecs: 5,
+            cost: CostModel::default(),
+            shadow_ecc: None,
+            use_zero_pages: false,
+            cache_bypass: false,
+        }
+    }
+}
+
+/// Why a candidate page did not merge (or how it did).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidateOutcome {
+    /// Merged with a stable-tree page.
+    MergedStable,
+    /// All-zero page merged straight into the zero anchor
+    /// (`use_zero_pages`).
+    MergedZero,
+    /// Merged with an unstable-tree page (and promoted to stable).
+    MergedUnstable,
+    /// Inserted into the unstable tree.
+    InsertedUnstable,
+    /// Checksum changed since the last pass: dropped.
+    Dropped,
+    /// Already a merged (CoW) page: skipped.
+    AlreadyShared,
+    /// The guest page is no longer mapped: skipped.
+    Unmapped,
+}
+
+/// Cumulative KSM statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KsmStats {
+    /// Completed passes over the hint list.
+    pub passes: u64,
+    /// Candidate pages processed.
+    pub candidates: u64,
+    /// Merges into the stable tree.
+    pub merged_stable: u64,
+    /// Zero pages merged via the `use_zero_pages` shortcut.
+    pub merged_zero: u64,
+    /// Merges via the unstable tree.
+    pub merged_unstable: u64,
+    /// Insertions into the unstable tree.
+    pub inserted_unstable: u64,
+    /// Candidates dropped because their checksum changed.
+    pub dropped_changed: u64,
+    /// Candidates skipped because they were already merged.
+    pub already_shared: u64,
+    /// Candidates skipped because the mapping vanished.
+    pub unmapped: u64,
+    /// jhash checksum comparisons that matched (page deemed unchanged).
+    pub jhash_matches: u64,
+    /// jhash checksum comparisons that mismatched.
+    pub jhash_mismatches: u64,
+    /// Shadow ECC key comparisons that matched.
+    pub ecc_matches: u64,
+    /// Shadow ECC key comparisons that mismatched.
+    pub ecc_mismatches: u64,
+    /// Cumulative work counters.
+    pub work: KsmWork,
+    /// Cumulative priced cycles.
+    pub cycles: KsmCycles,
+}
+
+/// Report for one `scan_batch` call.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Work performed in this batch.
+    pub work: KsmWork,
+    /// Cycles this batch costs on a core.
+    pub cycles: KsmCycles,
+    /// Pages merged in this batch.
+    pub merged: u64,
+    /// Whether a pass boundary (unstable-tree reset) occurred.
+    pub pass_completed: bool,
+}
+
+/// The KSM daemon state.
+#[derive(Debug, Clone)]
+pub struct Ksm {
+    cfg: KsmConfig,
+    stable: PageTree,
+    unstable: PageTree,
+    hints: Vec<(VmId, Gfn)>,
+    cursor: usize,
+    /// The anchor frame all-zero pages merge into (`use_zero_pages`).
+    zero_frame: Option<(pageforge_types::Ppn, u64)>,
+    prev_checksum: HashMap<(VmId, Gfn), u32>,
+    prev_ecc: HashMap<(VmId, Gfn), EccHashKey>,
+    stats: KsmStats,
+}
+
+impl Ksm {
+    /// Creates a daemon scanning the given hint list (the pages each VM
+    /// registered with `madvise(MADV_MERGEABLE)`).
+    pub fn new(cfg: KsmConfig, hints: Vec<(VmId, Gfn)>) -> Self {
+        Ksm {
+            cfg,
+            stable: PageTree::new(TreeKind::Stable),
+            unstable: PageTree::new(TreeKind::Unstable),
+            hints,
+            cursor: 0,
+            zero_frame: None,
+            prev_checksum: HashMap::new(),
+            prev_ecc: HashMap::new(),
+            stats: KsmStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &KsmConfig {
+        &self.cfg
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &KsmStats {
+        &self.stats
+    }
+
+    /// The stable tree (merged pages).
+    pub fn stable_tree(&self) -> &PageTree {
+        &self.stable
+    }
+
+    /// The unstable tree (scanned, unmerged pages of the current pass).
+    pub fn unstable_tree(&self) -> &PageTree {
+        &self.unstable
+    }
+
+    /// Number of hint-list entries.
+    pub fn hint_count(&self) -> usize {
+        self.hints.len()
+    }
+
+    /// Scans one work interval of `pages_to_scan` candidates.
+    pub fn scan_interval(&mut self, mem: &mut HostMemory) -> BatchReport {
+        self.scan_batch(mem, self.cfg.pages_to_scan)
+    }
+
+    /// Scans up to `n` candidate pages, wrapping (and resetting the
+    /// unstable tree) at pass boundaries.
+    pub fn scan_batch(&mut self, mem: &mut HostMemory, n: usize) -> BatchReport {
+        let mut report = BatchReport::default();
+        if self.hints.is_empty() {
+            return report;
+        }
+        for _ in 0..n {
+            let (vm, gfn) = self.hints[self.cursor];
+            let outcome = self.process_candidate(mem, vm, gfn, &mut report.work);
+            if matches!(
+                outcome,
+                CandidateOutcome::MergedStable
+                    | CandidateOutcome::MergedUnstable
+                    | CandidateOutcome::MergedZero
+            ) {
+                report.merged += 1;
+            }
+            self.cursor += 1;
+            if self.cursor == self.hints.len() {
+                // End of pass: throw away and regenerate (Algorithm 1 l.27).
+                self.cursor = 0;
+                self.unstable.clear();
+                self.stats.passes += 1;
+                report.pass_completed = true;
+            }
+        }
+        report.cycles = self.cfg.cost.price(&report.work);
+        self.stats.work.absorb(&report.work);
+        self.stats.cycles.absorb(report.cycles);
+        report
+    }
+
+    /// Runs full passes until a pass merges nothing (steady state) or
+    /// `max_passes` is reached. Returns the number of passes run.
+    pub fn run_to_steady_state(&mut self, mem: &mut HostMemory, max_passes: usize) -> usize {
+        for pass in 1..=max_passes {
+            let mut merged = 0;
+            loop {
+                let r = self.scan_batch(mem, self.cfg.pages_to_scan);
+                merged += r.merged;
+                if r.pass_completed {
+                    break;
+                }
+            }
+            if merged == 0 && pass >= 2 {
+                // Two passes are needed before a page can merge at all
+                // (checksum must be seen twice); only trust quiet passes
+                // after that.
+                return pass;
+            }
+        }
+        max_passes
+    }
+
+    /// Processes one candidate (Algorithm 1 lines 6–24).
+    pub fn process_candidate(
+        &mut self,
+        mem: &mut HostMemory,
+        vm: VmId,
+        gfn: Gfn,
+        work: &mut KsmWork,
+    ) -> CandidateOutcome {
+        self.stats.candidates += 1;
+        work.candidates += 1;
+
+        let Some(ppn) = mem.translate(vm, gfn) else {
+            self.stats.unmapped += 1;
+            return CandidateOutcome::Unmapped;
+        };
+        if mem.is_cow(ppn) {
+            // Already a merged KSM page; not rescanned as a candidate.
+            self.stats.already_shared += 1;
+            return CandidateOutcome::AlreadyShared;
+        }
+        let candidate = mem.frame_data(ppn).expect("mapped frame exists").clone();
+
+        // 0. `use_zero_pages` shortcut: empty pages go straight to the
+        // zero anchor, skipping the trees entirely.
+        if self.cfg.use_zero_pages && candidate.is_zero() {
+            // Checking emptiness reads the whole page once.
+            work.cmp_bytes += pageforge_types::PAGE_SIZE as u64;
+            work.touched.push((ppn, pageforge_types::LINES_PER_PAGE as u32));
+            match self.zero_frame {
+                Some((anchor, epoch)) if mem.frame_epoch(anchor) == Some(epoch) => {
+                    if mem.merge_into(anchor, ppn).is_ok() {
+                        self.stats.merged_zero += 1;
+                        work.merges += 1;
+                        return CandidateOutcome::MergedZero;
+                    }
+                }
+                _ => {
+                    // This page becomes the anchor.
+                    mem.cow_protect(ppn);
+                    let epoch = mem.frame_epoch(ppn).expect("frame exists");
+                    self.zero_frame = Some((ppn, epoch));
+                    return CandidateOutcome::AlreadyShared;
+                }
+            }
+        }
+
+        // 1. Search the stable tree (line 7).
+        if let Some(hit) = self.stable.search(mem, &candidate, ppn, work) {
+            let target = *self.stable.node(hit);
+            if mem.merge_into(target.ppn, ppn).is_ok() {
+                self.stats.merged_stable += 1;
+                work.merges += 1;
+                return CandidateOutcome::MergedStable;
+            }
+            // Racing write invalidated the match; fall through like the
+            // kernel does.
+        }
+
+        // 2. Checksum check (lines 11–12).
+        let new_hash = page_checksum(&candidate);
+        work.hash_ops += 1;
+        work.hash_bytes += KSM_HASH_BYTES as u64;
+        work.touched.push((ppn, (KSM_HASH_BYTES / 64) as u32));
+        let prev = self.prev_checksum.insert((vm, gfn), new_hash);
+        let jhash_unchanged = prev == Some(new_hash);
+        if jhash_unchanged {
+            self.stats.jhash_matches += 1;
+        } else {
+            self.stats.jhash_mismatches += 1;
+        }
+
+        // Shadow ECC key for the same decision (Figure 8). Costs nothing:
+        // the hardware produces it as a by-product of comparison traffic.
+        if let Some(ecc_cfg) = &self.cfg.shadow_ecc {
+            let new_key = ecc_cfg.page_key(&candidate);
+            let prev_key = self.prev_ecc.insert((vm, gfn), new_key);
+            if prev_key == Some(new_key) {
+                self.stats.ecc_matches += 1;
+            } else {
+                self.stats.ecc_mismatches += 1;
+            }
+        }
+
+        if !jhash_unchanged {
+            // Page changed since last pass (or first sighting): drop.
+            self.stats.dropped_changed += 1;
+            return CandidateOutcome::Dropped;
+        }
+
+        // 3. Search / insert the unstable tree (lines 13–20).
+        let me = PageRef::capture(mem, vm, gfn).expect("translated above");
+        match self.unstable.search_or_insert(mem, &candidate, ppn, me, work) {
+            SearchInsert::FoundEqual(hit) => {
+                let target = *self.unstable.node(hit);
+                // Final comparison under write protection happens inside
+                // merge_into (it re-verifies content equality).
+                match mem.merge_into(target.ppn, ppn) {
+                    Ok(()) => {
+                        work.merges += 1;
+                        // Promote: remove from unstable, insert into stable
+                        // (lines 15–17). merge_into already CoW-protected it.
+                        self.unstable.remove(hit);
+                        let merged_data = mem
+                            .frame_data(target.ppn)
+                            .expect("merged frame exists")
+                            .clone();
+                        let stable_ref = PageRef {
+                            ppn: target.ppn,
+                            epoch: mem.frame_epoch(target.ppn).expect("frame exists"),
+                            vm: target.vm,
+                            gfn: target.gfn,
+                        };
+                        self.stable.insert(mem, &merged_data, stable_ref, work);
+                        self.stats.merged_unstable += 1;
+                        CandidateOutcome::MergedUnstable
+                    }
+                    Err(_) => {
+                        // Raced: contents no longer equal. Drop this
+                        // candidate; the stale node will be pruned later.
+                        self.stats.dropped_changed += 1;
+                        CandidateOutcome::Dropped
+                    }
+                }
+            }
+            SearchInsert::Inserted(_) => {
+                self.stats.inserted_unstable += 1;
+                CandidateOutcome::InsertedUnstable
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pageforge_types::PageData;
+
+    fn page(b: u8) -> PageData {
+        PageData::from_fn(|i| b.wrapping_mul(31).wrapping_add((i % 5) as u8))
+    }
+
+    /// Maps `n` VMs each with the same single page of content `b`.
+    fn identical_vms(n: u32, b: u8) -> (HostMemory, Vec<(VmId, Gfn)>) {
+        let mut mem = HostMemory::new();
+        let mut hints = Vec::new();
+        for v in 0..n {
+            mem.map_new_page(VmId(v), Gfn(0), page(b));
+            hints.push((VmId(v), Gfn(0)));
+        }
+        (mem, hints)
+    }
+
+    #[test]
+    fn first_pass_only_inserts() {
+        let (mut mem, hints) = identical_vms(4, 1);
+        let mut ksm = Ksm::new(KsmConfig::default(), hints);
+        let r = ksm.scan_batch(&mut mem, 4);
+        // First sighting: every checksum is "changed" → all dropped.
+        assert_eq!(r.merged, 0);
+        assert_eq!(ksm.stats().dropped_changed, 4);
+        assert!(r.pass_completed);
+    }
+
+    #[test]
+    fn second_pass_merges_identical_pages() {
+        let (mut mem, hints) = identical_vms(4, 1);
+        let mut ksm = Ksm::new(KsmConfig::default(), hints);
+        ksm.scan_batch(&mut mem, 4); // pass 1: checksums recorded
+        let r = ksm.scan_batch(&mut mem, 4); // pass 2: merge
+        assert_eq!(r.merged, 3, "three pages merge into the first");
+        assert_eq!(mem.allocated_frames(), 1);
+        assert_eq!(ksm.stats().merged_unstable, 1);
+        assert_eq!(ksm.stats().merged_stable, 2);
+        assert_eq!(ksm.stable_tree().len(), 1);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merged_pages_are_skipped_in_later_passes() {
+        let (mut mem, hints) = identical_vms(3, 1);
+        let mut ksm = Ksm::new(KsmConfig::default(), hints);
+        ksm.scan_batch(&mut mem, 3);
+        ksm.scan_batch(&mut mem, 3);
+        let before = ksm.stats().already_shared;
+        ksm.scan_batch(&mut mem, 3);
+        assert_eq!(ksm.stats().already_shared, before + 3);
+    }
+
+    #[test]
+    fn distinct_pages_never_merge() {
+        let mut mem = HostMemory::new();
+        let mut hints = Vec::new();
+        for v in 0..5u32 {
+            mem.map_new_page(VmId(v), Gfn(0), page(v as u8));
+            hints.push((VmId(v), Gfn(0)));
+        }
+        let mut ksm = Ksm::new(KsmConfig::default(), hints);
+        for _ in 0..4 {
+            ksm.scan_batch(&mut mem, 5);
+        }
+        assert_eq!(mem.allocated_frames(), 5);
+        assert_eq!(ksm.stats().merged_stable + ksm.stats().merged_unstable, 0);
+    }
+
+    #[test]
+    fn changed_page_is_dropped_not_merged() {
+        let (mut mem, hints) = identical_vms(2, 1);
+        let mut ksm = Ksm::new(KsmConfig::default(), hints.clone());
+        ksm.scan_batch(&mut mem, 2); // pass 1
+        // Mutate VM 0's page between passes: checksum mismatch → dropped.
+        mem.guest_write(VmId(0), Gfn(0), 0, &[0xEE]);
+        let r = ksm.scan_batch(&mut mem, 2);
+        assert_eq!(r.merged, 0);
+        assert!(ksm.stats().dropped_changed >= 1);
+    }
+
+    #[test]
+    fn zero_pages_all_merge_to_one_frame() {
+        let mut mem = HostMemory::new();
+        let mut hints = Vec::new();
+        for v in 0..6u32 {
+            mem.map_new_page(VmId(v), Gfn(0), PageData::zeroed());
+            hints.push((VmId(v), Gfn(0)));
+        }
+        let mut ksm = Ksm::new(KsmConfig::default(), hints);
+        let passes = ksm.run_to_steady_state(&mut mem, 10);
+        assert!(passes <= 4, "took {passes} passes");
+        assert_eq!(mem.allocated_frames(), 1);
+        assert_eq!(mem.refcount(mem.translate(VmId(0), Gfn(0)).unwrap()), 6);
+    }
+
+    #[test]
+    fn cow_break_after_merge_is_rescanned_and_remerges() {
+        let (mut mem, hints) = identical_vms(3, 1);
+        let mut ksm = Ksm::new(KsmConfig::default(), hints);
+        ksm.run_to_steady_state(&mut mem, 6);
+        assert_eq!(mem.allocated_frames(), 1);
+        // VM 2 writes, gets a private copy...
+        mem.guest_write(VmId(2), Gfn(0), 100, &[7]);
+        assert_eq!(mem.allocated_frames(), 2);
+        // ...then writes back the original value: identical again.
+        let shared = mem.guest_read(VmId(0), Gfn(0)).unwrap().as_bytes()[100];
+        mem.guest_write(VmId(2), Gfn(0), 100, &[shared]);
+        ksm.run_to_steady_state(&mut mem, 8);
+        assert_eq!(mem.allocated_frames(), 1, "page should re-merge");
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn batch_report_prices_work() {
+        let (mut mem, hints) = identical_vms(4, 2);
+        let mut ksm = Ksm::new(KsmConfig::default(), hints);
+        ksm.scan_batch(&mut mem, 4);
+        let r = ksm.scan_batch(&mut mem, 4);
+        assert!(r.cycles.total() > 0);
+        assert!(r.work.cmp_bytes > 0);
+        assert!(r.work.hash_bytes > 0);
+        assert_eq!(ksm.stats().cycles.total() > 0, true);
+    }
+
+    #[test]
+    fn shadow_ecc_keys_are_tracked() {
+        let (mut mem, hints) = identical_vms(2, 3);
+        let mut cfg = KsmConfig::default();
+        cfg.shadow_ecc = Some(EccKeyConfig::default());
+        let mut ksm = Ksm::new(cfg, hints);
+        ksm.scan_batch(&mut mem, 2);
+        ksm.scan_batch(&mut mem, 2);
+        let s = ksm.stats();
+        assert_eq!(
+            s.ecc_matches + s.ecc_mismatches,
+            s.jhash_matches + s.jhash_mismatches,
+            "shadow keys evaluated at every checksum decision"
+        );
+    }
+
+    #[test]
+    fn ecc_key_misses_off_window_change_that_jhash_catches_nothing_of() {
+        // A change outside both the jhash window (first 1 KB) and the ECC
+        // sample lines is invisible to both schemes: both report a match.
+        let (mut mem, hints) = identical_vms(1, 4);
+        let mut cfg = KsmConfig::default();
+        cfg.shadow_ecc = Some(EccKeyConfig::default());
+        let mut ksm = Ksm::new(cfg, hints);
+        ksm.scan_batch(&mut mem, 1); // record hashes
+        // Mutate line 40 (beyond 1 KB, not an ECC sample offset).
+        mem.guest_write(VmId(0), Gfn(0), 40 * 64 + 3, &[0xAB]);
+        ksm.scan_batch(&mut mem, 1);
+        let s = ksm.stats();
+        assert_eq!(s.jhash_matches, 1);
+        assert_eq!(s.ecc_matches, 1);
+    }
+
+    #[test]
+    fn use_zero_pages_shortcuts_the_trees() {
+        let mut mem = HostMemory::new();
+        let mut hints = Vec::new();
+        for v in 0..5u32 {
+            mem.map_new_page(VmId(v), Gfn(0), PageData::zeroed());
+            hints.push((VmId(v), Gfn(0)));
+        }
+        let cfg = KsmConfig {
+            use_zero_pages: true,
+            ..KsmConfig::default()
+        };
+        let mut ksm = Ksm::new(cfg, hints);
+        // A single pass suffices: no checksum-twice dance for zero pages.
+        ksm.scan_batch(&mut mem, 5);
+        assert_eq!(mem.allocated_frames(), 1, "all zeros on the anchor");
+        assert_eq!(ksm.stats().merged_zero, 4);
+        assert_eq!(ksm.stats().inserted_unstable, 0, "trees never touched");
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn zero_anchor_survives_cow_breaks() {
+        let mut mem = HostMemory::new();
+        let mut hints = Vec::new();
+        for v in 0..3u32 {
+            mem.map_new_page(VmId(v), Gfn(0), PageData::zeroed());
+            hints.push((VmId(v), Gfn(0)));
+        }
+        let cfg = KsmConfig {
+            use_zero_pages: true,
+            ..KsmConfig::default()
+        };
+        let mut ksm = Ksm::new(cfg, hints);
+        ksm.scan_batch(&mut mem, 3);
+        assert_eq!(mem.allocated_frames(), 1);
+        // Everyone writes: the anchor frame is freed entirely.
+        for v in 0..3u32 {
+            mem.guest_write(VmId(v), Gfn(0), 0, &[v as u8 + 1]);
+        }
+        // Zero the pages again; re-scanning re-establishes an anchor.
+        for v in 0..3u32 {
+            mem.guest_write(VmId(v), Gfn(0), 0, &[0]);
+        }
+        ksm.run_to_steady_state(&mut mem, 8);
+        assert_eq!(mem.allocated_frames(), 1);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_hint_list_is_a_noop() {
+        let mut mem = HostMemory::new();
+        let mut ksm = Ksm::new(KsmConfig::default(), vec![]);
+        let r = ksm.scan_batch(&mut mem, 100);
+        assert_eq!(r, BatchReport::default());
+    }
+
+    #[test]
+    fn unmapped_hints_are_skipped() {
+        let mut mem = HostMemory::new();
+        mem.map_new_page(VmId(0), Gfn(0), page(1));
+        let hints = vec![(VmId(0), Gfn(0)), (VmId(0), Gfn(99))];
+        let mut ksm = Ksm::new(KsmConfig::default(), hints);
+        ksm.scan_batch(&mut mem, 2);
+        assert_eq!(ksm.stats().unmapped, 1);
+    }
+}

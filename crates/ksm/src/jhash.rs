@@ -1,0 +1,179 @@
+//! Bob Jenkins' `jhash2`, as shipped in `include/linux/jhash.h` and used by
+//! KSM to fingerprint candidate pages.
+//!
+//! KSM generates a 32-bit per-page checksum over the first 1 KB of the page
+//! ("a per-page hash key is generated based on 1KB of the page's contents",
+//! §1), with init value 17. The hash is *serial*: it walks the words in
+//! order, which is why the paper argues a hardware jhash engine would need
+//! to buffer up to 1 KB of out-of-order responses (§3.3.1).
+
+use pageforge_types::PageData;
+
+/// Bytes of page content KSM hashes (the first 1 KB).
+pub const KSM_HASH_BYTES: usize = 1024;
+/// KSM's jhash2 init value.
+pub const KSM_HASH_INITVAL: u32 = 17;
+
+const JHASH_INITVAL: u32 = 0xdead_beef;
+
+#[inline]
+fn rol32(x: u32, k: u32) -> u32 {
+    x.rotate_left(k)
+}
+
+#[inline]
+#[allow(clippy::many_single_char_names)]
+fn mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *a = a.wrapping_sub(*c);
+    *a ^= rol32(*c, 4);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rol32(*a, 6);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rol32(*b, 8);
+    *b = b.wrapping_add(*a);
+    *a = a.wrapping_sub(*c);
+    *a ^= rol32(*c, 16);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rol32(*a, 19);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rol32(*b, 4);
+    *b = b.wrapping_add(*a);
+}
+
+#[inline]
+#[allow(clippy::many_single_char_names)]
+fn final_mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *c ^= *b;
+    *c = c.wrapping_sub(rol32(*b, 14));
+    *a ^= *c;
+    *a = a.wrapping_sub(rol32(*c, 11));
+    *b ^= *a;
+    *b = b.wrapping_sub(rol32(*a, 25));
+    *c ^= *b;
+    *c = c.wrapping_sub(rol32(*b, 16));
+    *a ^= *c;
+    *a = a.wrapping_sub(rol32(*c, 4));
+    *b ^= *a;
+    *b = b.wrapping_sub(rol32(*a, 14));
+    *c ^= *b;
+    *c = c.wrapping_sub(rol32(*b, 24));
+}
+
+/// `jhash2`: hash an array of `u32` words.
+///
+/// Faithful port of the Linux kernel implementation (an optimized variant
+/// of Jenkins' lookup3 for word-aligned input).
+///
+/// ```
+/// use pageforge_ksm::jhash::jhash2;
+/// // Deterministic and sensitive to every word.
+/// let a = jhash2(&[1, 2, 3], 17);
+/// let b = jhash2(&[1, 2, 4], 17);
+/// assert_ne!(a, b);
+/// assert_eq!(a, jhash2(&[1, 2, 3], 17));
+/// ```
+#[allow(clippy::many_single_char_names)]
+pub fn jhash2(k: &[u32], initval: u32) -> u32 {
+    let mut a = JHASH_INITVAL
+        .wrapping_add((k.len() as u32) << 2)
+        .wrapping_add(initval);
+    let mut b = a;
+    let mut c = a;
+
+    let mut words = k;
+    while words.len() > 3 {
+        a = a.wrapping_add(words[0]);
+        b = b.wrapping_add(words[1]);
+        c = c.wrapping_add(words[2]);
+        mix(&mut a, &mut b, &mut c);
+        words = &words[3..];
+    }
+    match words.len() {
+        3 => {
+            c = c.wrapping_add(words[2]);
+            b = b.wrapping_add(words[1]);
+            a = a.wrapping_add(words[0]);
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        2 => {
+            b = b.wrapping_add(words[1]);
+            a = a.wrapping_add(words[0]);
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        1 => {
+            a = a.wrapping_add(words[0]);
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        _ => {}
+    }
+    c
+}
+
+/// KSM's per-page checksum: `jhash2` over the first 1 KB of the page with
+/// init value 17 (`calc_checksum` in `mm/ksm.c`).
+pub fn page_checksum(page: &PageData) -> u32 {
+    let bytes = &page.as_bytes()[..KSM_HASH_BYTES];
+    let mut words = [0u32; KSM_HASH_BYTES / 4];
+    for (i, w) in words.iter_mut().enumerate() {
+        *w = u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    jhash2(&words, KSM_HASH_INITVAL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jhash2_is_deterministic() {
+        let data = [0xdeadbeefu32, 1, 2, 3, 4, 5, 6, 7];
+        assert_eq!(jhash2(&data, 17), jhash2(&data, 17));
+    }
+
+    #[test]
+    fn jhash2_initval_matters() {
+        let data = [1u32, 2, 3];
+        assert_ne!(jhash2(&data, 0), jhash2(&data, 17));
+    }
+
+    #[test]
+    fn jhash2_empty_input() {
+        // Length and initval still flow into the result.
+        assert_ne!(jhash2(&[], 0), jhash2(&[], 1));
+    }
+
+    #[test]
+    fn jhash2_each_tail_length() {
+        // Exercise the 1/2/3-word tail paths.
+        for len in 1..=9 {
+            let data: Vec<u32> = (0..len).collect();
+            let h = jhash2(&data, 17);
+            let mut tweaked = data.clone();
+            *tweaked.last_mut().unwrap() ^= 1;
+            assert_ne!(h, jhash2(&tweaked, 17), "len {len}");
+        }
+    }
+
+    #[test]
+    fn page_checksum_covers_only_first_kb() {
+        let a = PageData::zeroed();
+        let mut b = PageData::zeroed();
+        b.as_bytes_mut()[KSM_HASH_BYTES] = 1; // just past the window
+        assert_eq!(page_checksum(&a), page_checksum(&b));
+        let mut c = PageData::zeroed();
+        c.as_bytes_mut()[KSM_HASH_BYTES - 1] = 1; // last byte inside
+        assert_ne!(page_checksum(&a), page_checksum(&c));
+    }
+
+    #[test]
+    fn page_checksum_detects_first_byte() {
+        let a = PageData::zeroed();
+        let mut b = PageData::zeroed();
+        b.as_bytes_mut()[0] = 1;
+        assert_ne!(page_checksum(&a), page_checksum(&b));
+    }
+}

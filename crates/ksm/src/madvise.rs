@@ -1,0 +1,204 @@
+//! The `madvise` registration interface.
+//!
+//! KSM only scans pages that a guest (or its VMM) registered with
+//! `madvise(MADV_MERGEABLE)` (§2.1: "when a VM is deployed, it provides a
+//! hint to KSM with the range of pages that should be considered for
+//! merging"). The paper contrasts this with UKSM's whole-system scanning:
+//! the madvise interface is what lets "a cloud provider choose which VMs
+//! should be prevented from performing same-page merging" (§7.2).
+//!
+//! [`MergeRegistry`] tracks per-VM mergeable ranges, supports
+//! `MADV_UNMERGEABLE` withdrawal, and produces the scan list the daemon
+//! iterates.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use pageforge_types::{Gfn, VmId};
+
+/// Per-VM registry of `MADV_MERGEABLE` guest-frame ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeRegistry {
+    /// Sorted, disjoint ranges per VM.
+    regions: BTreeMap<VmId, Vec<(u64, u64)>>,
+}
+
+impl MergeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `madvise(range, MADV_MERGEABLE)`: marks the range scannable.
+    /// Overlapping/adjacent ranges coalesce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or reversed.
+    pub fn advise_mergeable(&mut self, vm: VmId, range: Range<u64>) {
+        assert!(range.start < range.end, "empty or reversed range");
+        let ranges = self.regions.entry(vm).or_default();
+        ranges.push((range.start, range.end));
+        Self::normalize(ranges);
+    }
+
+    /// `madvise(range, MADV_UNMERGEABLE)`: withdraws the range. Pages
+    /// already merged stay merged (the kernel breaks CoW lazily on write);
+    /// they simply stop being *scanned*.
+    pub fn advise_unmergeable(&mut self, vm: VmId, range: Range<u64>) {
+        let Some(ranges) = self.regions.get_mut(&vm) else {
+            return;
+        };
+        let mut out = Vec::with_capacity(ranges.len() + 1);
+        for &(s, e) in ranges.iter() {
+            if e <= range.start || s >= range.end {
+                out.push((s, e)); // untouched
+            } else {
+                if s < range.start {
+                    out.push((s, range.start));
+                }
+                if e > range.end {
+                    out.push((range.end, e));
+                }
+            }
+        }
+        *ranges = out;
+        if ranges.is_empty() {
+            self.regions.remove(&vm);
+        }
+    }
+
+    /// Removes everything a VM registered (VM teardown).
+    pub fn remove_vm(&mut self, vm: VmId) {
+        self.regions.remove(&vm);
+    }
+
+    /// Whether a specific guest page is currently mergeable.
+    pub fn is_mergeable(&self, vm: VmId, gfn: Gfn) -> bool {
+        self.regions
+            .get(&vm)
+            .is_some_and(|rs| rs.iter().any(|&(s, e)| gfn.0 >= s && gfn.0 < e))
+    }
+
+    /// Total registered pages across all VMs.
+    pub fn registered_pages(&self) -> u64 {
+        self.regions
+            .values()
+            .flat_map(|rs| rs.iter().map(|&(s, e)| e - s))
+            .sum()
+    }
+
+    /// The scan list the daemon iterates: every registered page in
+    /// (VM, GFN) order.
+    pub fn scan_list(&self) -> Vec<(VmId, Gfn)> {
+        let mut out = Vec::new();
+        for (&vm, ranges) in &self.regions {
+            for &(s, e) in ranges {
+                out.extend((s..e).map(|g| (vm, Gfn(g))));
+            }
+        }
+        out
+    }
+
+    fn normalize(ranges: &mut Vec<(u64, u64)>) {
+        ranges.sort_unstable();
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+        for &(s, e) in ranges.iter() {
+            match out.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => out.push((s, e)),
+            }
+        }
+        *ranges = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advise_and_scan() {
+        let mut r = MergeRegistry::new();
+        r.advise_mergeable(VmId(0), 0..4);
+        r.advise_mergeable(VmId(1), 2..5);
+        assert_eq!(r.registered_pages(), 7);
+        let list = r.scan_list();
+        assert_eq!(list.len(), 7);
+        assert!(list.contains(&(VmId(0), Gfn(3))));
+        assert!(list.contains(&(VmId(1), Gfn(4))));
+        assert!(!list.contains(&(VmId(1), Gfn(0))));
+    }
+
+    #[test]
+    fn overlapping_ranges_coalesce() {
+        let mut r = MergeRegistry::new();
+        r.advise_mergeable(VmId(0), 0..10);
+        r.advise_mergeable(VmId(0), 5..15);
+        r.advise_mergeable(VmId(0), 15..20); // adjacent
+        assert_eq!(r.registered_pages(), 20);
+        assert!(r.is_mergeable(VmId(0), Gfn(19)));
+        assert!(!r.is_mergeable(VmId(0), Gfn(20)));
+    }
+
+    #[test]
+    fn unmergeable_punches_holes() {
+        let mut r = MergeRegistry::new();
+        r.advise_mergeable(VmId(0), 0..10);
+        r.advise_unmergeable(VmId(0), 3..6);
+        assert_eq!(r.registered_pages(), 7);
+        assert!(r.is_mergeable(VmId(0), Gfn(2)));
+        assert!(!r.is_mergeable(VmId(0), Gfn(3)));
+        assert!(!r.is_mergeable(VmId(0), Gfn(5)));
+        assert!(r.is_mergeable(VmId(0), Gfn(6)));
+    }
+
+    #[test]
+    fn unmergeable_whole_region_removes_vm() {
+        let mut r = MergeRegistry::new();
+        r.advise_mergeable(VmId(0), 0..5);
+        r.advise_unmergeable(VmId(0), 0..5);
+        assert_eq!(r.registered_pages(), 0);
+        assert!(r.scan_list().is_empty());
+    }
+
+    #[test]
+    fn unmergeable_of_unknown_vm_is_noop() {
+        let mut r = MergeRegistry::new();
+        r.advise_unmergeable(VmId(9), 0..5);
+        assert_eq!(r.registered_pages(), 0);
+    }
+
+    #[test]
+    fn remove_vm_clears_only_that_vm() {
+        let mut r = MergeRegistry::new();
+        r.advise_mergeable(VmId(0), 0..3);
+        r.advise_mergeable(VmId(1), 0..3);
+        r.remove_vm(VmId(0));
+        assert_eq!(r.registered_pages(), 3);
+        assert!(!r.is_mergeable(VmId(0), Gfn(0)));
+        assert!(r.is_mergeable(VmId(1), Gfn(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or reversed")]
+    fn empty_range_panics() {
+        let mut r = MergeRegistry::new();
+        r.advise_mergeable(VmId(0), 5..5);
+    }
+
+    #[test]
+    fn provider_can_exempt_a_vm() {
+        // The §7.2 scenario: the provider opts VM 1 out entirely.
+        let mut r = MergeRegistry::new();
+        for vm in 0..3u32 {
+            r.advise_mergeable(VmId(vm), 0..100);
+        }
+        r.advise_unmergeable(VmId(1), 0..100);
+        let list = r.scan_list();
+        assert!(list.iter().all(|&(vm, _)| vm != VmId(1)));
+        assert_eq!(list.len(), 200);
+    }
+}

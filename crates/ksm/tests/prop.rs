@@ -1,0 +1,148 @@
+//! Property-based tests: red-black tree invariants under random operation
+//! sequences, and end-to-end KSM merge correctness.
+
+use proptest::prelude::*;
+
+use pageforge_ksm::rbtree::RbTree;
+use pageforge_ksm::{Ksm, KsmConfig};
+use pageforge_types::{Gfn, PageData, VmId};
+use pageforge_vm::HostMemory;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16),
+    RemoveNth(u16),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => any::<u16>().prop_map(Op::Insert),
+            1 => any::<u16>().prop_map(Op::RemoveNth),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Random insert/remove sequences preserve the red-black invariants and
+    /// agree with a sorted-model reference.
+    #[test]
+    fn rbtree_matches_model(ops in arb_ops()) {
+        let mut tree: RbTree<u16> = RbTree::new();
+        let mut handles = Vec::new();
+        let mut model: Vec<u16> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    let id = tree.insert_ord(v);
+                    handles.push(id);
+                    model.push(v);
+                }
+                Op::RemoveNth(n) => {
+                    if !handles.is_empty() {
+                        let idx = n as usize % handles.len();
+                        let id = handles.swap_remove(idx);
+                        let v = tree.remove(id);
+                        let pos = model.iter().position(|&x| x == v).unwrap();
+                        model.swap_remove(pos);
+                    }
+                }
+            }
+            tree.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("invariant violated: {e}"))
+            })?;
+        }
+        model.sort_unstable();
+        let inorder: Vec<u16> = tree.iter().copied().collect();
+        prop_assert_eq!(inorder, model);
+    }
+
+    /// The tree height stays logarithmic (RB guarantee: ≤ 2·log2(n+1)).
+    #[test]
+    fn rbtree_height_is_logarithmic(values in proptest::collection::vec(any::<u32>(), 1..500)) {
+        let mut tree = RbTree::new();
+        for v in &values {
+            tree.insert_ord(*v);
+        }
+        let n = tree.len();
+        let bound = 2 * ((n + 1) as f64).log2().ceil() as usize + 1;
+        for (id, _) in tree.iter_ids() {
+            let mut depth = 0;
+            let mut cur = Some(id);
+            while let Some(x) = cur {
+                depth += 1;
+                cur = tree.parent(x);
+            }
+            prop_assert!(depth <= bound, "depth {depth} > bound {bound} for n={n}");
+        }
+    }
+
+    /// KSM merges exactly the duplicate classes: after steady state, the
+    /// number of frames equals the number of distinct page contents, and
+    /// every guest still reads its original bytes.
+    #[test]
+    fn ksm_reaches_content_optimal_state(
+        contents in proptest::collection::vec(0u8..6, 2..24),
+    ) {
+        let mut mem = HostMemory::new();
+        let mut hints = Vec::new();
+        let mut originals = Vec::new();
+        for (i, &c) in contents.iter().enumerate() {
+            let vm = VmId((i % 4) as u32);
+            let gfn = Gfn((i / 4) as u64);
+            let data = PageData::from_fn(|j| c.wrapping_add((j % 7) as u8));
+            mem.map_new_page(vm, gfn, data.clone());
+            hints.push((vm, gfn));
+            originals.push((vm, gfn, data));
+        }
+        let mut ksm = Ksm::new(KsmConfig::default(), hints);
+        ksm.run_to_steady_state(&mut mem, 12);
+
+        // Frame count equals distinct contents.
+        let mut distinct: Vec<u8> = contents.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(mem.allocated_frames(), distinct.len());
+
+        // No guest observes corrupted data.
+        for (vm, gfn, data) in &originals {
+            prop_assert_eq!(mem.guest_read(*vm, *gfn).unwrap(), data);
+        }
+        mem.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// Writes between passes never corrupt other guests' views.
+    #[test]
+    fn ksm_with_interleaved_writes_is_safe(
+        contents in proptest::collection::vec(0u8..4, 4..16),
+        writes in proptest::collection::vec((0usize..16, 0usize..4096, any::<u8>()), 0..20),
+    ) {
+        let mut mem = HostMemory::new();
+        let mut hints = Vec::new();
+        for (i, &c) in contents.iter().enumerate() {
+            let vm = VmId(i as u32);
+            mem.map_new_page(vm, Gfn(0), PageData::from_fn(|_| c));
+            hints.push((vm, Gfn(0)));
+        }
+        let n = contents.len();
+        let mut ksm = Ksm::new(KsmConfig::default(), hints);
+        let mut expected: Vec<PageData> = (0..n)
+            .map(|i| mem.guest_read(VmId(i as u32), Gfn(0)).unwrap().clone())
+            .collect();
+
+        for (k, &(who, off, val)) in writes.iter().enumerate() {
+            let vm = VmId((who % n) as u32);
+            mem.guest_write(vm, Gfn(0), off, &[val]);
+            expected[(who % n)].as_bytes_mut()[off] = val;
+            if k % 3 == 0 {
+                ksm.scan_batch(&mut mem, n);
+            }
+        }
+        ksm.run_to_steady_state(&mut mem, 8);
+        for (i, exp) in expected.iter().enumerate() {
+            prop_assert_eq!(mem.guest_read(VmId(i as u32), Gfn(0)).unwrap(), exp);
+        }
+        mem.check_invariants().map_err(TestCaseError::fail)?;
+    }
+}

@@ -1,0 +1,387 @@
+//! DDR DRAM timing: channels, ranks, banks, and row buffers.
+//!
+//! Timing is expressed in *CPU* cycles (2 GHz core clock, Table 2; the
+//! 1 GHz DDR device clock means one memory cycle is two CPU cycles). Each
+//! bank tracks its open row, giving row-hit/row-miss access latencies; each
+//! channel tracks recent *utilization* over a sliding window, from which a
+//! queueing delay is derived (M/M/1-shaped: `u/(1-u) × service`).
+//!
+//! Contention is modeled by utilization rather than by absolute
+//! `busy-until` timestamps because the simulator's requesters (cores, the
+//! PageForge engine, the KSM task) advance on loosely-synchronized clocks:
+//! timestamp comparisons across requesters would charge enormous spurious
+//! waits whenever one requester runs ahead in time. The utilization window
+//! is long (≫ the clock skew) so the estimate is skew-robust, while still
+//! making a streaming dedup engine visibly delay demand reads — which is
+//! exactly the contention channel the paper's Figure 11 discussion cares
+//! about.
+
+use serde::{Deserialize, Serialize};
+
+use pageforge_types::{Cycle, LineAddr, LINE_SIZE};
+
+/// DRAM geometry and timing, in CPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Independent channels.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks_per_channel: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+    /// Lines per row buffer (a 2 KB row holds 32 64-byte lines).
+    pub lines_per_row: u64,
+    /// CAS latency (column access of an open row).
+    pub t_cas: Cycle,
+    /// RAS-to-CAS delay (activate a row).
+    pub t_rcd: Cycle,
+    /// Precharge time (close a row).
+    pub t_rp: Cycle,
+    /// Data-burst occupancy of the channel for one line.
+    pub t_burst: Cycle,
+    /// Utilization-window width for the contention estimate.
+    pub util_window: Cycle,
+    /// Upper bound on the queueing wait charged to one request.
+    pub max_queue_wait: Cycle,
+}
+
+impl DramConfig {
+    /// The paper's memory system: 2 channels, 8 ranks/channel, 8
+    /// banks/rank, 1 GHz DDR (timings ×2 in CPU cycles).
+    pub fn micro50() -> Self {
+        DramConfig {
+            channels: 2,
+            ranks_per_channel: 8,
+            banks_per_rank: 8,
+            lines_per_row: 32,
+            t_cas: 28,
+            t_rcd: 28,
+            t_rp: 28,
+            t_burst: 8,
+            util_window: 500_000,
+            max_queue_wait: 2_000,
+        }
+    }
+
+    /// Total banks across the device.
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Peak data bandwidth of the device in GB/s at the given CPU clock:
+    /// one line per `t_burst` per channel.
+    pub fn peak_gbps(&self, cpu_hz: f64) -> f64 {
+        self.channels as f64 * LINE_SIZE as f64 / (self.t_burst as f64 / cpu_hz) / 1e9
+    }
+}
+
+/// Row-hit/miss and traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Reads serviced.
+    pub reads: u64,
+    /// Writes serviced.
+    pub writes: u64,
+    /// Accesses that hit an open row.
+    pub row_hits: u64,
+    /// Accesses that had to close and open a row (or open a fresh one).
+    pub row_misses: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Total queueing-wait cycles charged.
+    pub queue_wait_cycles: u64,
+}
+
+impl DramStats {
+    /// Row-buffer hit rate in `[0, 1]`.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+}
+
+/// Ring size of utilization buckets: covers `RING × util_window` cycles of
+/// requester clock skew.
+const RING: usize = 16;
+
+/// Busy-cycle accounting in absolute-indexed window buckets, so requesters
+/// on skewed clocks each read the utilization of *their own* previous
+/// window.
+#[derive(Debug, Clone, Copy)]
+struct Channel {
+    /// `(window_index, busy_cycles)` per ring slot.
+    slots: [(u64, Cycle); RING],
+}
+
+impl Default for Channel {
+    fn default() -> Self {
+        Channel {
+            slots: [(u64::MAX, 0); RING],
+        }
+    }
+}
+
+impl Channel {
+    fn note(&mut self, now: Cycle, busy: Cycle, window: Cycle) {
+        let w = now / window;
+        let slot = &mut self.slots[(w as usize) % RING];
+        if slot.0 != w {
+            *slot = (w, 0);
+        }
+        slot.1 += busy;
+    }
+
+    /// Utilization of the window preceding `now`'s, in [0, 0.98].
+    fn utilization(&self, now: Cycle, window: Cycle) -> f64 {
+        let w = (now / window).saturating_sub(1);
+        let slot = self.slots[(w as usize) % RING];
+        if slot.0 == w {
+            (slot.1 as f64 / window as f64).min(0.98)
+        } else {
+            0.0
+        }
+    }
+
+    fn queue_wait(&self, now: Cycle, window: Cycle, service: Cycle, cap: Cycle) -> Cycle {
+        let util = self.utilization(now, window);
+        let wait = util / (1.0 - util) * service as f64;
+        (wait as Cycle).min(cap)
+    }
+}
+
+/// The DRAM device array.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    channels: Vec<Channel>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Builds an idle DRAM with the given configuration.
+    pub fn new(cfg: DramConfig) -> Self {
+        Dram {
+            banks: vec![Bank::default(); cfg.total_banks()],
+            channels: vec![Channel::default(); cfg.channels],
+            cfg,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Utilization estimate a request at `now` on `channel` would observe,
+    /// for tests and reporting.
+    pub fn channel_utilization_at(&self, channel: usize, now: Cycle) -> f64 {
+        self.channels[channel].utilization(now, self.cfg.util_window)
+    }
+
+    /// Address mapping: line-interleaved across channels, then banks, so
+    /// consecutive lines spread across channels (the paper interleaves
+    /// pages across controllers/channels/ranks/banks for parallelism,
+    /// §4.1).
+    fn map(&self, addr: LineAddr) -> (usize, usize, u64) {
+        let channel = (addr.0 % self.cfg.channels as u64) as usize;
+        let within = addr.0 / self.cfg.channels as u64;
+        let banks = (self.cfg.ranks_per_channel * self.cfg.banks_per_rank) as u64;
+        let row_seq = within / self.cfg.lines_per_row;
+        let bank = (row_seq % banks) as usize;
+        let row = row_seq / banks;
+        (channel, bank, row)
+    }
+
+    /// Services one line access issued at `now`; returns the completion
+    /// cycle (`now` + queueing + access + burst).
+    pub fn service(&mut self, addr: LineAddr, now: Cycle, write: bool) -> Cycle {
+        let (channel_idx, bank_in_channel, row) = self.map(addr);
+        let bank_idx =
+            channel_idx * self.cfg.ranks_per_channel * self.cfg.banks_per_rank + bank_in_channel;
+
+        let access_latency = match self.banks[bank_idx].open_row {
+            Some(open) if open == row => {
+                self.stats.row_hits += 1;
+                self.cfg.t_cas
+            }
+            Some(_) => {
+                self.stats.row_misses += 1;
+                self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas
+            }
+            None => {
+                self.stats.row_misses += 1;
+                self.cfg.t_rcd + self.cfg.t_cas
+            }
+        };
+        self.banks[bank_idx].open_row = Some(row);
+
+        let channel = &mut self.channels[channel_idx];
+        let wait = channel.queue_wait(
+            now,
+            self.cfg.util_window,
+            access_latency + self.cfg.t_burst,
+            self.cfg.max_queue_wait,
+        );
+        channel.note(now, self.cfg.t_burst, self.cfg.util_window);
+
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.stats.bytes += LINE_SIZE as u64;
+        self.stats.queue_wait_cycles += wait;
+        now + wait + access_latency + self.cfg.t_burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_is_row_miss() {
+        let mut d = Dram::new(DramConfig::micro50());
+        let done = d.service(LineAddr(0), 0, false);
+        assert_eq!(done, 28 + 28 + 8); // tRCD + tCAS + burst
+        assert_eq!(d.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn second_access_same_row_hits() {
+        let mut d = Dram::new(DramConfig::micro50());
+        let first = d.service(LineAddr(0), 0, false);
+        // Line 2 maps to the same channel (even), same bank/row.
+        let done = d.service(LineAddr(2), first, false);
+        assert_eq!(done - first, 28 + 8); // tCAS + burst
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let cfg = DramConfig::micro50();
+        let mut d = Dram::new(cfg);
+        let banks = (cfg.ranks_per_channel * cfg.banks_per_rank) as u64;
+        // Two rows on the same bank of channel 0.
+        let same_bank_next_row = LineAddr(cfg.lines_per_row * banks * cfg.channels as u64);
+        let first = d.service(LineAddr(0), 0, false);
+        let done = d.service(same_bank_next_row, first, false);
+        assert_eq!(done - first, 28 + 28 + 28 + 8); // tRP + tRCD + tCAS + burst
+    }
+
+    #[test]
+    fn saturating_traffic_raises_queue_wait() {
+        let cfg = DramConfig::micro50();
+        let mut d = Dram::new(cfg);
+        // Saturate channel 0 for two windows: one line per t_burst cycles.
+        let mut t = 0;
+        let mut addr = 0u64;
+        while t < 2 * cfg.util_window {
+            d.service(LineAddr(addr * 2), t, false); // even = channel 0
+            addr = (addr + 7) % 100_000;
+            t += cfg.t_burst;
+        }
+        assert!(
+            d.channel_utilization_at(0, t) > 0.8,
+            "utilization {}",
+            d.channel_utilization_at(0, t)
+        );
+        // A new request now pays a substantial queueing wait.
+        let start = t;
+        let done = d.service(LineAddr(addr * 2), start, false);
+        let base = 28 + 28 + 28 + 8; // worst-case access
+        assert!(
+            done - start > base,
+            "expected queueing on a hot channel: {}",
+            done - start
+        );
+        assert!(d.stats().queue_wait_cycles > 0);
+    }
+
+    #[test]
+    fn idle_gap_decays_utilization() {
+        let cfg = DramConfig::micro50();
+        let mut d = Dram::new(cfg);
+        let mut t = 0;
+        for i in 0..2_000u64 {
+            d.service(LineAddr(i * 2), t, false);
+            t += cfg.t_burst;
+        }
+        // Long idle gap, then one access: utilization has decayed.
+        let late = t + 10 * cfg.util_window;
+        d.service(LineAddr(0), late, false);
+        assert_eq!(d.channel_utilization_at(0, late), 0.0);
+    }
+
+    #[test]
+    fn light_traffic_pays_no_wait() {
+        let cfg = DramConfig::micro50();
+        let mut d = Dram::new(cfg);
+        // Sparse accesses: never builds utilization.
+        for i in 0..100u64 {
+            let start = i * 100_000;
+            let done = d.service(LineAddr(0), start, false);
+            assert!(done - start <= 28 + 28 + 28 + 8);
+        }
+    }
+
+    #[test]
+    fn queue_wait_is_capped() {
+        let cfg = DramConfig::micro50();
+        let mut ch = Channel::default();
+        // Saturate window 0 completely.
+        ch.note(0, cfg.util_window, cfg.util_window);
+        let now = cfg.util_window; // window 1 reads window 0's utilization
+        let wait = ch.queue_wait(now, cfg.util_window, 1000, cfg.max_queue_wait);
+        assert_eq!(wait, cfg.max_queue_wait);
+        // A request whose previous window is empty pays nothing.
+        let far = 10 * cfg.util_window;
+        assert_eq!(ch.queue_wait(far, cfg.util_window, 1000, cfg.max_queue_wait), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = Dram::new(DramConfig::micro50());
+        d.service(LineAddr(0), 0, false);
+        d.service(LineAddr(0), 100, true);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().bytes, 128);
+        assert!(d.stats().row_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn peak_bandwidth_is_plausible() {
+        // 2 channels × 64 B / 4 ns = 32 GB/s.
+        let gbps = DramConfig::micro50().peak_gbps(2e9);
+        assert!((gbps - 32.0).abs() < 0.1, "{gbps}");
+    }
+
+    #[test]
+    fn mapping_is_total_and_stable() {
+        let d = Dram::new(DramConfig::micro50());
+        for raw in [0u64, 1, 63, 64, 12345, 1 << 30] {
+            let (c1, b1, r1) = d.map(LineAddr(raw));
+            let (c2, b2, r2) = d.map(LineAddr(raw));
+            assert_eq!((c1, b1, r1), (c2, b2, r2));
+            assert!(c1 < d.cfg.channels);
+            assert!(b1 < d.cfg.ranks_per_channel * d.cfg.banks_per_rank);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Virtual-machine memory substrate for the PageForge reproduction.
+//!
+//! The paper evaluates same-page merging across 10 QEMU-KVM virtual
+//! machines, each with 512 MB of guest memory (Table 2). This crate provides
+//! the memory-management machinery that both RedHat's KSM and the PageForge
+//! hardware operate on:
+//!
+//! * [`HostMemory`] — host physical frames, guest-physical→host-physical
+//!   mappings per VM (Figure 1), reverse mappings, copy-on-write protection,
+//!   and the page-merge operation itself ([`memory`]);
+//! * [`AppProfile`] / [`MemoryImage`] — synthetic VM memory images with
+//!   controllable duplication statistics, standing in for the Ubuntu cloud
+//!   images the authors boot (see DESIGN.md, "VM-image substitution"), plus
+//!   the write-churn model that exercises CoW breaks and hash-key checks
+//!   ([`generate`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use pageforge_types::{Gfn, PageData, VmId};
+//! use pageforge_vm::HostMemory;
+//!
+//! let mut mem = HostMemory::new();
+//! let a = mem.map_new_page(VmId(0), Gfn(0), PageData::zeroed());
+//! let b = mem.map_new_page(VmId(1), Gfn(0), PageData::zeroed());
+//! assert_eq!(mem.allocated_frames(), 2);
+//!
+//! // The two zero pages are identical: merge them.
+//! mem.merge_into(a, b).unwrap();
+//! assert_eq!(mem.allocated_frames(), 1);
+//! assert_eq!(mem.translate(VmId(1), Gfn(0)), Some(a));
+//!
+//! // A write to a merged page breaks CoW.
+//! let outcome = mem.guest_write(VmId(1), Gfn(0), 0, &[42]);
+//! assert!(outcome.broke_cow());
+//! assert_eq!(mem.allocated_frames(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod memory;
+
+pub use generate::{
+    AppProfile, CategoryCounts, ChurnEvent, ChurnModel, GeneratedPage, MemoryImage, PageCategory,
+};
+pub use memory::{HostMemory, MemoryStats, MergeError, WriteOutcome};

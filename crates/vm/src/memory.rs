@@ -1,0 +1,591 @@
+//! Host physical memory, guest mappings, copy-on-write, and page merging.
+//!
+//! This is the hypervisor-side state that same-page merging manipulates
+//! (Figure 1 of the paper): each VM maps guest frame numbers to host
+//! physical frames; merging repoints several guest mappings at one shared,
+//! CoW-protected frame and frees the rest.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pageforge_types::{Gfn, PageData, Ppn, VmId};
+
+/// A host physical frame: its contents plus the CoW protection bit.
+#[derive(Debug, Clone)]
+struct Frame {
+    data: PageData,
+    cow: bool,
+    /// Allocation epoch: frame numbers are recycled, so holders of a `Ppn`
+    /// (e.g. KSM tree nodes) compare epochs to detect staleness.
+    epoch: u64,
+    /// Reverse mappings: every (VM, guest frame) currently mapping here.
+    rmap: Vec<(VmId, Gfn)>,
+}
+
+/// Counters describing the merge state of a [`HostMemory`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Frames currently allocated.
+    pub allocated_frames: usize,
+    /// Guest pages currently mapped (the footprint *without* merging).
+    pub mapped_guest_pages: usize,
+    /// Total successful merges performed.
+    pub merges: u64,
+    /// Total CoW breaks (writes to shared frames).
+    pub cow_breaks: u64,
+    /// Frames freed by merging, cumulative.
+    pub frames_freed_by_merge: u64,
+}
+
+impl MemoryStats {
+    /// Fraction of the unmerged footprint saved by merging, in `[0, 1)`.
+    pub fn savings_fraction(&self) -> f64 {
+        if self.mapped_guest_pages == 0 {
+            return 0.0;
+        }
+        1.0 - self.allocated_frames as f64 / self.mapped_guest_pages as f64
+    }
+}
+
+/// Outcome of a guest write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The frame was private (or unprotected): written in place.
+    InPlace(Ppn),
+    /// The frame was shared and CoW-protected: a private copy was made for
+    /// the writer and written instead.
+    CowBroken {
+        /// The writer's new private frame.
+        new_frame: Ppn,
+        /// The shared frame the writer was unmapped from.
+        old_frame: Ppn,
+    },
+}
+
+impl WriteOutcome {
+    /// The frame that now holds the written data.
+    pub fn frame(self) -> Ppn {
+        match self {
+            WriteOutcome::InPlace(p) => p,
+            WriteOutcome::CowBroken { new_frame, .. } => new_frame,
+        }
+    }
+
+    /// `true` if the write triggered a copy-on-write.
+    pub fn broke_cow(self) -> bool {
+        matches!(self, WriteOutcome::CowBroken { .. })
+    }
+}
+
+/// Error returned by [`HostMemory::merge_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// One of the frames does not exist.
+    NoSuchFrame(Ppn),
+    /// The two frames do not have identical contents. Merging them would
+    /// corrupt a guest; the final write-protected comparison (§3.5) exists
+    /// precisely to catch this.
+    ContentMismatch,
+    /// Attempted to merge a frame into itself.
+    SameFrame(Ppn),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoSuchFrame(p) => write!(f, "frame {p} does not exist"),
+            MergeError::ContentMismatch => write!(f, "page contents differ"),
+            MergeError::SameFrame(p) => write!(f, "cannot merge frame {p} into itself"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Host physical memory with per-VM guest mappings, reverse mappings,
+/// copy-on-write, and page merging.
+///
+/// Deterministic by construction: frame numbers are handed out sequentially
+/// (recycling freed frames LIFO) and all maps iterate in sorted order.
+#[derive(Debug, Clone, Default)]
+pub struct HostMemory {
+    frames: HashMap<Ppn, Frame>,
+    guest: HashMap<(VmId, Gfn), Ppn>,
+    free_list: Vec<Ppn>,
+    next_ppn: u64,
+    epoch_counter: u64,
+    merges: u64,
+    cow_breaks: u64,
+    frames_freed_by_merge: u64,
+}
+
+impl HostMemory {
+    /// Creates an empty host memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn alloc_ppn(&mut self) -> Ppn {
+        if let Some(p) = self.free_list.pop() {
+            return p;
+        }
+        let p = Ppn(self.next_ppn);
+        self.next_ppn += 1;
+        p
+    }
+
+    /// Allocates a fresh frame holding `data` and maps it at `(vm, gfn)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(vm, gfn)` is already mapped; unmap first.
+    pub fn map_new_page(&mut self, vm: VmId, gfn: Gfn, data: PageData) -> Ppn {
+        assert!(
+            !self.guest.contains_key(&(vm, gfn)),
+            "({vm}, {gfn}) is already mapped"
+        );
+        let ppn = self.alloc_ppn();
+        self.epoch_counter += 1;
+        self.frames.insert(
+            ppn,
+            Frame {
+                data,
+                cow: false,
+                epoch: self.epoch_counter,
+                rmap: vec![(vm, gfn)],
+            },
+        );
+        self.guest.insert((vm, gfn), ppn);
+        ppn
+    }
+
+    /// The allocation epoch of a frame: recycled frame numbers get a new
+    /// epoch, so `(Ppn, epoch)` pairs uniquely identify an allocation.
+    pub fn frame_epoch(&self, ppn: Ppn) -> Option<u64> {
+        self.frames.get(&ppn).map(|f| f.epoch)
+    }
+
+    /// Translates a guest page to its host frame.
+    pub fn translate(&self, vm: VmId, gfn: Gfn) -> Option<Ppn> {
+        self.guest.get(&(vm, gfn)).copied()
+    }
+
+    /// The contents of a frame, if it exists.
+    pub fn frame_data(&self, ppn: Ppn) -> Option<&PageData> {
+        self.frames.get(&ppn).map(|f| &f.data)
+    }
+
+    /// Number of guest pages mapping a frame (0 if it does not exist).
+    pub fn refcount(&self, ppn: Ppn) -> usize {
+        self.frames.get(&ppn).map_or(0, |f| f.rmap.len())
+    }
+
+    /// Whether a frame is CoW-protected.
+    pub fn is_cow(&self, ppn: Ppn) -> bool {
+        self.frames.get(&ppn).is_some_and(|f| f.cow)
+    }
+
+    /// Marks a frame CoW-protected (write-protects all its mappings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame does not exist.
+    pub fn cow_protect(&mut self, ppn: Ppn) {
+        self.frames
+            .get_mut(&ppn)
+            .unwrap_or_else(|| panic!("cow_protect: frame {ppn} does not exist"))
+            .cow = true;
+    }
+
+    /// Reads the page mapped at `(vm, gfn)`.
+    pub fn guest_read(&self, vm: VmId, gfn: Gfn) -> Option<&PageData> {
+        let ppn = self.translate(vm, gfn)?;
+        self.frame_data(ppn)
+    }
+
+    /// Writes `bytes` at `offset` into the page mapped at `(vm, gfn)`,
+    /// enforcing copy-on-write: if the target frame is shared and protected,
+    /// the writer gets a private copy first (the OS behaviour described in
+    /// §2.1: "the OS enforces the CoW policy by creating a copy of the page
+    /// and providing it to the process that performed the write").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(vm, gfn)` is not mapped, or the write overruns the page.
+    pub fn guest_write(&mut self, vm: VmId, gfn: Gfn, offset: usize, bytes: &[u8]) -> WriteOutcome {
+        let ppn = self
+            .translate(vm, gfn)
+            .unwrap_or_else(|| panic!("guest_write: ({vm}, {gfn}) is not mapped"));
+        let frame = self.frames.get_mut(&ppn).expect("mapped frame exists");
+        assert!(
+            offset + bytes.len() <= pageforge_types::PAGE_SIZE,
+            "write overruns the page"
+        );
+        if frame.cow {
+            // Copy-on-write: give the writer a private copy. Like Linux KSM
+            // pages, a CoW frame is *never* written in place — even a sole
+            // mapper gets a fresh copy, keeping the merged (stable) frame
+            // immutable for its whole lifetime.
+            let mut copy = frame.data.clone();
+            copy.as_bytes_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
+            frame.rmap.retain(|&m| m != (vm, gfn));
+            let orphaned = frame.rmap.is_empty();
+            self.guest.remove(&(vm, gfn));
+            self.cow_breaks += 1;
+            // Allocate the copy *before* freeing an orphaned frame so the
+            // writer never receives the frame number it just left.
+            let new_ppn = self.alloc_ppn();
+            if orphaned {
+                self.frames.remove(&ppn);
+                self.free_list.push(ppn);
+            }
+            self.epoch_counter += 1;
+            self.frames.insert(
+                new_ppn,
+                Frame {
+                    data: copy,
+                    cow: false,
+                    epoch: self.epoch_counter,
+                    rmap: vec![(vm, gfn)],
+                },
+            );
+            self.guest.insert((vm, gfn), new_ppn);
+            WriteOutcome::CowBroken {
+                new_frame: new_ppn,
+                old_frame: ppn,
+            }
+        } else {
+            frame.data.as_bytes_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
+            WriteOutcome::InPlace(ppn)
+        }
+    }
+
+    /// Merges frame `drop` into frame `keep`: verifies the contents are
+    /// identical, repoints every mapping of `drop` at `keep`, CoW-protects
+    /// `keep`, and frees `drop`.
+    ///
+    /// This is the `merge` step of Algorithm 1 (and what the hypervisor does
+    /// when PageForge reports a duplicate).
+    ///
+    /// # Errors
+    ///
+    /// * [`MergeError::SameFrame`] if `keep == drop`;
+    /// * [`MergeError::NoSuchFrame`] if either frame is unallocated;
+    /// * [`MergeError::ContentMismatch`] if the contents differ (the
+    ///   write-protected final comparison failed).
+    pub fn merge_into(&mut self, keep: Ppn, drop: Ppn) -> Result<(), MergeError> {
+        if keep == drop {
+            return Err(MergeError::SameFrame(keep));
+        }
+        if !self.frames.contains_key(&keep) {
+            return Err(MergeError::NoSuchFrame(keep));
+        }
+        if !self.frames.contains_key(&drop) {
+            return Err(MergeError::NoSuchFrame(drop));
+        }
+        let equal = {
+            let a = &self.frames[&keep].data;
+            let b = &self.frames[&drop].data;
+            a == b
+        };
+        if !equal {
+            return Err(MergeError::ContentMismatch);
+        }
+        let dropped = self.frames.remove(&drop).expect("checked above");
+        for &(vm, gfn) in &dropped.rmap {
+            self.guest.insert((vm, gfn), keep);
+        }
+        let kept = self.frames.get_mut(&keep).expect("checked above");
+        kept.rmap.extend(dropped.rmap);
+        kept.cow = true;
+        self.free_list.push(drop);
+        self.merges += 1;
+        self.frames_freed_by_merge += 1;
+        Ok(())
+    }
+
+    /// Unmaps `(vm, gfn)`, freeing the frame if this was the last mapping.
+    /// Returns the frame it was mapped to, if any.
+    pub fn unmap(&mut self, vm: VmId, gfn: Gfn) -> Option<Ppn> {
+        let ppn = self.guest.remove(&(vm, gfn))?;
+        let frame = self.frames.get_mut(&ppn).expect("mapped frame exists");
+        frame.rmap.retain(|&m| m != (vm, gfn));
+        if frame.rmap.is_empty() {
+            self.frames.remove(&ppn);
+            self.free_list.push(ppn);
+        }
+        Some(ppn)
+    }
+
+    /// Number of frames currently allocated (the footprint *with* merging).
+    pub fn allocated_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of guest pages currently mapped (the footprint *without*
+    /// merging).
+    pub fn mapped_guest_pages(&self) -> usize {
+        self.guest.len()
+    }
+
+    /// All guest mappings of a frame.
+    pub fn reverse_map(&self, ppn: Ppn) -> &[(VmId, Gfn)] {
+        self.frames.get(&ppn).map_or(&[], |f| &f.rmap)
+    }
+
+    /// Iterates over all allocated frames in frame-number order.
+    /// (Sorted on the fly; intended for reporting and tests, not hot paths.)
+    pub fn iter_frames(&self) -> impl Iterator<Item = (Ppn, &PageData, bool)> {
+        let mut entries: Vec<_> = self.frames.iter().collect();
+        entries.sort_by_key(|(&p, _)| p);
+        entries.into_iter().map(|(&p, f)| (p, &f.data, f.cow))
+    }
+
+    /// Iterates over all guest mappings in (VM, GFN) order.
+    /// (Sorted on the fly; intended for reporting and tests, not hot paths.)
+    pub fn iter_mappings(&self) -> impl Iterator<Item = (VmId, Gfn, Ppn)> + '_ {
+        let mut entries: Vec<_> = self.guest.iter().collect();
+        entries.sort_by_key(|(&k, _)| k);
+        entries.into_iter().map(|(&(vm, gfn), &ppn)| (vm, gfn, ppn))
+    }
+
+    /// Snapshot of the merge statistics.
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            allocated_frames: self.allocated_frames(),
+            mapped_guest_pages: self.mapped_guest_pages(),
+            merges: self.merges,
+            cow_breaks: self.cow_breaks,
+            frames_freed_by_merge: self.frames_freed_by_merge,
+        }
+    }
+
+    /// Checks internal invariants; used by tests and debug assertions.
+    ///
+    /// Invariants:
+    /// 1. every guest mapping points at an allocated frame whose rmap
+    ///    contains it;
+    /// 2. every rmap entry is a live guest mapping pointing back at the
+    ///    frame;
+    /// 3. no frame has an empty rmap;
+    /// 4. frames shared by >1 mapping are CoW-protected *only if* marked.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (&(vm, gfn), &ppn) in &self.guest {
+            let frame = self
+                .frames
+                .get(&ppn)
+                .ok_or_else(|| format!("mapping ({vm},{gfn})→{ppn} points at missing frame"))?;
+            if !frame.rmap.contains(&(vm, gfn)) {
+                return Err(format!("frame {ppn} rmap is missing ({vm},{gfn})"));
+            }
+        }
+        for (&ppn, frame) in &self.frames {
+            if frame.rmap.is_empty() {
+                return Err(format!("frame {ppn} has an empty rmap"));
+            }
+            for &(vm, gfn) in &frame.rmap {
+                if self.guest.get(&(vm, gfn)) != Some(&ppn) {
+                    return Err(format!("rmap entry ({vm},{gfn}) of {ppn} is stale"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(b: u8) -> PageData {
+        PageData::from_fn(|_| b)
+    }
+
+    #[test]
+    fn map_and_translate() {
+        let mut mem = HostMemory::new();
+        let p = mem.map_new_page(VmId(0), Gfn(1), page(1));
+        assert_eq!(mem.translate(VmId(0), Gfn(1)), Some(p));
+        assert_eq!(mem.translate(VmId(0), Gfn(2)), None);
+        assert_eq!(mem.frame_data(p), Some(&page(1)));
+        assert_eq!(mem.refcount(p), 1);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn double_map_panics() {
+        let mut mem = HostMemory::new();
+        mem.map_new_page(VmId(0), Gfn(1), page(1));
+        mem.map_new_page(VmId(0), Gfn(1), page(2));
+    }
+
+    #[test]
+    fn merge_identical_pages() {
+        let mut mem = HostMemory::new();
+        let a = mem.map_new_page(VmId(0), Gfn(0), page(7));
+        let b = mem.map_new_page(VmId(1), Gfn(9), page(7));
+        mem.merge_into(a, b).unwrap();
+        assert_eq!(mem.allocated_frames(), 1);
+        assert_eq!(mem.mapped_guest_pages(), 2);
+        assert_eq!(mem.translate(VmId(1), Gfn(9)), Some(a));
+        assert_eq!(mem.refcount(a), 2);
+        assert!(mem.is_cow(a));
+        assert_eq!(mem.stats().merges, 1);
+        assert!((mem.stats().savings_fraction() - 0.5).abs() < 1e-12);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merge_rejects_different_contents() {
+        let mut mem = HostMemory::new();
+        let a = mem.map_new_page(VmId(0), Gfn(0), page(1));
+        let b = mem.map_new_page(VmId(0), Gfn(1), page(2));
+        assert_eq!(mem.merge_into(a, b), Err(MergeError::ContentMismatch));
+        assert_eq!(mem.allocated_frames(), 2);
+    }
+
+    #[test]
+    fn merge_rejects_same_and_missing_frames() {
+        let mut mem = HostMemory::new();
+        let a = mem.map_new_page(VmId(0), Gfn(0), page(1));
+        assert_eq!(mem.merge_into(a, a), Err(MergeError::SameFrame(a)));
+        assert_eq!(
+            mem.merge_into(a, Ppn(999)),
+            Err(MergeError::NoSuchFrame(Ppn(999)))
+        );
+        assert_eq!(
+            mem.merge_into(Ppn(999), a),
+            Err(MergeError::NoSuchFrame(Ppn(999)))
+        );
+    }
+
+    #[test]
+    fn write_to_shared_frame_breaks_cow() {
+        let mut mem = HostMemory::new();
+        let a = mem.map_new_page(VmId(0), Gfn(0), page(7));
+        let b = mem.map_new_page(VmId(1), Gfn(0), page(7));
+        mem.merge_into(a, b).unwrap();
+        let outcome = mem.guest_write(VmId(1), Gfn(0), 10, &[99]);
+        assert!(outcome.broke_cow());
+        let new = outcome.frame();
+        assert_ne!(new, a);
+        assert_eq!(mem.translate(VmId(1), Gfn(0)), Some(new));
+        // Writer sees the new byte; the other VM does not.
+        assert_eq!(mem.guest_read(VmId(1), Gfn(0)).unwrap().as_bytes()[10], 99);
+        assert_eq!(mem.guest_read(VmId(0), Gfn(0)).unwrap().as_bytes()[10], 7);
+        assert_eq!(mem.refcount(a), 1);
+        assert_eq!(mem.stats().cow_breaks, 1);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_to_private_frame_is_in_place() {
+        let mut mem = HostMemory::new();
+        let a = mem.map_new_page(VmId(0), Gfn(0), page(1));
+        let outcome = mem.guest_write(VmId(0), Gfn(0), 0, &[5, 6]);
+        assert_eq!(outcome, WriteOutcome::InPlace(a));
+        assert_eq!(mem.guest_read(VmId(0), Gfn(0)).unwrap().as_bytes()[1], 6);
+        assert_eq!(mem.stats().cow_breaks, 0);
+    }
+
+    #[test]
+    fn write_to_sole_mapper_cow_frame_still_copies() {
+        // CoW frames are immutable for life (like Linux KSM pages): even
+        // the last mapper gets a copy, and the orphaned frame is freed.
+        let mut mem = HostMemory::new();
+        let a = mem.map_new_page(VmId(0), Gfn(0), page(7));
+        mem.cow_protect(a);
+        let outcome = mem.guest_write(VmId(0), Gfn(0), 0, &[1]);
+        assert!(outcome.broke_cow());
+        assert_ne!(outcome.frame(), a);
+        assert_eq!(mem.frame_data(a), None, "orphaned CoW frame is freed");
+        assert_eq!(mem.allocated_frames(), 1);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn epochs_distinguish_recycled_frames() {
+        let mut mem = HostMemory::new();
+        let a = mem.map_new_page(VmId(0), Gfn(0), page(1));
+        let e1 = mem.frame_epoch(a).unwrap();
+        mem.unmap(VmId(0), Gfn(0));
+        assert_eq!(mem.frame_epoch(a), None);
+        let b = mem.map_new_page(VmId(0), Gfn(1), page(2));
+        assert_eq!(a, b, "frame number recycled");
+        let e2 = mem.frame_epoch(b).unwrap();
+        assert_ne!(e1, e2, "epoch must change across reallocation");
+    }
+
+    #[test]
+    fn three_way_merge_then_all_write() {
+        let mut mem = HostMemory::new();
+        let a = mem.map_new_page(VmId(0), Gfn(0), page(3));
+        let b = mem.map_new_page(VmId(1), Gfn(0), page(3));
+        let c = mem.map_new_page(VmId(2), Gfn(0), page(3));
+        mem.merge_into(a, b).unwrap();
+        mem.merge_into(a, c).unwrap();
+        assert_eq!(mem.refcount(a), 3);
+        assert_eq!(mem.allocated_frames(), 1);
+        // Every writer breaks off a private copy; the stable frame is freed
+        // once the last mapper leaves.
+        assert!(mem.guest_write(VmId(1), Gfn(0), 0, &[1]).broke_cow());
+        assert!(mem.guest_write(VmId(2), Gfn(0), 0, &[2]).broke_cow());
+        assert!(mem.guest_write(VmId(0), Gfn(0), 0, &[3]).broke_cow());
+        assert_eq!(mem.frame_data(a), None);
+        assert_eq!(mem.allocated_frames(), 3);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unmap_frees_last_mapping() {
+        let mut mem = HostMemory::new();
+        let a = mem.map_new_page(VmId(0), Gfn(0), page(1));
+        let b = mem.map_new_page(VmId(1), Gfn(0), page(1));
+        mem.merge_into(a, b).unwrap();
+        assert_eq!(mem.unmap(VmId(0), Gfn(0)), Some(a));
+        assert_eq!(mem.allocated_frames(), 1); // still mapped by vm1
+        assert_eq!(mem.unmap(VmId(1), Gfn(0)), Some(a));
+        assert_eq!(mem.allocated_frames(), 0);
+        assert_eq!(mem.unmap(VmId(1), Gfn(0)), None);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn freed_frames_are_recycled() {
+        let mut mem = HostMemory::new();
+        let a = mem.map_new_page(VmId(0), Gfn(0), page(1));
+        mem.unmap(VmId(0), Gfn(0));
+        let b = mem.map_new_page(VmId(0), Gfn(1), page(2));
+        assert_eq!(a, b, "freed frame should be recycled");
+    }
+
+    #[test]
+    fn reverse_map_tracks_mappings() {
+        let mut mem = HostMemory::new();
+        let a = mem.map_new_page(VmId(0), Gfn(5), page(9));
+        let b = mem.map_new_page(VmId(3), Gfn(8), page(9));
+        mem.merge_into(a, b).unwrap();
+        let rmap = mem.reverse_map(a);
+        assert!(rmap.contains(&(VmId(0), Gfn(5))));
+        assert!(rmap.contains(&(VmId(3), Gfn(8))));
+        assert_eq!(mem.reverse_map(Ppn(12345)), &[]);
+    }
+
+    #[test]
+    fn stats_track_savings() {
+        let mut mem = HostMemory::new();
+        let keep = mem.map_new_page(VmId(0), Gfn(0), page(0));
+        for vm in 1..10u32 {
+            let p = mem.map_new_page(VmId(vm), Gfn(0), page(0));
+            mem.merge_into(keep, p).unwrap();
+        }
+        let s = mem.stats();
+        assert_eq!(s.allocated_frames, 1);
+        assert_eq!(s.mapped_guest_pages, 10);
+        assert_eq!(s.merges, 9);
+        assert!((s.savings_fraction() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests: `HostMemory` invariants under arbitrary operation
+//! sequences, and generator/churn guarantees.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use pageforge_types::{Gfn, PageData, VmId, PAGE_SIZE};
+use pageforge_vm::{AppProfile, HostMemory};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Map { vm: u8, gfn: u8, content: u8 },
+    Write { idx: u8, offset: u16, byte: u8 },
+    Merge { a: u8, b: u8 },
+    Unmap { idx: u8 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (any::<u8>(), any::<u8>(), 0u8..6).prop_map(|(vm, gfn, content)| Op::Map {
+                vm: vm % 3,
+                gfn: gfn % 8,
+                content
+            }),
+            3 => (any::<u8>(), any::<u16>(), any::<u8>()).prop_map(|(idx, offset, byte)| Op::Write {
+                idx,
+                offset: offset % PAGE_SIZE as u16,
+                byte
+            }),
+            2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Merge { a, b }),
+            1 => any::<u8>().prop_map(|idx| Op::Unmap { idx }),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    /// Whatever sequence of map/write/merge/unmap runs, the memory's
+    /// internal invariants hold and every guest reads back exactly the
+    /// bytes its own history wrote (a shadow model tracks ground truth).
+    #[test]
+    fn host_memory_matches_shadow_model(ops in arb_ops()) {
+        let mut mem = HostMemory::new();
+        let mut shadow: std::collections::HashMap<(VmId, Gfn), PageData> =
+            std::collections::HashMap::new();
+        let mut mapped: Vec<(VmId, Gfn)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Map { vm, gfn, content } => {
+                    let key = (VmId(u32::from(vm)), Gfn(u64::from(gfn)));
+                    if !shadow.contains_key(&key) {
+                        let data = PageData::from_fn(|i| content.wrapping_add((i % 13) as u8));
+                        mem.map_new_page(key.0, key.1, data.clone());
+                        shadow.insert(key, data);
+                        mapped.push(key);
+                    }
+                }
+                Op::Write { idx, offset, byte } => {
+                    if !mapped.is_empty() {
+                        let key = mapped[idx as usize % mapped.len()];
+                        mem.guest_write(key.0, key.1, usize::from(offset), &[byte]);
+                        shadow.get_mut(&key).unwrap().as_bytes_mut()[usize::from(offset)] = byte;
+                    }
+                }
+                Op::Merge { a, b } => {
+                    if mapped.len() >= 2 {
+                        let ka = mapped[a as usize % mapped.len()];
+                        let kb = mapped[b as usize % mapped.len()];
+                        let (Some(pa), Some(pb)) =
+                            (mem.translate(ka.0, ka.1), mem.translate(kb.0, kb.1))
+                        else {
+                            continue;
+                        };
+                        // Merge may legitimately fail (different content /
+                        // same frame); success requires equal content.
+                        let equal = shadow[&ka] == shadow[&kb];
+                        let merged = mem.merge_into(pa, pb).is_ok();
+                        prop_assert!(
+                            !merged || equal,
+                            "merge must only succeed on identical content"
+                        );
+                    }
+                }
+                Op::Unmap { idx } => {
+                    if !mapped.is_empty() {
+                        let key = mapped.swap_remove(idx as usize % mapped.len());
+                        mem.unmap(key.0, key.1);
+                        shadow.remove(&key);
+                    }
+                }
+            }
+            mem.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        // Final read-back: every mapped guest sees its shadow content.
+        for (key, data) in &shadow {
+            prop_assert_eq!(mem.guest_read(key.0, key.1), Some(data));
+        }
+        prop_assert_eq!(mem.mapped_guest_pages(), shadow.len());
+    }
+
+    /// Generated images always satisfy the profile's exact category counts
+    /// and memory invariants, for any fractions.
+    #[test]
+    fn generator_respects_fractions(
+        unmergeable in 0.0f64..0.9,
+        zero in 0.0f64..0.09,
+        pages in 16usize..80,
+        n_vms in 1u32..5,
+        seed in any::<u64>(),
+    ) {
+        let profile = AppProfile::new("prop", pages, unmergeable, zero);
+        let mut mem = HostMemory::new();
+        let image = profile.generate(&mut mem, n_vms, seed);
+        let c = image.category_counts();
+        prop_assert_eq!(c.total(), pages * n_vms as usize);
+        prop_assert_eq!(c.unmergeable, (pages as f64 * unmergeable) as usize * n_vms as usize);
+        prop_assert_eq!(c.zero, (pages as f64 * zero) as usize * n_vms as usize);
+        mem.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// Churn never breaks invariants nor unmaps pages.
+    #[test]
+    fn churn_preserves_mappings(seed in any::<u64>(), steps in 1usize..6) {
+        let profile = AppProfile::new("prop", 64, 0.4, 0.1);
+        let mut mem = HostMemory::new();
+        let image = profile.generate(&mut mem, 3, seed);
+        let before = mem.mapped_guest_pages();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            image.churn_step(&mut mem, &profile.churn, &mut rng);
+            mem.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        prop_assert_eq!(mem.mapped_guest_pages(), before);
+    }
+}

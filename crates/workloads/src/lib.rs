@@ -1,0 +1,30 @@
+//! TailBench-like latency-critical workload models (Table 3 of the paper).
+//!
+//! The paper drives each of its 10 VMs with one TailBench application and
+//! measures the *sojourn latency* of requests (queueing + service) under
+//! three configurations (Baseline / KSM / PageForge). We model each
+//! application as:
+//!
+//! * an **open-loop arrival process** at the paper's queries-per-second
+//!   rate (Table 3), with exponential interarrivals;
+//! * a **service demand distribution** (log-normal) whose mean preserves
+//!   the paper's per-app *query granularity* — Sphinx queries are
+//!   second-level, Moses/Silo millisecond-level (§6.3 explains how this
+//!   granularity determines sensitivity to KSM interference);
+//! * a **memory access pattern**: a per-query number of cache-line touches
+//!   over the VM's working set, with a hot/cold split.
+//!
+//! All times are *scaled* by [`TIME_SCALE`] (default 100×) so experiments
+//! run in seconds on a laptop; every interval in the system (query lengths,
+//! KSM's `sleep_millisecs`, warm-up) scales identically, preserving
+//! queueing behaviour. See DESIGN.md ("Time-scaling substitution").
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod arrival;
+pub mod pattern;
+
+pub use apps::{AppSpec, TIME_SCALE};
+pub use arrival::{ArrivalProcess, Query};
+pub use pattern::{AccessPattern, LineTouch};

@@ -1,0 +1,50 @@
+//! Latency interference study: watch the deduplication machinery disturb a
+//! latency-critical service — the experiment behind Figures 9 and 10 of the
+//! paper, on a down-scaled system that runs in seconds.
+//!
+//! Run with: `cargo run --release --example latency_interference`
+
+use pageforge::sim::{DedupMode, SimConfig, System};
+
+fn main() {
+    println!("simulating silo (OLTP, 2000 QPS, sub-ms queries) on 4 cores under");
+    println!("three configurations; identical seeds, identical VM images\n");
+
+    let mut rows = Vec::new();
+    for mode in [
+        DedupMode::None,
+        DedupMode::Ksm(SimConfig::scaled_ksm()),
+        DedupMode::PageForge(SimConfig::scaled_pageforge()),
+    ] {
+        let cfg = SimConfig::quick("silo", mode, 42);
+        let mut result = System::new(cfg).run();
+        let mean = result.mean_sojourn();
+        let p95 = result.p95_sojourn();
+        rows.push((result.label.clone(), mean, p95, result));
+    }
+
+    let (base_mean, base_p95) = (rows[0].1, rows[0].2);
+    println!(
+        "{:>10}  {:>12}  {:>9}  {:>12}  {:>9}  {:>8}  {:>10}",
+        "config", "mean (cyc)", "norm", "p95 (cyc)", "norm", "frames", "dedup core%"
+    );
+    for (label, mean, p95, result) in &rows {
+        let core_pct = result
+            .dedup
+            .as_ref()
+            .map_or(0.0, |d| d.core_cycles_frac_avg * 100.0);
+        println!(
+            "{label:>10}  {mean:>12.0}  {:>8.2}x  {p95:>12.0}  {:>8.2}x  {:>8}  {core_pct:>9.2}%",
+            mean / base_mean,
+            p95 / base_p95,
+            result.mem_stats.allocated_frames,
+        );
+    }
+
+    println!("\nwhat to look for (paper, §6.3):");
+    println!(" * KSM and PageForge reach the same frame count — identical savings;");
+    println!(" * KSM inflates the mean noticeably and the tail violently (it blocks");
+    println!("   a core for whole scan intervals and pollutes the shared L3);");
+    println!(" * PageForge stays within a few percent of Baseline: its comparisons");
+    println!("   run in the memory controller, stealing no cycles and no cache space.");
+}

@@ -1,0 +1,60 @@
+//! # PageForge — a near-memory content-aware page-merging architecture
+//!
+//! A from-scratch Rust reproduction of *PageForge* (Skarlatos, Kim,
+//! Torrellas; MICRO-50, 2017): a small hardware module in the memory
+//! controller that performs the expensive inner operations of same-page
+//! merging — pairwise page comparison, ECC-based hash-key generation, and
+//! ordered traversal of a software-selected candidate set — so the
+//! hypervisor can deduplicate VM memory without stealing processor cycles
+//! or polluting caches.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`types`] | `pageforge-types` | pages, frame numbers, cycles, stats |
+//! | [`ecc`] | `pageforge-ecc` | (72,64) SECDED codec, ECC hash keys |
+//! | [`vm`] | `pageforge-vm` | host memory, guest mappings, CoW, VM image generator |
+//! | [`ksm`] | `pageforge-ksm` | RedHat's KSM (Algorithm 1), red-black trees, jhash2 |
+//! | [`core`] | `pageforge-core` | the PageForge engine: Scan Table, comparator FSM, OS API, power model |
+//! | [`mem`] | `pageforge-mem` | DDR DRAM timing, memory controller, bandwidth metering |
+//! | [`cache`] | `pageforge-cache` | L1/L2/L3 hierarchy, MESI snoopy bus |
+//! | [`sim`] | `pageforge-sim` | the full-system simulator (Table 2's machine) |
+//! | [`workloads`] | `pageforge-workloads` | TailBench-like latency-critical workloads |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pageforge::core::{PageForge, PageForgeConfig};
+//! use pageforge::core::fabric::FlatFabric;
+//! use pageforge::types::{Gfn, PageData, VmId};
+//! use pageforge::vm::HostMemory;
+//!
+//! // Two VMs map one identical page each...
+//! let mut mem = HostMemory::new();
+//! let data = PageData::from_fn(|i| (i % 7) as u8);
+//! mem.map_new_page(VmId(0), Gfn(0), data.clone());
+//! mem.map_new_page(VmId(1), Gfn(0), data);
+//!
+//! // ...and the PageForge hardware merges them.
+//! let hints = vec![(VmId(0), Gfn(0)), (VmId(1), Gfn(0))];
+//! let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+//! let mut fabric = FlatFabric::all_dram(80);
+//! pf.run_to_steady_state(&mut mem, &mut fabric, 8);
+//! assert_eq!(mem.allocated_frames(), 1);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use pageforge_cache as cache;
+pub use pageforge_core as core;
+pub use pageforge_ecc as ecc;
+pub use pageforge_ksm as ksm;
+pub use pageforge_mem as mem;
+pub use pageforge_sim as sim;
+pub use pageforge_types as types;
+pub use pageforge_vm as vm;
+pub use pageforge_workloads as workloads;

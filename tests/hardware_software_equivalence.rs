@@ -1,0 +1,101 @@
+//! Differential tests: the PageForge hardware driver and software KSM must
+//! reach the *same* merge state on the same memory — the paper's central
+//! "identical savings in memory footprint" claim (§6.1), verified
+//! mechanically across generated images and random content.
+
+use pageforge::core::fabric::FlatFabric;
+use pageforge::core::{PageForge, PageForgeConfig};
+use pageforge::ksm::{Ksm, KsmConfig};
+use pageforge::types::{Gfn, PageData, VmId};
+use pageforge::vm::{AppProfile, HostMemory};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runs KSM to steady state on a fresh copy of the scenario.
+fn ksm_final(mem: &HostMemory, hints: Vec<(VmId, Gfn)>) -> HostMemory {
+    let mut m = mem.clone();
+    let mut ksm = Ksm::new(KsmConfig::default(), hints);
+    ksm.run_to_steady_state(&mut m, 20);
+    m
+}
+
+/// Runs PageForge to steady state on a fresh copy of the scenario.
+fn pageforge_final(mem: &HostMemory, hints: Vec<(VmId, Gfn)>) -> HostMemory {
+    let mut m = mem.clone();
+    let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+    let mut fabric = FlatFabric::all_dram(80);
+    pf.run_to_steady_state(&mut m, &mut fabric, 20);
+    m
+}
+
+fn assert_equivalent(mem: &HostMemory, hints: Vec<(VmId, Gfn)>) {
+    let ksm = ksm_final(mem, hints.clone());
+    let pf = pageforge_final(mem, hints);
+    assert_eq!(
+        ksm.allocated_frames(),
+        pf.allocated_frames(),
+        "KSM and PageForge must attain identical memory savings"
+    );
+    // Every guest page reads identically under both.
+    for (vm, gfn, _) in ksm.iter_mappings() {
+        assert_eq!(
+            ksm.guest_read(vm, gfn),
+            pf.guest_read(vm, gfn),
+            "guest ({vm}, {gfn}) diverged"
+        );
+    }
+    ksm.check_invariants().unwrap();
+    pf.check_invariants().unwrap();
+}
+
+#[test]
+fn equivalent_on_tailbench_images() {
+    for profile in AppProfile::tailbench_suite_scaled(128) {
+        let mut mem = HostMemory::new();
+        let image = profile.generate(&mut mem, 4, 0xC0FFEE);
+        assert_equivalent(&mem, image.mergeable_hints());
+    }
+}
+
+#[test]
+fn equivalent_after_churn() {
+    let profile = &AppProfile::tailbench_suite_scaled(128)[0];
+    let mut mem = HostMemory::new();
+    let image = profile.generate(&mut mem, 4, 7);
+    // Churn the image a few times before either algorithm sees it.
+    let mut rng = SmallRng::seed_from_u64(9);
+    for _ in 0..3 {
+        image.churn_step(&mut mem, &profile.churn, &mut rng);
+    }
+    assert_equivalent(&mem, image.mergeable_hints());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random small scenarios: arbitrary numbers of content classes spread
+    /// over arbitrary VMs.
+    #[test]
+    fn equivalent_on_random_scenarios(
+        contents in proptest::collection::vec(0u8..8, 3..20),
+        n_vms in 1u32..5,
+    ) {
+        let mut mem = HostMemory::new();
+        let mut hints = Vec::new();
+        for (i, &c) in contents.iter().enumerate() {
+            let vm = VmId(i as u32 % n_vms);
+            let gfn = Gfn((i as u32 / n_vms) as u64);
+            mem.map_new_page(vm, gfn, PageData::from_fn(|j| c.wrapping_mul(37).wrapping_add((j % 9) as u8)));
+            hints.push((vm, gfn));
+        }
+        let ksm = ksm_final(&mem, hints.clone());
+        let pf = pageforge_final(&mem, hints);
+        prop_assert_eq!(ksm.allocated_frames(), pf.allocated_frames());
+        // Both equal the number of distinct contents.
+        let mut distinct = contents.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(ksm.allocated_frames(), distinct.len());
+    }
+}

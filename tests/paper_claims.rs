@@ -1,0 +1,130 @@
+//! Quick-scale checks of the paper's headline claims. Full-scale numbers
+//! live in EXPERIMENTS.md; these tests pin the *shape* — who wins, in
+//! which direction, by roughly what kind of factor — so regressions that
+//! would invalidate the reproduction fail loudly.
+
+use pageforge::core::PowerModel;
+use pageforge::sim::{DedupMode, SimConfig, System};
+use pageforge_bench::experiments;
+
+/// §6.1: "reduces the memory footprint by an average of 48%".
+#[test]
+fn memory_savings_average_about_half() {
+    let (_, results) = experiments::figure7(0xC0FFEE, 256);
+    let avg: f64 =
+        results.iter().map(|r| r.savings()).sum::<f64>() / results.len() as f64;
+    assert!(
+        (0.40..=0.56).contains(&avg),
+        "average savings {avg} out of the paper's ballpark (48%)"
+    );
+    // Zero pages collapse to a single frame everywhere.
+    for r in &results {
+        assert!(r.zero > 1, "{}: degenerate zero class", r.app);
+    }
+}
+
+/// §6.2: ECC keys have slightly more (false-positive) matches than jhash.
+#[test]
+fn ecc_keys_have_slightly_more_matches() {
+    let (_, results) = experiments::figure8(0xC0FFEE, 128, 3);
+    let delta: f64 = results
+        .iter()
+        .map(|o| o.ecc_match - o.jhash_match)
+        .sum::<f64>()
+        / results.len() as f64;
+    assert!(
+        delta > 0.0 && delta < 0.15,
+        "ECC extra-match delta {delta} not 'slightly more' (paper: 3.7pp)"
+    );
+    for o in &results {
+        assert!(o.checks > 0, "{}: no key checks observed", o.app);
+    }
+}
+
+/// §6.3: KSM inflates latency substantially; PageForge barely.
+#[test]
+fn latency_overhead_ordering_holds() {
+    let [base, ksm, pf] = experiments::run_triple("silo", 11, true);
+    let ksm_over = ksm.mean_sojourn() / base.mean_sojourn();
+    let pf_over = pf.mean_sojourn() / base.mean_sojourn();
+    assert!(ksm_over > 1.15, "KSM overhead {ksm_over} too small");
+    assert!(pf_over < 1.15, "PageForge overhead {pf_over} too large");
+    assert!(pf_over < ksm_over);
+    // §6.1: identical memory savings.
+    assert_eq!(
+        ksm.mem_stats.allocated_frames,
+        pf.mem_stats.allocated_frames
+    );
+}
+
+/// §6.3/Figure 10: tails suffer more than means under KSM.
+#[test]
+fn ksm_tail_latency_worse_than_mean() {
+    let [mut base, mut ksm, _] = experiments::run_triple("silo", 12, true);
+    let mean_ratio = ksm.mean_sojourn() / base.mean_sojourn();
+    let tail_ratio = ksm.p95_sojourn() / base.p95_sojourn();
+    assert!(
+        tail_ratio > mean_ratio * 0.9,
+        "tail ratio {tail_ratio} should be at least comparable to mean ratio {mean_ratio}"
+    );
+}
+
+/// §6.3: long-query apps (sphinx) tolerate KSM better than short-query
+/// apps (silo).
+#[test]
+fn query_granularity_determines_sensitivity() {
+    let [sb, sk, _] = experiments::run_triple("silo", 13, true);
+    let silo_over = sk.mean_sojourn() / sb.mean_sojourn();
+    let mut cfg_base = SimConfig::quick("sphinx", DedupMode::None, 13);
+    let mut cfg_ksm = SimConfig::quick("sphinx", DedupMode::Ksm(SimConfig::scaled_ksm()), 13);
+    // Sphinx needs a longer window for enough queries.
+    cfg_base.measure_cycles = 60_000_000;
+    cfg_ksm.measure_cycles = 60_000_000;
+    let sphinx_base = System::new(cfg_base).run();
+    let sphinx_ksm = System::new(cfg_ksm).run();
+    let sphinx_over = sphinx_ksm.mean_sojourn() / sphinx_base.mean_sojourn();
+    assert!(
+        silo_over > sphinx_over,
+        "short queries (silo {silo_over}) must suffer more than long ones (sphinx {sphinx_over})"
+    );
+}
+
+/// §6.4.2: PageForge's area/power are negligible vs a core and the chip.
+#[test]
+fn power_claims_hold() {
+    let model = PowerModel::hp_22nm();
+    let pf = model.pageforge_module(260);
+    assert!(pf.area_mm2 < 0.05);
+    assert!(pf.power_w < 0.05);
+    assert!(PowerModel::a9_core().power_w / pf.power_w >= 10.0);
+    assert!(PowerModel::server_chip().area_mm2 / pf.area_mm2 > 1000.0);
+}
+
+/// §6.4.1: dedup configurations consume more DRAM bandwidth than Baseline,
+/// and PageForge's engine traffic is additive to the cores'.
+#[test]
+fn bandwidth_ordering_holds() {
+    let [base, _ksm, pf] = experiments::run_triple("masstree", 14, true);
+    // Engine traffic is additive to the cores' (§6.4.1): the *mean* DRAM
+    // bandwidth is the robust signal (peak windows are noisy at quick
+    // scale).
+    assert!(
+        pf.bandwidth_mean_gbps > base.bandwidth_mean_gbps,
+        "PageForge mean bandwidth {} should exceed Baseline {}",
+        pf.bandwidth_mean_gbps,
+        base.bandwidth_mean_gbps
+    );
+    let d = pf.dedup.as_ref().expect("PF summary");
+    assert!(d.engine_lines_fetched > 0);
+}
+
+/// Determinism: a full quick sim repeated with the same seed is identical.
+#[test]
+fn simulations_are_deterministic() {
+    let a = System::new(SimConfig::quick("img_dnn", DedupMode::Ksm(SimConfig::scaled_ksm()), 5)).run();
+    let b = System::new(SimConfig::quick("img_dnn", DedupMode::Ksm(SimConfig::scaled_ksm()), 5)).run();
+    assert_eq!(a.queries_completed, b.queries_completed);
+    assert_eq!(a.mean_sojourn(), b.mean_sojourn());
+    assert_eq!(a.l3_miss_rate, b.l3_miss_rate);
+    assert_eq!(a.mem_stats, b.mem_stats);
+}
