@@ -5,11 +5,19 @@ use std::path::PathBuf;
 
 use pageforge_types::DEFAULT_SEED;
 
+use crate::experiments::Scale;
+use crate::scheduler::ParallelConfig;
+
 /// Arguments accepted by every bench binary.
 ///
 /// * `--seed <u64>` — RNG seed (default `0xC0FFEE`);
 /// * `--quick` — down-scaled configuration (4 cores, short windows) for
 ///   smoke runs;
+/// * `--smoke` — even smaller CI-sized configuration (2 cores, tiny
+///   images); implies everything `--quick` implies;
+/// * `--jobs <N>` — worker threads for `run_all`'s experiment scheduler
+///   (default 1; results are byte-identical at any level);
+/// * `--only <a,b,...>` — run only the named experiments (`run_all`);
 /// * `--out <dir>` — directory for JSON results (default `results/`);
 /// * `--print-config` — print the Table 2 configuration and exit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +26,12 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Use the down-scaled quick configuration.
     pub quick: bool,
+    /// Use the CI-sized smoke configuration (overrides `--quick`).
+    pub smoke: bool,
+    /// Worker threads for the experiment scheduler.
+    pub jobs: usize,
+    /// Restrict `run_all` to these experiment names (empty = all).
+    pub only: Vec<String>,
     /// JSON output directory.
     pub out_dir: PathBuf,
     /// Print the architecture configuration and exit.
@@ -29,6 +43,9 @@ impl Default for BenchArgs {
         BenchArgs {
             seed: DEFAULT_SEED,
             quick: false,
+            smoke: false,
+            jobs: 1,
+            only: Vec::new(),
             out_dir: PathBuf::from("results"),
             print_config: false,
         }
@@ -56,17 +73,42 @@ impl BenchArgs {
                     out.seed = parse_u64(&v);
                 }
                 "--quick" => out.quick = true,
+                "--smoke" => out.smoke = true,
+                "--jobs" => {
+                    let v = iter.next().expect("--jobs requires a value");
+                    out.jobs = v.parse().expect("valid --jobs count");
+                    assert!(out.jobs >= 1, "--jobs must be at least 1");
+                }
+                "--only" => {
+                    let v = iter.next().expect("--only requires a value");
+                    out.only
+                        .extend(v.split(',').filter(|s| !s.is_empty()).map(str::to_owned));
+                }
                 "--out" => {
                     out.out_dir = PathBuf::from(iter.next().expect("--out requires a value"));
                 }
                 "--print-config" => out.print_config = true,
                 other => panic!(
                     "unknown argument `{other}`; \
-                     usage: [--seed N] [--quick] [--out DIR] [--print-config]"
+                     usage: [--seed N] [--quick] [--smoke] [--jobs N] \
+                     [--only a,b] [--out DIR] [--print-config]"
                 ),
             }
         }
         out
+    }
+
+    /// The experiment scale the flags select.
+    pub fn scale(&self) -> Scale {
+        Scale::from_flags(self.quick, self.smoke)
+    }
+
+    /// The scheduler configuration the flags select.
+    pub fn parallel(&self) -> ParallelConfig {
+        ParallelConfig {
+            jobs: self.jobs,
+            smoke: self.smoke,
+        }
     }
 }
 
@@ -101,18 +143,39 @@ mod tests {
         let a = BenchArgs::from_args(Vec::<String>::new());
         assert_eq!(a.seed, DEFAULT_SEED);
         assert!(!a.quick);
+        assert!(!a.smoke);
+        assert_eq!(a.jobs, 1);
+        assert!(a.only.is_empty());
+        assert_eq!(a.scale(), Scale::Full);
     }
 
     #[test]
     fn parses_all_flags() {
         let a = BenchArgs::from_args(
-            ["--seed", "0x2A", "--quick", "--out", "/tmp/x"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--seed",
+                "0x2A",
+                "--quick",
+                "--smoke",
+                "--jobs",
+                "4",
+                "--only",
+                "fig7,fig8",
+                "--out",
+                "/tmp/x",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(a.seed, 42);
         assert!(a.quick);
+        assert!(a.smoke);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.only, vec!["fig7".to_string(), "fig8".to_string()]);
         assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
+        // Smoke wins over quick.
+        assert_eq!(a.scale(), Scale::Smoke);
+        assert_eq!(a.parallel().jobs, 4);
     }
 
     #[test]
@@ -122,8 +185,20 @@ mod tests {
     }
 
     #[test]
+    fn quick_scale() {
+        let a = BenchArgs::from_args(["--quick".to_string()]);
+        assert_eq!(a.scale(), Scale::Quick);
+    }
+
+    #[test]
     #[should_panic(expected = "unknown argument")]
     fn unknown_flag_panics() {
         BenchArgs::from_args(["--frobnicate".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs must be at least 1")]
+    fn zero_jobs_panics() {
+        BenchArgs::from_args(["--jobs", "0"].iter().map(|s| s.to_string()));
     }
 }

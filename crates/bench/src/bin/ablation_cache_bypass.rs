@@ -6,7 +6,7 @@ use pageforge_bench::{experiments, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let t = experiments::ablation_cache_bypass(args.seed, args.quick);
+    let t = experiments::ablation_cache_bypass(args.seed, args.scale());
     t.print();
     t.write_json(&args.out_dir, "ablation_cache_bypass");
 }

@@ -5,7 +5,7 @@ use pageforge_bench::{experiments, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let t = experiments::ablation_modules(args.seed);
+    let t = experiments::ablation_modules(args.seed, args.scale());
     t.print();
     t.write_json(&args.out_dir, "ablation_modules");
 }

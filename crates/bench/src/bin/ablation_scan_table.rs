@@ -5,7 +5,7 @@ use pageforge_bench::{experiments, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let t = experiments::ablation_scan_table(args.seed, experiments::pages_per_vm(args.quick));
+    let t = experiments::ablation_scan_table(args.seed, args.scale());
     t.print();
     t.write_json(&args.out_dir, "ablation_scan_table");
 }

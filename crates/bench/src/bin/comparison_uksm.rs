@@ -5,7 +5,7 @@ use pageforge_bench::{experiments, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let t = experiments::comparison_uksm(args.seed, experiments::pages_per_vm(args.quick));
+    let t = experiments::comparison_uksm(args.seed, args.scale());
     t.print();
     t.write_json(&args.out_dir, "comparison_uksm");
 }

@@ -6,7 +6,7 @@ use pageforge_bench::{experiments, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let t = experiments::extension_heterogeneous(args.seed);
+    let t = experiments::extension_heterogeneous(args.seed, args.scale());
     t.print();
     t.write_json(&args.out_dir, "extension_heterogeneous");
 }

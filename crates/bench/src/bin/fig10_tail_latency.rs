@@ -10,7 +10,7 @@ fn main() {
         print_table2();
         return;
     }
-    let mut suite = experiments::run_latency_suite_cached(args.seed, args.quick, &args.out_dir);
+    let mut suite = experiments::run_latency_suite_cached(args.seed, args.scale(), &args.out_dir);
     let t = experiments::figure10(&mut suite);
     t.print();
     t.write_json(&args.out_dir, "fig10_tail_latency");

@@ -10,11 +10,10 @@ fn main() {
         print_table2();
         return;
     }
-    let (t, results) = experiments::figure7(args.seed, experiments::pages_per_vm(args.quick));
+    let (t, results) = experiments::figure7(args.seed, args.scale());
     t.print();
     t.write_json(&args.out_dir, "fig7_memory_savings");
-    let avg: f64 =
-        results.iter().map(|r| r.savings()).sum::<f64>() / results.len() as f64;
+    let avg: f64 = results.iter().map(|r| r.savings()).sum::<f64>() / results.len() as f64;
     println!(
         "\nAverage footprint reduction: {:.1}% (paper: 48%) -> ~{:.1}x the VMs per machine",
         avg * 100.0,

@@ -10,11 +10,7 @@ fn main() {
         print_table2();
         return;
     }
-    let (t, results) = experiments::figure8(
-        args.seed,
-        experiments::pages_per_vm(args.quick),
-        experiments::fig8_rounds(args.quick),
-    );
+    let (t, results) = experiments::figure8(args.seed, args.scale());
     t.print();
     t.write_json(&args.out_dir, "fig8_hash_keys");
     let delta: f64 = results

@@ -8,7 +8,9 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+use pageforge_bench::scheduler::RunTiming;
 use pageforge_bench::{BenchArgs, Table};
+use pageforge_types::json::{self, FromJson};
 
 /// Preferred ordering: paper artifacts first, then ablations/extensions.
 const ORDER: &[&str] = &[
@@ -45,20 +47,32 @@ fn markdown_table(t: &Table) -> String {
 
 fn load(dir: &Path, name: &str) -> Option<Table> {
     let raw = std::fs::read_to_string(dir.join(format!("{name}.json"))).ok()?;
-    let value: serde_json::Value = serde_json::from_str(&raw).ok()?;
-    let title = value.get("title")?.as_str()?.to_owned();
-    let to_strings = |v: &serde_json::Value| -> Option<Vec<String>> {
-        v.as_array()?
-            .iter()
-            .map(|c| c.as_str().map(str::to_owned))
-            .collect()
-    };
-    let headers = to_strings(value.get("headers")?)?;
-    let mut table = Table::new(&title, &headers.iter().map(String::as_str).collect::<Vec<_>>());
-    for row in value.get("rows")?.as_array()? {
-        table.row(to_strings(row)?);
+    Table::from_json(&json::parse(&raw).ok()?)
+}
+
+/// Renders the scheduler's timing record (written by `run_all` under
+/// `<out_dir>/meta/timing.json`) as a Markdown section: per-experiment
+/// wall-clock plus the parallel speedup actually achieved.
+fn timing_section(dir: &Path) -> Option<String> {
+    let raw = std::fs::read_to_string(dir.join("meta").join("timing.json")).ok()?;
+    let timing = RunTiming::from_json(&json::parse(&raw).ok()?)?;
+    let mut out = String::from("## Run timing (parallel experiment harness)\n\n");
+    let _ = writeln!(
+        out,
+        "Scheduled {} work units across {} worker thread(s): total busy \
+         time {:.1} s in {:.1} s wall-clock — a {:.2}x speedup.\n",
+        timing.units,
+        timing.jobs,
+        timing.busy_secs(),
+        timing.wall_secs,
+        timing.speedup(),
+    );
+    out.push_str("| Experiment | Wall-clock (s) | Units |\n|---|---|---|\n");
+    for exp in &timing.experiments {
+        let _ = writeln!(out, "| {} | {:.2} | {} |", exp.name, exp.secs, exp.units);
     }
-    Some(table)
+    out.push('\n');
+    Some(out)
 }
 
 fn main() {
@@ -81,6 +95,9 @@ fn main() {
             args.out_dir.display()
         );
         std::process::exit(1);
+    }
+    if let Some(timing) = timing_section(&args.out_dir) {
+        report.push_str(&timing);
     }
     let path = args.out_dir.join("REPORT.md");
     std::fs::write(&path, &report).expect("write report");

@@ -1,54 +1,37 @@
 //! Regenerates the complete evaluation: every table, figure, ablation, and
-//! extension, in paper order. The latency suite (15 full-system
-//! simulations) is shared across Figures 9-11 and Table 4 via the on-disk
-//! cache.
+//! extension, in paper order, on the parallel experiment scheduler.
 //!
-//! `--quick` produces the whole set in about a minute; the full-scale run
-//! takes tens of minutes.
+//! * `--jobs N` fans the work units across N threads; results are
+//!   byte-identical at any level (each unit is seed-isolated and the merge
+//!   is ordered).
+//! * `--quick` produces the whole set in about a minute; `--smoke` is the
+//!   CI-sized variant; the full-scale run takes tens of minutes.
+//! * `--only fig7,latency` restricts the run to named experiments.
+//!
+//! Timing lands in `<out>/meta/timing.json` (outside `results/*.json`, so
+//! result artifacts stay diffable across jobs levels); `make_report`
+//! renders it into REPORT.md.
 
 use pageforge_bench::args::print_table2;
-use pageforge_bench::{experiments, BenchArgs};
+use pageforge_bench::{suite, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     print_table2();
-    let pages = experiments::pages_per_vm(args.quick);
 
-    experiments::table3().print();
+    let outcome = match suite::run_suite(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    suite::print_and_write(&outcome, &args.out_dir);
+    outcome.timing.table().print();
+    outcome.timing.write(&args.out_dir);
 
-    let (t7, _) = experiments::figure7(args.seed, pages);
-    t7.print();
-    t7.write_json(&args.out_dir, "fig7_memory_savings");
-
-    let (t8, _) = experiments::figure8(args.seed, pages, experiments::fig8_rounds(args.quick));
-    t8.print();
-    t8.write_json(&args.out_dir, "fig8_hash_keys");
-
-    let mut suite = experiments::run_latency_suite_cached(args.seed, args.quick, &args.out_dir);
-    let t4 = experiments::table4(&suite);
-    t4.print();
-    t4.write_json(&args.out_dir, "table4_ksm_characterization");
-    let t9 = experiments::figure9(&suite);
-    t9.print();
-    t9.write_json(&args.out_dir, "fig9_mean_latency");
-    let t10 = experiments::figure10(&mut suite);
-    t10.print();
-    t10.write_json(&args.out_dir, "fig10_tail_latency");
-    let t11 = experiments::figure11(&suite);
-    t11.print();
-    t11.write_json(&args.out_dir, "fig11_bandwidth");
-
-    let t5 = experiments::table5(args.seed, pages);
-    t5.print();
-    t5.write_json(&args.out_dir, "table5_design");
-
-    experiments::ablation_ecc_offsets(args.seed, pages).print();
-    experiments::ablation_scan_table(args.seed, pages).print();
-    experiments::ablation_inorder_core().print();
-    experiments::ablation_cache_bypass(args.seed, args.quick).print();
-    experiments::ablation_modules(args.seed).print();
-    experiments::comparison_uksm(args.seed, pages).print();
-    experiments::extension_heterogeneous(args.seed).print();
-
-    println!("\nAll experiments complete. JSON copies under {}.", args.out_dir.display());
+    println!(
+        "\nAll experiments complete. JSON copies under {}.",
+        args.out_dir.display()
+    );
 }

@@ -5,7 +5,7 @@ use pageforge_bench::{experiments, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let t = experiments::sweep_scan_rate(args.seed, args.quick);
+    let t = experiments::sweep_scan_rate(args.seed, args.scale());
     t.print();
     t.write_json(&args.out_dir, "sweep_scan_rate");
 }

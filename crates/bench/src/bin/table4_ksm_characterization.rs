@@ -10,7 +10,7 @@ fn main() {
         print_table2();
         return;
     }
-    let suite = experiments::run_latency_suite_cached(args.seed, args.quick, &args.out_dir);
+    let suite = experiments::run_latency_suite_cached(args.seed, args.scale(), &args.out_dir);
     let t = experiments::table4(&suite);
     t.print();
     t.write_json(&args.out_dir, "table4_ksm_characterization");

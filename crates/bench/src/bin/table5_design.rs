@@ -10,7 +10,7 @@ fn main() {
         print_table2();
         return;
     }
-    let t = experiments::table5(args.seed, experiments::pages_per_vm(args.quick));
+    let t = experiments::table5(args.seed, args.scale());
     t.print();
     t.write_json(&args.out_dir, "table5_design");
 }

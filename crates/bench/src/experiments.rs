@@ -9,6 +9,8 @@ use pageforge_core::{EngineConfig, PageForge, PageForgeConfig, PowerModel};
 use pageforge_ecc::EccKeyConfig;
 use pageforge_ksm::{Ksm, KsmConfig};
 use pageforge_sim::{DedupMode, SimConfig, SimResult, System};
+use pageforge_types::json::{self, FromJson, ToJson, Value};
+use pageforge_types::stats::RunningStats;
 use pageforge_vm::{AppProfile, HostMemory};
 use pageforge_workloads::apps::AppSpec;
 use rand::rngs::SmallRng;
@@ -21,6 +23,92 @@ pub const APPS: [&str; 5] = ["img_dnn", "masstree", "moses", "silo", "sphinx"];
 
 /// VMs per experiment (Table 2).
 pub const N_VMS: u32 = 10;
+
+/// How much of the evaluation to run. Every experiment is parameterized
+/// by this single knob so `run_all`, the standalone binaries, and CI all
+/// agree on what "quick" and "smoke" mean.
+///
+/// The scale feeds the latency-suite cache file name, so results from
+/// different scales never mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-faithful down-scaled run (tens of minutes).
+    Full,
+    /// `--quick`: about a minute end to end.
+    Quick,
+    /// `--smoke`: CI-sized — the complete pipeline in a couple of
+    /// minutes on a shared runner.
+    Smoke,
+}
+
+impl Scale {
+    /// Resolves the `--quick` / `--smoke` flags (smoke wins).
+    pub fn from_flags(quick: bool, smoke: bool) -> Scale {
+        if smoke {
+            Scale::Smoke
+        } else if quick {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Short tag used in cache file names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+            Scale::Smoke => "smoke",
+        }
+    }
+
+    /// Pages per VM for the memory-image experiments (Figures 7/8,
+    /// Table 5, ablations). The paper's VMs have 131,072 pages (512 MB);
+    /// the full scale defaults to 2,048 (8 MB) so content statistics stay
+    /// faithful while experiments remain laptop-sized.
+    pub fn pages_per_vm(self) -> usize {
+        match self {
+            Scale::Full => 2048,
+            Scale::Quick => 256,
+            Scale::Smoke => 128,
+        }
+    }
+
+    /// VMs per experiment for the memory-image experiments.
+    pub fn n_vms(self) -> u32 {
+        match self {
+            Scale::Full | Scale::Quick => N_VMS,
+            Scale::Smoke => 4,
+        }
+    }
+
+    /// Churn/steady-state rounds for the Figure 8 measurement.
+    pub fn fig8_rounds(self) -> usize {
+        match self {
+            Scale::Full => 6,
+            Scale::Quick => 3,
+            Scale::Smoke => 2,
+        }
+    }
+
+    /// Builds the full-system configuration for one (app, mode) cell.
+    pub fn sim_config(self, app: &str, mode: DedupMode, seed: u64) -> SimConfig {
+        match self {
+            Scale::Full => SimConfig::micro50(app, mode, seed),
+            Scale::Quick => SimConfig::quick(app, mode, seed),
+            Scale::Smoke => SimConfig::smoke(app, mode, seed),
+        }
+    }
+
+    /// The scale for experiments that always run on a reduced system
+    /// (e.g. the module-count ablation): never bigger than quick.
+    pub fn at_most_quick(self) -> Scale {
+        match self {
+            Scale::Full | Scale::Quick => Scale::Quick,
+            Scale::Smoke => Scale::Smoke,
+        }
+    }
+}
 
 // ---------------------------------------------------------------------
 // Table 3
@@ -66,9 +154,9 @@ impl MemorySavings {
 }
 
 /// Runs the Figure 7 experiment for one app profile.
-pub fn memory_savings_for(profile: &AppProfile, seed: u64) -> MemorySavings {
+pub fn memory_savings_for(profile: &AppProfile, seed: u64, n_vms: u32) -> MemorySavings {
     let mut mem = HostMemory::new();
-    let image = profile.generate(&mut mem, N_VMS, seed);
+    let image = profile.generate(&mut mem, n_vms, seed);
     let without = mem.mapped_guest_pages();
     let counts = image.category_counts();
 
@@ -92,7 +180,17 @@ pub fn memory_savings_for(profile: &AppProfile, seed: u64) -> MemorySavings {
 }
 
 /// Figure 7: memory allocation with and without page merging.
-pub fn figure7(seed: u64, pages_per_vm: usize) -> (Table, Vec<MemorySavings>) {
+pub fn figure7(seed: u64, scale: Scale) -> (Table, Vec<MemorySavings>) {
+    let results: Vec<MemorySavings> = AppProfile::tailbench_suite_scaled(scale.pages_per_vm())
+        .iter()
+        .map(|p| memory_savings_for(p, seed, scale.n_vms()))
+        .collect();
+    (figure7_table(&results), results)
+}
+
+/// Assembles the Figure 7 table from per-app results (split out so the
+/// parallel scheduler can run the apps as independent units).
+pub fn figure7_table(results: &[MemorySavings]) -> Table {
     let mut t = Table::new(
         "Figure 7: Memory allocation without and with page merging (pages)",
         &[
@@ -106,9 +204,7 @@ pub fn figure7(seed: u64, pages_per_vm: usize) -> (Table, Vec<MemorySavings>) {
             "Savings",
         ],
     );
-    let mut results = Vec::new();
-    for profile in AppProfile::tailbench_suite_scaled(pages_per_vm) {
-        let s = memory_savings_for(&profile, seed);
+    for s in results {
         t.row(vec![
             s.app.clone(),
             s.without.to_string(),
@@ -119,7 +215,6 @@ pub fn figure7(seed: u64, pages_per_vm: usize) -> (Table, Vec<MemorySavings>) {
             s.non_zero_after.to_string(),
             pct(s.savings()),
         ]);
-        results.push(s);
     }
     let avg = results.iter().map(MemorySavings::savings).sum::<f64>() / results.len() as f64;
     t.row(vec![
@@ -132,7 +227,7 @@ pub fn figure7(seed: u64, pages_per_vm: usize) -> (Table, Vec<MemorySavings>) {
         "".into(),
         pct(avg),
     ]);
-    (t, results)
+    t
 }
 
 // ---------------------------------------------------------------------
@@ -154,9 +249,9 @@ pub struct HashKeyOutcome {
 
 /// Runs the Figure 8 experiment: KSM with a shadow ECC key, churn between
 /// passes, steady-state key-match fractions.
-pub fn hash_keys_for(profile: &AppProfile, seed: u64, rounds: usize) -> HashKeyOutcome {
+pub fn hash_keys_for(profile: &AppProfile, seed: u64, rounds: usize, n_vms: u32) -> HashKeyOutcome {
     let mut mem = HostMemory::new();
-    let image = profile.generate(&mut mem, N_VMS, seed);
+    let image = profile.generate(&mut mem, n_vms, seed);
     let cfg = KsmConfig {
         shadow_ecc: Some(EccKeyConfig::default()),
         ..KsmConfig::default()
@@ -181,10 +276,9 @@ pub fn hash_keys_for(profile: &AppProfile, seed: u64, rounds: usize) -> HashKeyO
         }
     }
     let s = ksm.stats();
-    let jhash_checks = (s.jhash_matches - warm.jhash_matches)
-        + (s.jhash_mismatches - warm.jhash_mismatches);
-    let ecc_checks =
-        (s.ecc_matches - warm.ecc_matches) + (s.ecc_mismatches - warm.ecc_mismatches);
+    let jhash_checks =
+        (s.jhash_matches - warm.jhash_matches) + (s.jhash_mismatches - warm.jhash_mismatches);
+    let ecc_checks = (s.ecc_matches - warm.ecc_matches) + (s.ecc_mismatches - warm.ecc_mismatches);
     HashKeyOutcome {
         app: profile.name.clone(),
         jhash_match: (s.jhash_matches - warm.jhash_matches) as f64 / jhash_checks.max(1) as f64,
@@ -194,7 +288,16 @@ pub fn hash_keys_for(profile: &AppProfile, seed: u64, rounds: usize) -> HashKeyO
 }
 
 /// Figure 8: outcome of hash-key comparisons, jhash vs ECC keys.
-pub fn figure8(seed: u64, pages_per_vm: usize, rounds: usize) -> (Table, Vec<HashKeyOutcome>) {
+pub fn figure8(seed: u64, scale: Scale) -> (Table, Vec<HashKeyOutcome>) {
+    let results: Vec<HashKeyOutcome> = AppProfile::tailbench_suite_scaled(scale.pages_per_vm())
+        .iter()
+        .map(|p| hash_keys_for(p, seed, scale.fig8_rounds(), scale.n_vms()))
+        .collect();
+    (figure8_table(&results), results)
+}
+
+/// Assembles the Figure 8 table from per-app results.
+pub fn figure8_table(results: &[HashKeyOutcome]) -> Table {
     let mut t = Table::new(
         "Figure 8: Outcome of hash key comparisons",
         &[
@@ -206,9 +309,7 @@ pub fn figure8(seed: u64, pages_per_vm: usize, rounds: usize) -> (Table, Vec<Has
             "extra ECC FPs",
         ],
     );
-    let mut results = Vec::new();
-    for profile in AppProfile::tailbench_suite_scaled(pages_per_vm) {
-        let o = hash_keys_for(&profile, seed, rounds);
+    for o in results {
         t.row(vec![
             o.app.clone(),
             pct(o.jhash_match),
@@ -217,7 +318,6 @@ pub fn figure8(seed: u64, pages_per_vm: usize, rounds: usize) -> (Table, Vec<Has
             pct(1.0 - o.ecc_match),
             pct(o.ecc_match - o.jhash_match),
         ]);
-        results.push(o);
     }
     let delta = results
         .iter()
@@ -232,7 +332,7 @@ pub fn figure8(seed: u64, pages_per_vm: usize, rounds: usize) -> (Table, Vec<Has
         "".into(),
         pct(delta),
     ]);
-    (t, results)
+    t
 }
 
 // ---------------------------------------------------------------------
@@ -240,28 +340,40 @@ pub fn figure8(seed: u64, pages_per_vm: usize, rounds: usize) -> (Table, Vec<Has
 // ---------------------------------------------------------------------
 
 /// Builds the configuration for one (app, mode) cell.
-pub fn sim_config(app: &str, mode: DedupMode, seed: u64, quick: bool) -> SimConfig {
-    if quick {
-        SimConfig::quick(app, mode, seed)
-    } else {
-        SimConfig::micro50(app, mode, seed)
-    }
+pub fn sim_config(app: &str, mode: DedupMode, seed: u64, scale: Scale) -> SimConfig {
+    scale.sim_config(app, mode, seed)
+}
+
+/// The three dedup modes of the latency suite, in column order.
+pub fn suite_modes() -> [DedupMode; 3] {
+    [
+        DedupMode::None,
+        DedupMode::Ksm(SimConfig::scaled_ksm()),
+        DedupMode::PageForge(SimConfig::scaled_pageforge()),
+    ]
+}
+
+/// Runs one (app, mode) cell of the latency suite.
+pub fn run_suite_cell(app: &str, mode: DedupMode, seed: u64, scale: Scale) -> SimResult {
+    System::new(sim_config(app, mode, seed, scale)).run()
 }
 
 /// Runs Baseline/KSM/PageForge for one app. The triple shares the seed so
 /// arrival processes and memory images are identical across modes.
-pub fn run_triple(app: &str, seed: u64, quick: bool) -> [SimResult; 3] {
-    let run = |mode| System::new(sim_config(app, mode, seed, quick)).run();
-    [
-        run(DedupMode::None),
-        run(DedupMode::Ksm(SimConfig::scaled_ksm())),
-        run(DedupMode::PageForge(SimConfig::scaled_pageforge())),
-    ]
+pub fn run_triple(app: &str, seed: u64, scale: Scale) -> [SimResult; 3] {
+    suite_modes().map(|mode| run_suite_cell(app, mode, seed, scale))
 }
 
 /// Runs the whole 5-app × 3-config latency suite.
-pub fn run_latency_suite(seed: u64, quick: bool) -> Vec<[SimResult; 3]> {
-    APPS.iter().map(|app| run_triple(app, seed, quick)).collect()
+pub fn run_latency_suite(seed: u64, scale: Scale) -> Vec<[SimResult; 3]> {
+    APPS.iter()
+        .map(|app| run_triple(app, seed, scale))
+        .collect()
+}
+
+/// Cache-file path for the latency suite at one (seed, scale).
+pub fn suite_cache_path(out_dir: &std::path::Path, seed: u64, scale: Scale) -> std::path::PathBuf {
+    out_dir.join(format!("latency_suite_{seed:#x}_{}.json", scale.tag()))
 }
 
 /// Like [`run_latency_suite`], but cached on disk: Figures 9–11 and
@@ -271,24 +383,35 @@ pub fn run_latency_suite(seed: u64, quick: bool) -> Vec<[SimResult; 3]> {
 /// force a re-run.
 pub fn run_latency_suite_cached(
     seed: u64,
-    quick: bool,
+    scale: Scale,
     out_dir: &std::path::Path,
 ) -> Vec<[SimResult; 3]> {
-    let scale = if quick { "quick" } else { "full" };
-    let path = out_dir.join(format!("latency_suite_{seed:#x}_{scale}.json"));
-    if let Ok(bytes) = std::fs::read(&path) {
-        if let Ok(suite) = serde_json::from_slice::<Vec<[SimResult; 3]>>(&bytes) {
-            eprintln!("(reusing cached simulations from {})", path.display());
-            return suite;
-        }
+    let path = suite_cache_path(out_dir, seed, scale);
+    if let Some(suite) = read_suite_cache(&path) {
+        eprintln!("(reusing cached simulations from {})", path.display());
+        return suite;
     }
-    let suite = run_latency_suite(seed, quick);
-    if let Err(e) = std::fs::create_dir_all(out_dir).and_then(|_| {
-        std::fs::write(&path, serde_json::to_vec(&suite).expect("suite serializes"))
-    }) {
+    let suite = run_latency_suite(seed, scale);
+    write_suite_cache(&path, out_dir, &suite);
+    suite
+}
+
+/// Reads a latency-suite cache file, if present and well-formed.
+pub fn read_suite_cache(path: &std::path::Path) -> Option<Vec<[SimResult; 3]>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Vec::from_json(&json::parse(&text).ok()?)
+}
+
+/// Writes the latency-suite cache (best-effort; failures are warnings).
+pub fn write_suite_cache(
+    path: &std::path::Path,
+    out_dir: &std::path::Path,
+    suite: &[[SimResult; 3]],
+) {
+    let body = Value::Arr(suite.iter().map(ToJson::to_json).collect()).to_string_compact();
+    if let Err(e) = std::fs::create_dir_all(out_dir).and_then(|_| std::fs::write(path, body)) {
         eprintln!("warning: could not cache simulations: {e}");
     }
-    suite
 }
 
 /// Figure 9: mean sojourn latency normalized to Baseline.
@@ -409,30 +532,41 @@ pub fn table4(suite: &[[SimResult; 3]]) -> Table {
 // Table 5
 // ---------------------------------------------------------------------
 
-/// Table 5: PageForge design characteristics — Scan-Table processing-time
-/// distribution measured per application, plus the area/power model.
-pub fn table5(seed: u64, pages_per_vm: usize) -> Table {
-    // Measure engine batch cycles across the TailBench profiles.
-    let mut all_means = Vec::new();
-    for profile in AppProfile::tailbench_suite_scaled(pages_per_vm) {
-        let mut mem = HostMemory::new();
-        let image = profile.generate(&mut mem, N_VMS, seed);
-        let mut pf = PageForge::new(PageForgeConfig::default(), image.mergeable_hints());
-        let mut fabric = FlatFabric::all_dram(80);
-        // Two passes: enough for the unstable tree to fill and searches to
-        // traverse realistic depths.
-        for _ in 0..3 {
-            loop {
-                let r = pf.scan_batch(&mut mem, &mut fabric, 0, pf.config().pages_to_scan);
-                if r.pass_completed {
-                    break;
-                }
+/// Measures the Table 5 Scan-Table cycle distribution for one profile
+/// (split out so the parallel scheduler can run profiles as independent
+/// units).
+pub fn table5_profile(profile: &AppProfile, seed: u64, n_vms: u32) -> RunningStats {
+    let mut mem = HostMemory::new();
+    let image = profile.generate(&mut mem, n_vms, seed);
+    let mut pf = PageForge::new(PageForgeConfig::default(), image.mergeable_hints());
+    let mut fabric = FlatFabric::all_dram(80);
+    // Two passes: enough for the unstable tree to fill and searches to
+    // traverse realistic depths.
+    for _ in 0..3 {
+        loop {
+            let r = pf.scan_batch(&mut mem, &mut fabric, 0, pf.config().pages_to_scan);
+            if r.pass_completed {
+                break;
             }
         }
-        all_means.push((profile.name.clone(), pf.engine_stats().run_cycles));
     }
-    let grand_mean =
-        all_means.iter().map(|(_, s)| s.mean()).sum::<f64>() / all_means.len() as f64;
+    pf.engine_stats().run_cycles
+}
+
+/// Table 5: PageForge design characteristics — Scan-Table processing-time
+/// distribution measured per application, plus the area/power model.
+pub fn table5(seed: u64, scale: Scale) -> Table {
+    let all_means: Vec<(String, RunningStats)> =
+        AppProfile::tailbench_suite_scaled(scale.pages_per_vm())
+            .iter()
+            .map(|p| (p.name.clone(), table5_profile(p, seed, scale.n_vms())))
+            .collect();
+    table5_from(&all_means)
+}
+
+/// Assembles Table 5 from the per-profile cycle distributions.
+pub fn table5_from(all_means: &[(String, RunningStats)]) -> Table {
+    let grand_mean = all_means.iter().map(|(_, s)| s.mean()).sum::<f64>() / all_means.len() as f64;
     let across_app_std = {
         let var = all_means
             .iter()
@@ -505,12 +639,18 @@ pub fn table5(seed: u64, pages_per_vm: usize) -> Table {
 
 /// Ablation: number of ECC minikey offsets vs key quality (false-positive
 /// match rate when pages changed).
-pub fn ablation_ecc_offsets(seed: u64, pages_per_vm: usize) -> Table {
+pub fn ablation_ecc_offsets(seed: u64, scale: Scale) -> Table {
     let mut t = Table::new(
         "Ablation: ECC minikeys per page vs change-detection quality",
-        &["Minikeys", "Key bits", "Bytes fetched", "ECC match rate", "jhash match rate"],
+        &[
+            "Minikeys",
+            "Key bits",
+            "Bytes fetched",
+            "ECC match rate",
+            "jhash match rate",
+        ],
     );
-    let profile = &AppProfile::tailbench_suite_scaled(pages_per_vm)[0];
+    let profile = &AppProfile::tailbench_suite_scaled(scale.pages_per_vm())[0];
     for n in [1usize, 2, 4, 8] {
         let offsets: Vec<usize> = (0..n).map(|i| 3 + i * (64 / n)).collect();
         let mut mem = HostMemory::new();
@@ -533,7 +673,8 @@ pub fn ablation_ecc_offsets(seed: u64, pages_per_vm: usize) -> Table {
             }
         }
         let s = ksm.stats();
-        let ecc_total = (s.ecc_matches - warm.ecc_matches) + (s.ecc_mismatches - warm.ecc_mismatches);
+        let ecc_total =
+            (s.ecc_matches - warm.ecc_matches) + (s.ecc_mismatches - warm.ecc_mismatches);
         let j_total =
             (s.jhash_matches - warm.jhash_matches) + (s.jhash_mismatches - warm.jhash_mismatches);
         t.row(vec![
@@ -550,15 +691,20 @@ pub fn ablation_ecc_offsets(seed: u64, pages_per_vm: usize) -> Table {
 /// Ablation: Scan Table capacity vs refills per candidate (§4.1 discusses
 /// why the table is kept small; more entries mean fewer OS interactions
 /// but a bigger structure).
-pub fn ablation_scan_table(seed: u64, pages_per_vm: usize) -> Table {
+pub fn ablation_scan_table(seed: u64, scale: Scale) -> Table {
     let mut t = Table::new(
         "Ablation: Scan Table entries vs refills and search latency",
-        &["Entries", "Refills/candidate", "Avg batch cycles", "Table bytes"],
+        &[
+            "Entries",
+            "Refills/candidate",
+            "Avg batch cycles",
+            "Table bytes",
+        ],
     );
-    let profile = &AppProfile::tailbench_suite_scaled(pages_per_vm)[0];
+    let profile = &AppProfile::tailbench_suite_scaled(scale.pages_per_vm())[0];
     for entries in [7usize, 15, 31, 63] {
         let mut mem = HostMemory::new();
-        let image = profile.generate(&mut mem, N_VMS, seed);
+        let image = profile.generate(&mut mem, scale.n_vms(), seed);
         let cfg = PageForgeConfig {
             engine: EngineConfig {
                 table_entries: entries,
@@ -620,26 +766,6 @@ pub fn ablation_inorder_core() -> Table {
     t
 }
 
-/// How many pages per VM to use outside `--quick` runs. The paper's VMs
-/// have 131,072 pages (512 MB); we default to 2,048 (8 MB) so the content
-/// statistics are faithful while experiments stay laptop-sized.
-pub fn pages_per_vm(quick: bool) -> usize {
-    if quick {
-        256
-    } else {
-        2048
-    }
-}
-
-/// Churn/steady-state rounds for the Figure 8 measurement.
-pub fn fig8_rounds(quick: bool) -> usize {
-    if quick {
-        3
-    } else {
-        6
-    }
-}
-
 // ---------------------------------------------------------------------
 // Related work & design-space extensions
 // ---------------------------------------------------------------------
@@ -649,10 +775,10 @@ pub fn fig8_rounds(quick: bool) -> usize {
 ///
 /// Reports, per CPU-share setting, how quickly UKSM converges to steady
 /// state and what it costs, against KSM's fixed-knob behaviour.
-pub fn comparison_uksm(seed: u64, pages_per_vm: usize) -> Table {
+pub fn comparison_uksm(seed: u64, scale: Scale) -> Table {
     use pageforge_ksm::{Uksm, UksmConfig};
 
-    let profile = &AppProfile::tailbench_suite_scaled(pages_per_vm)[0];
+    let profile = &AppProfile::tailbench_suite_scaled(scale.pages_per_vm())[0];
     let mut t = Table::new(
         "UKSM vs KSM: convergence and CPU cost (img_dnn image)",
         &[
@@ -667,7 +793,7 @@ pub fn comparison_uksm(seed: u64, pages_per_vm: usize) -> Table {
     // KSM reference.
     {
         let mut mem = HostMemory::new();
-        let image = profile.generate(&mut mem, N_VMS, seed);
+        let image = profile.generate(&mut mem, scale.n_vms(), seed);
         let before = mem.mapped_guest_pages();
         let mut ksm = Ksm::new(KsmConfig::default(), image.mergeable_hints());
         let passes = ksm.run_to_steady_state(&mut mem, 16);
@@ -682,7 +808,7 @@ pub fn comparison_uksm(seed: u64, pages_per_vm: usize) -> Table {
 
     for share in [0.05, 0.2, 0.5] {
         let mut mem = HostMemory::new();
-        let image = profile.generate(&mut mem, N_VMS, seed);
+        let image = profile.generate(&mut mem, scale.n_vms(), seed);
         let before = mem.mapped_guest_pages();
         drop(image); // UKSM scans everything; no hints needed.
         let cfg = UksmConfig {
@@ -705,7 +831,8 @@ pub fn comparison_uksm(seed: u64, pages_per_vm: usize) -> Table {
 /// Ablation (§4.1): one PageForge module vs several. More modules scan
 /// faster but add memory pressure; the paper argues a single module
 /// suffices. Measured on the quick system so the run stays short.
-pub fn ablation_modules(seed: u64) -> Table {
+pub fn ablation_modules(seed: u64, scale: Scale) -> Table {
+    let scale = scale.at_most_quick();
     let mut t = Table::new(
         "Ablation: number of PageForge modules (silo, quick system)",
         &[
@@ -716,7 +843,7 @@ pub fn ablation_modules(seed: u64) -> Table {
             "Frames",
         ],
     );
-    let base = System::new(sim_config("silo", DedupMode::None, seed, true)).run();
+    let base = System::new(sim_config("silo", DedupMode::None, seed, scale)).run();
     t.row(vec![
         "0 (Baseline)".into(),
         ratio(1.0),
@@ -729,7 +856,7 @@ pub fn ablation_modules(seed: u64) -> Table {
             "silo",
             DedupMode::PageForge(SimConfig::scaled_pageforge()),
             seed,
-            true,
+            scale,
         );
         cfg.pf_modules = modules;
         let r = System::new(cfg).run();
@@ -749,25 +876,26 @@ pub fn ablation_modules(seed: u64) -> Table {
 /// different TailBench app. Cross-VM duplication is lower (only the guest
 /// OS/library pages are shared), so savings drop, but the interference
 /// ordering (KSM ≫ PageForge) must persist.
-pub fn extension_heterogeneous(seed: u64) -> Table {
+pub fn extension_heterogeneous(seed: u64, scale: Scale) -> Table {
     let mut t = Table::new(
         "Extension: heterogeneous VM mix (all five apps co-located)",
         &["Config", "Mean latency", "p95 latency", "Frames", "Savings"],
     );
     let apps = ["img_dnn", "masstree", "moses", "silo", "sphinx"];
+    let smoke = scale == Scale::Smoke;
     let mk = |mode| {
         let mut cfg = SimConfig::heterogeneous(&apps, mode, seed);
         cfg.cores = 5;
         cfg.hierarchy = pageforge_cache::HierarchyConfig::micro50(5);
         cfg.hierarchy.l3.size_bytes = 2 << 20;
         for p in &mut cfg.profiles {
-            p.pages_per_vm = 512;
+            p.pages_per_vm = if smoke { 192 } else { 512 };
         }
-        cfg.warmup_cycles = 4_000_000;
-        cfg.measure_cycles = 60_000_000;
+        cfg.warmup_cycles = if smoke { 1_000_000 } else { 4_000_000 };
+        cfg.measure_cycles = if smoke { 10_000_000 } else { 60_000_000 };
         match &mut cfg.dedup {
-            DedupMode::Ksm(k) => k.pages_to_scan = 16,
-            DedupMode::PageForge(p) => p.pages_to_scan = 16,
+            DedupMode::Ksm(k) => k.pages_to_scan = if smoke { 8 } else { 16 },
+            DedupMode::PageForge(p) => p.pages_to_scan = if smoke { 8 } else { 16 },
             DedupMode::None => {}
         }
         cfg
@@ -798,7 +926,7 @@ pub fn extension_heterogeneous(seed: u64) -> Table {
 /// Ablation (§4.3, second alternative): KSM with cache-bypassing accesses.
 /// Pollution disappears but the CPU cycles remain — the paper predicts it
 /// lands between KSM and PageForge, closer to KSM.
-pub fn ablation_cache_bypass(seed: u64, quick: bool) -> Table {
+pub fn ablation_cache_bypass(seed: u64, scale: Scale) -> Table {
     let mut t = Table::new(
         "Ablation: software dedup with uncacheable accesses (silo)",
         &["Config", "Mean latency", "p95 latency", "L3 miss", "Frames"],
@@ -812,11 +940,14 @@ pub fn ablation_cache_bypass(seed: u64, quick: bool) -> Table {
         ("Baseline", DedupMode::None),
         ("KSM", DedupMode::Ksm(SimConfig::scaled_ksm())),
         ("KSM (uncacheable)", DedupMode::Ksm(bypass_cfg)),
-        ("PageForge", DedupMode::PageForge(SimConfig::scaled_pageforge())),
+        (
+            "PageForge",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+        ),
     ];
     let mut base: Option<(f64, f64)> = None;
     for (name, mode) in configs {
-        let mut r = System::new(sim_config("silo", mode, seed, quick)).run();
+        let mut r = System::new(sim_config("silo", mode, seed, scale)).run();
         let mean = r.mean_sojourn();
         let p95 = r.p95_sojourn();
         let (bm, bp) = *base.get_or_insert((mean, p95));
@@ -834,15 +965,22 @@ pub fn ablation_cache_bypass(seed: u64, quick: bool) -> Table {
 /// Ablation: Linux's `use_zero_pages` knob — zero pages bypass the trees
 /// entirely. Measures tree traffic and time-to-steady-state with and
 /// without the shortcut.
-pub fn ablation_zero_pages(seed: u64, pages_per_vm: usize) -> Table {
+pub fn ablation_zero_pages(seed: u64, scale: Scale) -> Table {
     let mut t = Table::new(
         "Ablation: use_zero_pages shortcut (img_dnn image)",
-        &["Config", "Passes", "Frames", "Zero merges", "Tree inserts", "Dedup cycles (M)"],
+        &[
+            "Config",
+            "Passes",
+            "Frames",
+            "Zero merges",
+            "Tree inserts",
+            "Dedup cycles (M)",
+        ],
     );
-    let profile = &AppProfile::tailbench_suite_scaled(pages_per_vm)[0];
+    let profile = &AppProfile::tailbench_suite_scaled(scale.pages_per_vm())[0];
     for use_zero in [false, true] {
         let mut mem = HostMemory::new();
-        let image = profile.generate(&mut mem, N_VMS, seed);
+        let image = profile.generate(&mut mem, scale.n_vms(), seed);
         let cfg = KsmConfig {
             use_zero_pages: use_zero,
             ..KsmConfig::default()
@@ -851,7 +989,12 @@ pub fn ablation_zero_pages(seed: u64, pages_per_vm: usize) -> Table {
         let passes = ksm.run_to_steady_state(&mut mem, 16);
         let s = ksm.stats();
         t.row(vec![
-            if use_zero { "use_zero_pages=1" } else { "use_zero_pages=0" }.into(),
+            if use_zero {
+                "use_zero_pages=1"
+            } else {
+                "use_zero_pages=0"
+            }
+            .into(),
             passes.to_string(),
             mem.allocated_frames().to_string(),
             s.merged_zero.to_string(),
@@ -866,7 +1009,7 @@ pub fn ablation_zero_pages(seed: u64, pages_per_vm: usize) -> Table {
 /// (§2.1: "two parameters are used to tune the aggressiveness of the
 /// algorithm"). More aggressive scanning merges faster but costs more
 /// latency — under KSM. Under PageForge the cost stays flat.
-pub fn sweep_scan_rate(seed: u64, quick: bool) -> Table {
+pub fn sweep_scan_rate(seed: u64, scale: Scale) -> Table {
     let mut t = Table::new(
         "Sweep: scan aggressiveness vs latency overhead (silo)",
         &[
@@ -878,7 +1021,7 @@ pub fn sweep_scan_rate(seed: u64, quick: bool) -> Table {
             "PF p95",
         ],
     );
-    let base = System::new(sim_config("silo", DedupMode::None, seed, quick)).run();
+    let base = System::new(sim_config("silo", DedupMode::None, seed, scale)).run();
     let base_mean = base.mean_sojourn();
     let mut base_mut = base;
     let base_p95 = base_mut.p95_sojourn();
@@ -886,8 +1029,9 @@ pub fn sweep_scan_rate(seed: u64, quick: bool) -> Table {
     for pages in [8usize, 16, 32, 64] {
         let mut kc = SimConfig::scaled_ksm();
         kc.pages_to_scan = pages;
-        let mut cfg = sim_config("silo", DedupMode::Ksm(kc.clone()), seed, quick);
-        // sim_config's quick() rescales pages_to_scan; reapply the sweep value.
+        let mut cfg = sim_config("silo", DedupMode::Ksm(kc.clone()), seed, scale);
+        // sim_config's reduced scales rescale pages_to_scan; reapply the
+        // sweep value.
         if let DedupMode::Ksm(k) = &mut cfg.dedup {
             k.pages_to_scan = pages;
         }
@@ -896,7 +1040,7 @@ pub fn sweep_scan_rate(seed: u64, quick: bool) -> Table {
 
         let mut pc = SimConfig::scaled_pageforge();
         pc.pages_to_scan = pages;
-        let mut cfg = sim_config("silo", DedupMode::PageForge(pc), seed, quick);
+        let mut cfg = sim_config("silo", DedupMode::PageForge(pc), seed, scale);
         if let DedupMode::PageForge(p) = &mut cfg.dedup {
             p.pages_to_scan = pages;
         }

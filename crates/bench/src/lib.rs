@@ -28,6 +28,8 @@
 pub mod args;
 pub mod experiments;
 pub mod report;
+pub mod scheduler;
+pub mod suite;
 
 pub use args::BenchArgs;
 pub use report::Table;

@@ -3,10 +3,10 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use serde::Serialize;
+use pageforge_types::json::{obj, FromJson, ToJson, Value};
 
 /// A printable results table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Title (e.g. "Figure 9: Mean sojourn latency normalized to Baseline").
     pub title: String,
@@ -74,11 +74,30 @@ impl Table {
     pub fn write_json(&self, dir: &Path, name: &str) {
         if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| {
             let path = dir.join(format!("{name}.json"));
-            let json = serde_json::to_string_pretty(self).expect("table serializes");
-            std::fs::write(path, json)
+            std::fs::write(path, self.to_json().to_string_pretty())
         }) {
             eprintln!("warning: could not write JSON results: {e}");
         }
+    }
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Value {
+        obj([
+            ("title", self.title.to_json()),
+            ("headers", self.headers.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Table {
+    fn from_json(value: &Value) -> Option<Self> {
+        Some(Table {
+            title: String::from_json(value.get("title")?)?,
+            headers: Vec::from_json(value.get("headers")?)?,
+            rows: Vec::from_json(value.get("rows")?)?,
+        })
     }
 }
 

@@ -1,0 +1,476 @@
+//! Deterministic parallel experiment scheduler.
+//!
+//! The evaluation suite is embarrassingly parallel — the paper itself
+//! runs one PageForge engine per memory controller independently (§3.2),
+//! and every experiment here is a pure function of `(seed, scale)` — so
+//! this module fans work units out across a worker pool while keeping
+//! the *observable output* bit-identical to a sequential run:
+//!
+//! * every unit carries its own fixed seed (see
+//!   [`pageforge_types::derive_seed`]), so values never depend on which
+//!   worker runs a unit or in what order;
+//! * results are merged back **in submission order** on the calling
+//!   thread, so tables, JSON files, and stdout ordering are exactly those
+//!   of `--jobs 1`;
+//! * a panicking unit fails the whole run promptly (remaining queued
+//!   units are abandoned, in-flight ones finish) instead of hanging or
+//!   being silently dropped.
+//!
+//! The pool is plain scoped `std::thread` workers pulling indices off a
+//! shared queue — the same shape a later PR can lift to shard the
+//! simulator itself across memory-controller modules.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use pageforge_types::json::{self, obj, FromJson, ToJson, Value};
+
+/// How a bench run schedules its experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads (`--jobs`). 1 reproduces the sequential run; any
+    /// other value produces byte-identical results, just faster.
+    pub jobs: usize,
+    /// Smoke mode (`--smoke`): reduced cycle budgets and VM counts so
+    /// the *entire* figure pipeline finishes in minutes (CI runs this).
+    pub smoke: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            jobs: 1,
+            smoke: false,
+        }
+    }
+}
+
+/// One schedulable unit of work: a closure plus labels for reporting.
+pub struct Unit<T> {
+    /// The experiment this unit belongs to (e.g. `"fig7"`); timing is
+    /// aggregated per experiment.
+    pub experiment: String,
+    /// Human-readable unit label (e.g. `"fig7/img_dnn"`).
+    pub label: String,
+    /// The work itself. Must be deterministic given its captured inputs.
+    pub run: Box<dyn FnOnce() -> T + Send>,
+}
+
+impl<T> Unit<T> {
+    /// Convenience constructor.
+    pub fn new(
+        experiment: impl Into<String>,
+        label: impl Into<String>,
+        run: impl FnOnce() -> T + Send + 'static,
+    ) -> Self {
+        Unit {
+            experiment: experiment.into(),
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// A completed unit: its output plus wall-clock accounting.
+#[derive(Debug, Clone)]
+pub struct UnitResult<T> {
+    /// Experiment the unit belonged to.
+    pub experiment: String,
+    /// Unit label.
+    pub label: String,
+    /// The unit's output.
+    pub value: T,
+    /// Wall-clock seconds the unit took on its worker.
+    pub secs: f64,
+}
+
+/// A unit panicked; the run was aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerError {
+    /// Label of the failing unit.
+    pub label: String,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "experiment unit `{}` failed: {}",
+            self.label, self.message
+        )
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+/// Runs `units` on `jobs` worker threads and returns their results **in
+/// submission order**, or the first (by submission order) failure.
+///
+/// With `jobs <= 1` the units run inline on the calling thread — the
+/// reference sequential schedule the parallel one must match.
+pub fn run_units<T: Send>(
+    jobs: usize,
+    units: Vec<Unit<T>>,
+) -> Result<Vec<UnitResult<T>>, SchedulerError> {
+    let n = units.len();
+    if jobs <= 1 || n <= 1 {
+        return units
+            .into_iter()
+            .map(|u| {
+                let started = Instant::now();
+                let value = run_caught(u.run).map_err(|message| SchedulerError {
+                    label: u.label.clone(),
+                    message,
+                })?;
+                Ok(UnitResult {
+                    experiment: u.experiment,
+                    label: u.label,
+                    value,
+                    secs: started.elapsed().as_secs_f64(),
+                })
+            })
+            .collect();
+    }
+
+    // Shared state: take-once unit slots, a claim cursor, and an abort
+    // flag raised on the first panic so queued units are abandoned.
+    let slots: Vec<std::sync::Mutex<Option<Unit<T>>>> = units
+        .into_iter()
+        .map(|u| std::sync::Mutex::new(Some(u)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, Result<UnitResult<T>, SchedulerError>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            let tx = tx.clone();
+            let slots = &slots;
+            let cursor = &cursor;
+            let aborted = &aborted;
+            scope.spawn(move || loop {
+                if aborted.load(Ordering::Relaxed) {
+                    break;
+                }
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= slots.len() {
+                    break;
+                }
+                let unit = slots[idx]
+                    .lock()
+                    .expect("unit slot lock")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let experiment = unit.experiment;
+                let label = unit.label;
+                let started = Instant::now();
+                let outcome = match run_caught(unit.run) {
+                    Ok(value) => Ok(UnitResult {
+                        experiment,
+                        label,
+                        value,
+                        secs: started.elapsed().as_secs_f64(),
+                    }),
+                    Err(message) => {
+                        aborted.store(true, Ordering::Relaxed);
+                        Err(SchedulerError { label, message })
+                    }
+                };
+                // The receiver only disconnects after an abort; losing
+                // late results then is fine.
+                if tx.send((idx, outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // Ordered merge: collect by index, then read out 0..n.
+        let mut collected: Vec<Option<Result<UnitResult<T>, SchedulerError>>> =
+            (0..n).map(|_| None).collect();
+        for (idx, outcome) in rx {
+            collected[idx] = Some(outcome);
+        }
+        let mut results = Vec::with_capacity(n);
+        let mut first_error: Option<SchedulerError> = None;
+        for slot in collected {
+            match slot {
+                Some(Ok(r)) => results.push(r),
+                Some(Err(e)) => {
+                    first_error.get_or_insert(e);
+                }
+                // Unclaimed because the run aborted first.
+                None => {}
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(results),
+        }
+    })
+}
+
+/// Runs the closure, translating a panic into its message.
+fn run_caught<T>(f: Box<dyn FnOnce() -> T + Send>) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_owned()
+        }
+    })
+}
+
+/// Wall-clock spent in one experiment (possibly several units).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentTiming {
+    /// Experiment name (e.g. `"fig7"`).
+    pub name: String,
+    /// Total busy seconds across the experiment's units.
+    pub secs: f64,
+    /// Number of units the experiment was split into.
+    pub units: usize,
+}
+
+/// Timing record for a whole scheduled run. Written by `run_all` to
+/// `<out_dir>/meta/timing.json` — *outside* the `results/*.json` globs,
+/// because timing legitimately differs between runs while the result
+/// files must stay byte-identical at any `--jobs` level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTiming {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Total units scheduled.
+    pub units: usize,
+    /// Wall-clock seconds for the whole scheduled phase.
+    pub wall_secs: f64,
+    /// Per-experiment busy time, in first-submission order.
+    pub experiments: Vec<ExperimentTiming>,
+}
+
+impl RunTiming {
+    /// Aggregates per-unit timings (submission order) per experiment.
+    pub fn from_results<T>(jobs: usize, wall_secs: f64, results: &[UnitResult<T>]) -> Self {
+        let mut experiments: Vec<ExperimentTiming> = Vec::new();
+        for r in results {
+            match experiments.iter_mut().find(|e| e.name == r.experiment) {
+                Some(e) => {
+                    e.secs += r.secs;
+                    e.units += 1;
+                }
+                None => experiments.push(ExperimentTiming {
+                    name: r.experiment.clone(),
+                    secs: r.secs,
+                    units: 1,
+                }),
+            }
+        }
+        RunTiming {
+            jobs,
+            units: results.len(),
+            wall_secs,
+            experiments,
+        }
+    }
+
+    /// Total busy seconds across all units.
+    pub fn busy_secs(&self) -> f64 {
+        self.experiments.iter().map(|e| e.secs).sum()
+    }
+
+    /// Busy/wall ratio: the speedup actually realized by the pool.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.busy_secs() / self.wall_secs
+        } else {
+            1.0
+        }
+    }
+
+    /// Renders the timing as a printable [`crate::Table`].
+    pub fn table(&self) -> crate::Table {
+        let mut t = crate::Table::new(
+            &format!(
+                "Run timing: {} units on {} worker(s), {:.1}s busy in {:.1}s wall ({:.2}x)",
+                self.units,
+                self.jobs,
+                self.busy_secs(),
+                self.wall_secs,
+                self.speedup()
+            ),
+            &["Experiment", "Wall-clock (s)", "Units"],
+        );
+        for e in &self.experiments {
+            t.row(vec![
+                e.name.clone(),
+                format!("{:.2}", e.secs),
+                e.units.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Writes the record to `<out_dir>/meta/timing.json` (best-effort).
+    pub fn write(&self, out_dir: &Path) {
+        let dir = out_dir.join("meta");
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|_| {
+            std::fs::write(dir.join("timing.json"), self.to_json().to_string_pretty())
+        }) {
+            eprintln!("warning: could not write timing record: {e}");
+        }
+    }
+
+    /// Reads a record written by [`RunTiming::write`].
+    pub fn read(out_dir: &Path) -> Option<Self> {
+        let raw = std::fs::read_to_string(out_dir.join("meta").join("timing.json")).ok()?;
+        Self::from_json(&json::parse(&raw).ok()?)
+    }
+}
+
+impl ToJson for ExperimentTiming {
+    fn to_json(&self) -> Value {
+        obj([
+            ("name", self.name.to_json()),
+            ("secs", self.secs.to_json()),
+            ("units", self.units.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExperimentTiming {
+    fn from_json(value: &Value) -> Option<Self> {
+        Some(ExperimentTiming {
+            name: String::from_json(value.get("name")?)?,
+            secs: f64::from_json(value.get("secs")?)?,
+            units: usize::from_json(value.get("units")?)?,
+        })
+    }
+}
+
+impl ToJson for RunTiming {
+    fn to_json(&self) -> Value {
+        obj([
+            ("jobs", self.jobs.to_json()),
+            ("units", self.units.to_json()),
+            ("wall_secs", self.wall_secs.to_json()),
+            ("experiments", self.experiments.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunTiming {
+    fn from_json(value: &Value) -> Option<Self> {
+        Some(RunTiming {
+            jobs: usize::from_json(value.get("jobs")?)?,
+            units: usize::from_json(value.get("units")?)?,
+            wall_secs: f64::from_json(value.get("wall_secs")?)?,
+            experiments: Vec::from_json(value.get("experiments")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_results_are_in_submission_order() {
+        let mk = || {
+            (0..20)
+                .map(|i| Unit::new("exp", format!("u{i}"), move || i * i))
+                .collect::<Vec<_>>()
+        };
+        let seq = run_units(1, mk()).unwrap();
+        let par = run_units(4, mk()).unwrap();
+        let seq_vals: Vec<i32> = seq.iter().map(|r| r.value).collect();
+        let par_vals: Vec<i32> = par.iter().map(|r| r.value).collect();
+        assert_eq!(seq_vals, par_vals);
+        assert_eq!(par_vals, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_unit_fails_the_run_not_hangs_it() {
+        for jobs in [1usize, 4] {
+            let units = vec![
+                Unit::new("ok", "a", || 1),
+                Unit::new("bad", "boom", || panic!("deliberate test failure")),
+                Unit::new("ok", "c", || 3),
+            ];
+            let err = run_units(jobs, units).unwrap_err();
+            assert_eq!(err.label, "boom");
+            assert!(err.message.contains("deliberate test failure"));
+        }
+    }
+
+    #[test]
+    fn first_failure_by_submission_order_wins() {
+        let units = vec![
+            Unit::new("bad", "first", || -> i32 { panic!("first") }),
+            Unit::new("bad", "second", || panic!("second")),
+        ];
+        let err = run_units(1, units).unwrap_err();
+        assert_eq!(err.label, "first");
+    }
+
+    #[test]
+    fn timing_aggregates_per_experiment() {
+        let results = vec![
+            UnitResult {
+                experiment: "fig7".into(),
+                label: "fig7/a".into(),
+                value: (),
+                secs: 1.0,
+            },
+            UnitResult {
+                experiment: "fig8".into(),
+                label: "fig8/a".into(),
+                value: (),
+                secs: 2.0,
+            },
+            UnitResult {
+                experiment: "fig7".into(),
+                label: "fig7/b".into(),
+                value: (),
+                secs: 0.5,
+            },
+        ];
+        let t = RunTiming::from_results(4, 2.0, &results);
+        assert_eq!(t.units, 3);
+        assert_eq!(t.experiments.len(), 2);
+        assert_eq!(t.experiments[0].name, "fig7");
+        assert_eq!(t.experiments[0].units, 2);
+        assert!((t.experiments[0].secs - 1.5).abs() < 1e-12);
+        assert!((t.busy_secs() - 3.5).abs() < 1e-12);
+        assert!((t.speedup() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_roundtrips_through_json() {
+        let t = RunTiming {
+            jobs: 4,
+            units: 2,
+            wall_secs: 1.25,
+            experiments: vec![ExperimentTiming {
+                name: "fig7".into(),
+                secs: 0.75,
+                units: 2,
+            }],
+        };
+        let back = RunTiming::from_json(&json::parse(&t.to_json().to_string_pretty()).unwrap());
+        assert_eq!(back, Some(t));
+    }
+
+    #[test]
+    fn zero_jobs_runs_inline() {
+        let units = vec![Unit::new("e", "only", || 42)];
+        let r = run_units(0, units).unwrap();
+        assert_eq!(r[0].value, 42);
+    }
+}

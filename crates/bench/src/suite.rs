@@ -1,0 +1,316 @@
+//! The complete evaluation, expressed as independent work units for the
+//! parallel scheduler.
+//!
+//! `run_all` used to execute the experiments one after another; this
+//! module decomposes the same work into ~30 seed-isolated units (one per
+//! app × experiment cell where an experiment is separable, one per
+//! experiment otherwise) and reassembles the exact same tables from their
+//! outputs. Because every unit derives its values only from `(seed,
+//! scale)` and the merge happens in submission order, the emitted
+//! `results/*.json` files are byte-identical at any `--jobs` level.
+
+use std::path::Path;
+
+use pageforge_sim::SimResult;
+use pageforge_types::stats::RunningStats;
+use pageforge_vm::AppProfile;
+
+use crate::experiments::{self, HashKeyOutcome, MemorySavings};
+use crate::report::Table;
+use crate::scheduler::{run_units, RunTiming, SchedulerError, Unit};
+use crate::BenchArgs;
+
+/// Every experiment name `--only` accepts, in paper order.
+pub const EXPERIMENTS: &[&str] = &[
+    "table3",
+    "fig7",
+    "fig8",
+    "latency",
+    "table5",
+    "ablation_ecc_offsets",
+    "ablation_scan_table",
+    "ablation_inorder_core",
+    "ablation_cache_bypass",
+    "ablation_modules",
+    "ablation_zero_pages",
+    "comparison_uksm",
+    "sweep_scan_rate",
+    "extension_heterogeneous",
+];
+
+/// What one work unit produces.
+pub enum UnitOutput {
+    /// A finished table (single-unit experiments).
+    Table(Table),
+    /// One app's Figure 7 measurement.
+    Savings(MemorySavings),
+    /// One app's Figure 8 measurement.
+    HashKeys(HashKeyOutcome),
+    /// One (app, mode) full-system simulation of the latency suite.
+    Sim(Box<SimResult>),
+    /// One app's Table 5 Scan-Table cycle distribution.
+    Engine(String, RunningStats),
+}
+
+/// The reassembled evaluation: named tables (file stem, table) in paper
+/// order, plus the scheduler's timing record.
+pub struct SuiteOutcome {
+    /// `(file_stem, table)` pairs, e.g. `("fig7_memory_savings", ...)`.
+    pub tables: Vec<(String, Table)>,
+    /// Per-experiment wall-clock accounting.
+    pub timing: RunTiming,
+}
+
+/// Runs the selected experiments on `args.jobs` workers and reassembles
+/// the tables. Results are byte-identical at any `--jobs` level.
+pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
+    for name in &args.only {
+        assert!(
+            EXPERIMENTS.contains(&name.as_str()),
+            "unknown experiment `{name}` in --only; known: {}",
+            EXPERIMENTS.join(", ")
+        );
+    }
+    let want = |name: &str| args.only.is_empty() || args.only.iter().any(|o| o == name);
+    let scale = args.scale();
+    let seed = args.seed;
+
+    // The latency suite is cached on disk across binaries; when the cache
+    // is valid there is nothing to schedule for it.
+    let cache_path = experiments::suite_cache_path(&args.out_dir, seed, scale);
+    let cached_suite = if want("latency") {
+        experiments::read_suite_cache(&cache_path)
+    } else {
+        None
+    };
+    if cached_suite.is_some() {
+        eprintln!("(reusing cached simulations from {})", cache_path.display());
+    }
+
+    // Build the unit list, heaviest experiments first so the pool stays
+    // busy. Assembly below keys on the experiment name, not position.
+    let mut units: Vec<Unit<UnitOutput>> = Vec::new();
+    if want("latency") && cached_suite.is_none() {
+        for app in experiments::APPS {
+            for mode in experiments::suite_modes() {
+                let label = format!("latency/{app}/{}", mode.label());
+                units.push(Unit::new("latency", label, move || {
+                    UnitOutput::Sim(Box::new(experiments::run_suite_cell(
+                        app, mode, seed, scale,
+                    )))
+                }));
+            }
+        }
+    }
+    let profiles = AppProfile::tailbench_suite_scaled(scale.pages_per_vm());
+    if want("table5") {
+        for profile in profiles.clone() {
+            let label = format!("table5/{}", profile.name);
+            units.push(Unit::new("table5", label, move || {
+                let stats = experiments::table5_profile(&profile, seed, scale.n_vms());
+                UnitOutput::Engine(profile.name, stats)
+            }));
+        }
+    }
+    if want("fig7") {
+        for profile in profiles.clone() {
+            let label = format!("fig7/{}", profile.name);
+            units.push(Unit::new("fig7", label, move || {
+                UnitOutput::Savings(experiments::memory_savings_for(
+                    &profile,
+                    seed,
+                    scale.n_vms(),
+                ))
+            }));
+        }
+    }
+    if want("fig8") {
+        for profile in profiles {
+            let label = format!("fig8/{}", profile.name);
+            units.push(Unit::new("fig8", label, move || {
+                UnitOutput::HashKeys(experiments::hash_keys_for(
+                    &profile,
+                    seed,
+                    scale.fig8_rounds(),
+                    scale.n_vms(),
+                ))
+            }));
+        }
+    }
+    let mut single = |name: &'static str, run: Box<dyn FnOnce() -> Table + Send>| {
+        if want(name) {
+            units.push(Unit::new(name, name, move || UnitOutput::Table(run())));
+        }
+    };
+    single(
+        "sweep_scan_rate",
+        Box::new(move || experiments::sweep_scan_rate(seed, scale)),
+    );
+    single(
+        "extension_heterogeneous",
+        Box::new(move || experiments::extension_heterogeneous(seed, scale)),
+    );
+    single(
+        "ablation_cache_bypass",
+        Box::new(move || experiments::ablation_cache_bypass(seed, scale)),
+    );
+    single(
+        "ablation_modules",
+        Box::new(move || experiments::ablation_modules(seed, scale)),
+    );
+    single(
+        "comparison_uksm",
+        Box::new(move || experiments::comparison_uksm(seed, scale)),
+    );
+    single(
+        "ablation_ecc_offsets",
+        Box::new(move || experiments::ablation_ecc_offsets(seed, scale)),
+    );
+    single(
+        "ablation_scan_table",
+        Box::new(move || experiments::ablation_scan_table(seed, scale)),
+    );
+    single(
+        "ablation_zero_pages",
+        Box::new(move || experiments::ablation_zero_pages(seed, scale)),
+    );
+    single("table3", Box::new(experiments::table3));
+    single(
+        "ablation_inorder_core",
+        Box::new(experiments::ablation_inorder_core),
+    );
+
+    let started = std::time::Instant::now();
+    let results = run_units(args.jobs, units)?;
+    let timing = RunTiming::from_results(args.jobs, started.elapsed().as_secs_f64(), &results);
+
+    // Reassemble in paper order, keyed by experiment name.
+    let mut savings = Vec::new();
+    let mut hash_keys = Vec::new();
+    let mut sims = Vec::new();
+    let mut engine = Vec::new();
+    let mut singles: Vec<(String, Table)> = Vec::new();
+    for r in results {
+        match r.value {
+            UnitOutput::Table(t) => singles.push((r.experiment, t)),
+            UnitOutput::Savings(s) => savings.push(s),
+            UnitOutput::HashKeys(h) => hash_keys.push(h),
+            UnitOutput::Sim(s) => sims.push(*s),
+            UnitOutput::Engine(name, stats) => engine.push((name, stats)),
+        }
+    }
+    let single_table = |singles: &mut Vec<(String, Table)>, name: &str| -> Option<Table> {
+        let pos = singles.iter().position(|(n, _)| n == name)?;
+        Some(singles.remove(pos).1)
+    };
+
+    let mut tables: Vec<(String, Table)> = Vec::new();
+    let push = |tables: &mut Vec<(String, Table)>, stem: &str, t: Table| {
+        tables.push((stem.to_owned(), t));
+    };
+    if let Some(t) = single_table(&mut singles, "table3") {
+        push(&mut tables, "table3_apps", t);
+    }
+    if !savings.is_empty() {
+        push(
+            &mut tables,
+            "fig7_memory_savings",
+            experiments::figure7_table(&savings),
+        );
+    }
+    if !hash_keys.is_empty() {
+        push(
+            &mut tables,
+            "fig8_hash_keys",
+            experiments::figure8_table(&hash_keys),
+        );
+    }
+    if want("latency") {
+        // Fresh sims arrive flat in (app-major, mode-minor) order; fold
+        // them back into per-app triples.
+        let mut suite: Vec<[SimResult; 3]> = match cached_suite {
+            Some(s) => s,
+            None => {
+                let mut suite = Vec::new();
+                let mut it = sims.into_iter();
+                while let (Some(a), Some(b), Some(c)) = (it.next(), it.next(), it.next()) {
+                    suite.push([a, b, c]);
+                }
+                // Cache before figure10 sorts the recorders, so the file's
+                // bytes never depend on which figures were generated.
+                experiments::write_suite_cache(&cache_path, &args.out_dir, &suite);
+                suite
+            }
+        };
+        push(
+            &mut tables,
+            "table4_ksm_characterization",
+            experiments::table4(&suite),
+        );
+        push(
+            &mut tables,
+            "fig9_mean_latency",
+            experiments::figure9(&suite),
+        );
+        push(
+            &mut tables,
+            "fig10_tail_latency",
+            experiments::figure10(&mut suite),
+        );
+        push(
+            &mut tables,
+            "fig11_bandwidth",
+            experiments::figure11(&suite),
+        );
+    }
+    if !engine.is_empty() {
+        push(
+            &mut tables,
+            "table5_design",
+            experiments::table5_from(&engine),
+        );
+    }
+    for name in EXPERIMENTS {
+        if let Some(t) = single_table(&mut singles, name) {
+            push(&mut tables, name, t);
+        }
+    }
+    Ok(SuiteOutcome { tables, timing })
+}
+
+/// Writes every table of a finished suite under `out_dir` and prints it.
+pub fn print_and_write(outcome: &SuiteOutcome, out_dir: &Path) {
+    for (stem, table) in &outcome.tables {
+        table.print();
+        table.write_json(out_dir, stem);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_only_name_panics() {
+        let mut args = BenchArgs::default();
+        args.only.push("fig99".into());
+        let _ = run_suite(&args);
+    }
+
+    #[test]
+    fn table3_runs_through_the_scheduler() {
+        let args = BenchArgs {
+            smoke: true,
+            jobs: 2,
+            only: vec!["table3".into(), "ablation_inorder_core".into()],
+            out_dir: std::env::temp_dir().join("pageforge-suite-unit-test"),
+            ..BenchArgs::default()
+        };
+        let outcome = run_suite(&args).expect("suite runs");
+        assert_eq!(outcome.tables.len(), 2);
+        assert_eq!(outcome.tables[0].0, "table3_apps");
+        assert_eq!(outcome.tables[1].0, "ablation_inorder_core");
+        assert_eq!(outcome.timing.units, 2);
+    }
+}

@@ -1,12 +1,10 @@
 //! A single set-associative cache with MESI line states and true-LRU
 //! replacement.
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_types::{Cycle, LineAddr, LINE_SIZE};
 
 /// MESI coherence state of a cached line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LineState {
     /// Valid, clean, possibly shared with other caches.
     Shared,
@@ -24,7 +22,7 @@ impl LineState {
 }
 
 /// Geometry and timing of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -83,7 +81,7 @@ impl CacheConfig {
 }
 
 /// Hit/miss/eviction counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found the line.
     pub hits: u64,
@@ -182,7 +180,10 @@ impl SetAssocCache {
     /// Checks presence without touching LRU or counters (snoop path).
     pub fn peek(&self, addr: LineAddr) -> Option<LineState> {
         let set = self.set_index(addr);
-        self.sets[set].iter().find(|w| w.tag == addr.0).map(|w| w.state)
+        self.sets[set]
+            .iter()
+            .find(|w| w.tag == addr.0)
+            .map(|w| w.state)
     }
 
     /// Sets the state of a resident line. No-op if absent.

@@ -5,14 +5,12 @@
 //! behind it. The L3 is inclusive of the private levels, so an L3 eviction
 //! back-invalidates L1/L2 copies.
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_types::{Cycle, LineAddr};
 
 use crate::cache::{CacheConfig, CacheStats, LineState, SetAssocCache};
 
 /// Where an access was satisfied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HitLevel {
     /// Own L1.
     L1,
@@ -38,7 +36,7 @@ pub struct Access {
 }
 
 /// Geometry and timing of the whole hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// Number of cores (private L1/L2 pairs).
     pub cores: usize,
@@ -339,9 +337,7 @@ impl SystemCaches {
             return Err(format!("{addr}: multiple owners {owners:?}"));
         }
         if owners.len() == 1 && holders.len() > 1 {
-            return Err(format!(
-                "{addr}: owner coexists with sharers {holders:?}"
-            ));
+            return Err(format!("{addr}: owner coexists with sharers {holders:?}"));
         }
         Ok(())
     }
@@ -413,7 +409,7 @@ mod tests {
         let mut s = small(2);
         s.access(0, LineAddr(5), false);
         s.access(1, LineAddr(5), true); // core 1 writes
-        // Core 0's next access misses its L1 (copy invalidated).
+                                        // Core 0's next access misses its L1 (copy invalidated).
         let a = s.access(0, LineAddr(5), false);
         assert_ne!(a.level, HitLevel::L1);
     }

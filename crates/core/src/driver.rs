@@ -19,8 +19,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_ecc::{EccHashKey, EccKeyConfig};
 use pageforge_ksm::rbtree::{NodeId, Side};
 use pageforge_ksm::tree::{PageRef, PageTree, TreeKind};
@@ -35,7 +33,7 @@ use crate::scan_table::INVALID_INDEX;
 
 /// Driver configuration (the paper runs PageForge with KSM's knobs,
 /// Table 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PageForgeConfig {
     /// Candidate pages per work interval.
     pub pages_to_scan: usize,
@@ -67,7 +65,7 @@ impl Default for PageForgeConfig {
 }
 
 /// Cumulative driver statistics.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PageForgeStats {
     /// Completed passes over the hint list.
     pub passes: u64,
@@ -509,7 +507,11 @@ fn decode_invalid(ptr: u8, capacity: usize) -> Option<(usize, Side)> {
         return None;
     }
     let off = ptr as usize - capacity;
-    let side = if off.is_multiple_of(2) { Side::Left } else { Side::Right };
+    let side = if off.is_multiple_of(2) {
+        Side::Left
+    } else {
+        Side::Right
+    };
     Some((off / 2, side))
 }
 

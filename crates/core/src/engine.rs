@@ -9,8 +9,6 @@
 //! snatches the candidate's ECC codes as its lines stream through the
 //! memory controller to assemble the hash key for free.
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_ecc::{EccKeyConfig, EccKeyConfigError, KeyBuilder, LineEcc};
 use pageforge_types::stats::RunningStats;
 use pageforge_types::{Cycle, PageData, Ppn, LINES_PER_PAGE};
@@ -20,7 +18,7 @@ use crate::fabric::MemoryFabric;
 use crate::scan_table::{PfeInfo, ScanTable, DEFAULT_OTHER_PAGES};
 
 /// Hardware parameters of the engine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Number of Other Pages entries in the Scan Table.
     pub table_entries: usize,
@@ -44,7 +42,7 @@ impl Default for EngineConfig {
 
 /// Counters and the per-batch cycle distribution (Table 5 reports a mean of
 /// 7,486 cycles with σ ≈ 1,296 for processing the Scan Table).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineStats {
     /// Batches processed (engine triggers).
     pub runs: u64,
@@ -260,7 +258,13 @@ impl PageForgeEngine {
         }
     }
 
-    fn fetch(&mut self, fabric: &mut impl MemoryFabric, ppn: Ppn, line: usize, now: Cycle) -> Cycle {
+    fn fetch(
+        &mut self,
+        fabric: &mut impl MemoryFabric,
+        ppn: Ppn,
+        line: usize,
+        now: Cycle,
+    ) -> Cycle {
         let read = fabric.read_line(ppn.line_addr(line), now);
         self.stats.lines_fetched += 1;
         if read.on_chip {

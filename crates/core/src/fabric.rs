@@ -60,7 +60,12 @@ impl MemoryFabric for FlatFabric {
         self.reads += 1;
         let on_chip = self.chip_hit_modulo != 0 && addr.0.is_multiple_of(self.chip_hit_modulo);
         FabricRead {
-            ready_at: now + if on_chip { self.chip_latency } else { self.dram_latency },
+            ready_at: now
+                + if on_chip {
+                    self.chip_latency
+                } else {
+                    self.dram_latency
+                },
             on_chip,
         }
     }

@@ -7,10 +7,8 @@
 //! reference ARM-A9-like in-order core (§4.3's alternative design), and the
 //! 10-core server chip of Table 2.
 
-use serde::{Deserialize, Serialize};
-
 /// Area (mm²) and power (W) of a hardware unit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaPower {
     /// Area in mm².
     pub area_mm2: f64,
@@ -29,7 +27,7 @@ impl AreaPower {
 }
 
 /// Process technology node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TechNode {
     /// 22 nm, high-performance devices (the paper's evaluation point).
     Hp22nm,
@@ -42,7 +40,7 @@ pub enum TechNode {
 /// SRAM structures scale with capacity; logic blocks are fixed design
 /// points. Densities are calibrated so the paper's Table 5 numbers fall
 /// out exactly at 22 nm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Technology node.
     pub node: TechNode,
@@ -119,11 +117,27 @@ mod tests {
     fn table5_numbers_reproduce() {
         let m = PowerModel::hp_22nm();
         let st = m.scan_table(260);
-        assert!((st.area_mm2 - 0.010).abs() < 5e-4, "scan table area {}", st.area_mm2);
-        assert!((st.power_w - 0.028).abs() < 5e-4, "scan table power {}", st.power_w);
+        assert!(
+            (st.area_mm2 - 0.010).abs() < 5e-4,
+            "scan table area {}",
+            st.area_mm2
+        );
+        assert!(
+            (st.power_w - 0.028).abs() < 5e-4,
+            "scan table power {}",
+            st.power_w
+        );
         let total = m.pageforge_module(260);
-        assert!((total.area_mm2 - 0.029).abs() < 1e-3, "total area {}", total.area_mm2);
-        assert!((total.power_w - 0.037).abs() < 1e-3, "total power {}", total.power_w);
+        assert!(
+            (total.area_mm2 - 0.029).abs() < 1e-3,
+            "total area {}",
+            total.area_mm2
+        );
+        assert!(
+            (total.power_w - 0.037).abs() < 1e-3,
+            "total power {}",
+            total.power_w
+        );
     }
 
     #[test]
@@ -131,7 +145,10 @@ mod tests {
         let m = PowerModel::hp_22nm();
         let pf = m.pageforge_module(260);
         let a9 = PowerModel::a9_core();
-        assert!(a9.power_w / pf.power_w >= 10.0, "§6.4.2: order of magnitude less power");
+        assert!(
+            a9.power_w / pf.power_w >= 10.0,
+            "§6.4.2: order of magnitude less power"
+        );
         assert!(a9.area_mm2 / pf.area_mm2 > 20.0);
     }
 

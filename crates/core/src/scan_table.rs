@@ -6,8 +6,6 @@
 //! `Less`/`More` indices that encode the software-chosen search order. With
 //! the paper's sizing — 31 Other Pages + 1 PFE — the whole table is ≈260 B.
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_ecc::EccHashKey;
 use pageforge_types::Ppn;
 
@@ -20,7 +18,7 @@ pub const INVALID_INDEX: u8 = u8::MAX;
 pub const DEFAULT_OTHER_PAGES: usize = 31;
 
 /// One *Other Pages* entry: a page to compare against the candidate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OtherPage {
     /// Valid bit.
     pub valid: bool,
@@ -45,7 +43,7 @@ impl OtherPage {
 }
 
 /// The *PFE* entry: candidate page state and control bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PfeEntry {
     /// Valid bit (V).
     pub valid: bool,
@@ -84,7 +82,7 @@ impl PfeEntry {
 }
 
 /// The snapshot returned by `get_PFE_info` (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PfeInfo {
     /// The hash key, if ready.
     pub hash: Option<EccHashKey>,
@@ -99,7 +97,7 @@ pub struct PfeInfo {
 }
 
 /// The Scan Table: one PFE plus `N` Other Pages entries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScanTable {
     pfe: PfeEntry,
     others: Vec<OtherPage>,
@@ -186,7 +184,11 @@ impl ScanTable {
     /// `get_PFE_info` (Table 1): status snapshot for the OS.
     pub fn pfe_info(&self) -> PfeInfo {
         PfeInfo {
-            hash: if self.pfe.hash_ready { self.pfe.hash } else { None },
+            hash: if self.pfe.hash_ready {
+                self.pfe.hash
+            } else {
+                None
+            },
             ptr: self.pfe.ptr,
             scanned: self.pfe.scanned,
             duplicate: self.pfe.duplicate,
@@ -213,9 +215,7 @@ impl ScanTable {
 
     /// The Other Pages entry at `index`, if it is in range and valid.
     pub fn other(&self, index: u8) -> Option<&OtherPage> {
-        self.others
-            .get(index as usize)
-            .filter(|o| o.valid)
+        self.others.get(index as usize).filter(|o| o.valid)
     }
 }
 

@@ -1,28 +1,35 @@
-//! Property tests: the PageForge engine's batch outcome is a pure function
-//! of page contents (differential against direct comparison), and the
-//! driver's merge decisions always match software KSM's.
+//! Randomized tests: the PageForge engine's batch outcome is a pure
+//! function of page contents (differential against direct comparison).
+//! Driven by the vendored deterministic RNG (fixed seeds).
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use pageforge_core::fabric::FlatFabric;
 use pageforge_core::{EngineConfig, PageForgeEngine, INVALID_INDEX};
 use pageforge_ecc::EccKeyConfig;
-use pageforge_types::{Gfn, PageData, VmId};
+use pageforge_types::{derive_seed, Gfn, PageData, VmId};
 use pageforge_vm::HostMemory;
+
+fn rng_for(label: &str) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(0xF06E, label))
+}
 
 fn content(c: u8) -> PageData {
     PageData::from_fn(move |i| c.wrapping_mul(41).wrapping_add((i % 23) as u8))
 }
 
-proptest! {
-    /// Linear-scan batches (Less == More == next) find a duplicate iff the
-    /// candidate's content equals some loaded page's content, and Ptr names
-    /// the *first* such page.
-    #[test]
-    fn linear_batch_matches_reference(
-        set in proptest::collection::vec(0u8..8, 1..20),
-        cand in 0u8..8,
-    ) {
+/// Linear-scan batches (Less == More == next) find a duplicate iff the
+/// candidate's content equals some loaded page's content, and Ptr names
+/// the *first* such page.
+#[test]
+fn linear_batch_matches_reference() {
+    let mut rng = rng_for("linear_batch");
+    for _ in 0..128 {
+        let n = rng.gen_range(1usize..20);
+        let set: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..8)).collect();
+        let cand = rng.gen_range(0u8..8);
+
         let mut mem = HostMemory::new();
         let ppns: Vec<_> = set
             .iter()
@@ -38,7 +45,11 @@ proptest! {
         let mut fabric = FlatFabric::all_dram(50);
         engine.insert_pfe(cand_ppn, true, 0);
         for (i, &ppn) in ppns.iter().enumerate().take(31) {
-            let next = if i + 1 < ppns.len().min(31) { (i + 1) as u8 } else { INVALID_INDEX };
+            let next = if i + 1 < ppns.len().min(31) {
+                (i + 1) as u8
+            } else {
+                INVALID_INDEX
+            };
             engine.insert_ppn(i as u8, ppn, next, next);
         }
         engine.run_batch(&mem, &mut fabric, 0);
@@ -47,23 +58,28 @@ proptest! {
         let reference = set.iter().position(|&c| c == cand);
         match reference {
             Some(idx) => {
-                prop_assert!(info.duplicate);
-                prop_assert_eq!(usize::from(info.ptr), idx, "first match wins");
+                assert!(info.duplicate);
+                assert_eq!(usize::from(info.ptr), idx, "first match wins");
             }
-            None => prop_assert!(!info.duplicate),
+            None => assert!(!info.duplicate),
         }
         // The hash key always completes (L was set) and equals the direct
         // computation.
-        prop_assert_eq!(
+        assert_eq!(
             info.hash,
             Some(EccKeyConfig::default().page_key(mem.frame_data(cand_ppn).unwrap()))
         );
     }
+}
 
-    /// Engine timing is deterministic: identical batches take identical
-    /// cycle counts.
-    #[test]
-    fn engine_timing_is_deterministic(set in proptest::collection::vec(0u8..5, 1..10)) {
+/// Engine timing is deterministic: identical batches take identical
+/// cycle counts.
+#[test]
+fn engine_timing_is_deterministic() {
+    let mut rng = rng_for("engine_timing");
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..10);
+        let set: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..5)).collect();
         let run = || {
             let mut mem = HostMemory::new();
             let ppns: Vec<_> = set
@@ -76,11 +92,15 @@ proptest! {
             let mut fabric = FlatFabric::all_dram(80);
             engine.insert_pfe(cand, true, 0);
             for (i, &ppn) in ppns.iter().enumerate() {
-                let next = if i + 1 < ppns.len() { (i + 1) as u8 } else { INVALID_INDEX };
+                let next = if i + 1 < ppns.len() {
+                    (i + 1) as u8
+                } else {
+                    INVALID_INDEX
+                };
                 engine.insert_ppn(i as u8, ppn, next, next);
             }
             engine.run_batch(&mem, &mut fabric, 0).cycles
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

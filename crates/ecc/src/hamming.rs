@@ -13,8 +13,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_types::{LINE_SIZE, WORDS_PER_LINE};
 
 /// Highest codeword position used by the truncated Hamming code.
@@ -58,7 +56,7 @@ const POS_TO_DATA: [u8; 72] = build_pos_to_data();
 ///
 /// This is exactly what one ECC DRAM chip stores per 64-bit burst beat
 /// (Figure 4 of the paper).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct EccCode(pub u8);
 
 impl EccCode {
@@ -98,7 +96,7 @@ impl From<EccCode> for u8 {
 }
 
 /// Outcome of decoding a (data, code) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decoded {
     /// No error: data is returned as received.
     Clean(u64),
@@ -121,9 +119,9 @@ impl Decoded {
     /// The usable data word, or `None` on an uncorrectable error.
     pub fn data(self) -> Option<u64> {
         match self {
-            Decoded::Clean(d) | Decoded::CorrectedData { data: d, .. } | Decoded::CorrectedCheck(d) => {
-                Some(d)
-            }
+            Decoded::Clean(d)
+            | Decoded::CorrectedData { data: d, .. }
+            | Decoded::CorrectedCheck(d) => Some(d),
             Decoded::DoubleError => None,
         }
     }
@@ -222,7 +220,7 @@ impl Secded72 {
 
 /// The stored ECC of one 64-byte cache line: one [`EccCode`] per 64-bit word,
 /// 8 bytes total ("for each line, an 8B ECC code", §3.3.1).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct LineEcc(pub [EccCode; WORDS_PER_LINE]);
 
 impl LineEcc {
@@ -273,7 +271,7 @@ mod tests {
     fn columns_are_nonpowers_in_range() {
         for (i, &c) in COLUMNS.iter().enumerate() {
             let c = u32::from(c);
-            assert!(c >= 3 && c <= MAX_POS, "column {i} = {c}");
+            assert!((3..=MAX_POS).contains(&c), "column {i} = {c}");
             assert!(!c.is_power_of_two(), "column {i} = {c} is a power of two");
         }
         // All distinct.
@@ -286,7 +284,13 @@ mod tests {
 
     #[test]
     fn clean_round_trip() {
-        for data in [0u64, 1, u64::MAX, 0xDEAD_BEEF_CAFE_BABE, 0x8000_0000_0000_0000] {
+        for data in [
+            0u64,
+            1,
+            u64::MAX,
+            0xDEAD_BEEF_CAFE_BABE,
+            0x8000_0000_0000_0000,
+        ] {
             let code = Secded72::encode(data);
             assert_eq!(Secded72::decode(data, code), Decoded::Clean(data));
         }
@@ -301,7 +305,10 @@ mod tests {
             let decoded = Secded72::decode(corrupted, code);
             assert_eq!(
                 decoded,
-                Decoded::CorrectedData { data, bit: bit as u8 },
+                Decoded::CorrectedData {
+                    data,
+                    bit: bit as u8
+                },
                 "bit {bit}"
             );
         }

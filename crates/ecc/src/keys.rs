@@ -10,8 +10,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_types::{PageData, LINES_PER_PAGE};
 
 use crate::hamming::LineEcc;
@@ -24,7 +22,7 @@ pub const DEFAULT_MINIKEYS: usize = 4;
 /// The paper's key is 32 bits (4 minikeys × 8 bits, Table 2); wider
 /// configurations (up to 8 minikeys) are supported for the offset-count
 /// ablation study.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct EccHashKey(pub u64);
 
 impl fmt::Debug for EccHashKey {
@@ -89,7 +87,7 @@ impl std::error::Error for EccKeyConfigError {}
 /// assert_eq!(cfg.key_bits(), 32);
 /// assert_eq!(cfg.bytes_fetched(), 256);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EccKeyConfig {
     offsets: Vec<usize>,
 }

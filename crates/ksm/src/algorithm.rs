@@ -19,8 +19,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_ecc::{EccHashKey, EccKeyConfig};
 use pageforge_types::{Gfn, VmId};
 use pageforge_vm::HostMemory;
@@ -30,7 +28,7 @@ use crate::jhash::{page_checksum, KSM_HASH_BYTES};
 use crate::tree::{PageRef, PageTree, SearchInsert, TreeKind};
 
 /// KSM tuning knobs (§2.1; values from Table 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KsmConfig {
     /// Pages scanned per work interval (`pages_to_scan`, default 400).
     pub pages_to_scan: usize,
@@ -70,7 +68,7 @@ impl Default for KsmConfig {
 }
 
 /// Why a candidate page did not merge (or how it did).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CandidateOutcome {
     /// Merged with a stable-tree page.
     MergedStable,
@@ -90,7 +88,7 @@ pub enum CandidateOutcome {
 }
 
 /// Cumulative KSM statistics.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KsmStats {
     /// Completed passes over the hint list.
     pub passes: u64,
@@ -125,7 +123,7 @@ pub struct KsmStats {
 }
 
 /// Report for one `scan_batch` call.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchReport {
     /// Work performed in this batch.
     pub work: KsmWork,
@@ -281,7 +279,8 @@ impl Ksm {
         if self.cfg.use_zero_pages && candidate.is_zero() {
             // Checking emptiness reads the whole page once.
             work.cmp_bytes += pageforge_types::PAGE_SIZE as u64;
-            work.touched.push((ppn, pageforge_types::LINES_PER_PAGE as u32));
+            work.touched
+                .push((ppn, pageforge_types::LINES_PER_PAGE as u32));
             match self.zero_frame {
                 Some((anchor, epoch)) if mem.frame_epoch(anchor) == Some(epoch) => {
                     if mem.merge_into(anchor, ppn).is_ok() {
@@ -345,7 +344,10 @@ impl Ksm {
 
         // 3. Search / insert the unstable tree (lines 13–20).
         let me = PageRef::capture(mem, vm, gfn).expect("translated above");
-        match self.unstable.search_or_insert(mem, &candidate, ppn, me, work) {
+        match self
+            .unstable
+            .search_or_insert(mem, &candidate, ppn, me, work)
+        {
             SearchInsert::FoundEqual(hit) => {
                 let target = *self.unstable.node(hit);
                 // Final comparison under write protection happens inside
@@ -463,7 +465,7 @@ mod tests {
         let (mut mem, hints) = identical_vms(2, 1);
         let mut ksm = Ksm::new(KsmConfig::default(), hints.clone());
         ksm.scan_batch(&mut mem, 2); // pass 1
-        // Mutate VM 0's page between passes: checksum mismatch → dropped.
+                                     // Mutate VM 0's page between passes: checksum mismatch → dropped.
         mem.guest_write(VmId(0), Gfn(0), 0, &[0xEE]);
         let r = ksm.scan_batch(&mut mem, 2);
         assert_eq!(r.merged, 0);
@@ -511,14 +513,16 @@ mod tests {
         assert!(r.cycles.total() > 0);
         assert!(r.work.cmp_bytes > 0);
         assert!(r.work.hash_bytes > 0);
-        assert_eq!(ksm.stats().cycles.total() > 0, true);
+        assert!(ksm.stats().cycles.total() > 0);
     }
 
     #[test]
     fn shadow_ecc_keys_are_tracked() {
         let (mut mem, hints) = identical_vms(2, 3);
-        let mut cfg = KsmConfig::default();
-        cfg.shadow_ecc = Some(EccKeyConfig::default());
+        let cfg = KsmConfig {
+            shadow_ecc: Some(EccKeyConfig::default()),
+            ..KsmConfig::default()
+        };
         let mut ksm = Ksm::new(cfg, hints);
         ksm.scan_batch(&mut mem, 2);
         ksm.scan_batch(&mut mem, 2);
@@ -535,11 +539,13 @@ mod tests {
         // A change outside both the jhash window (first 1 KB) and the ECC
         // sample lines is invisible to both schemes: both report a match.
         let (mut mem, hints) = identical_vms(1, 4);
-        let mut cfg = KsmConfig::default();
-        cfg.shadow_ecc = Some(EccKeyConfig::default());
+        let cfg = KsmConfig {
+            shadow_ecc: Some(EccKeyConfig::default()),
+            ..KsmConfig::default()
+        };
         let mut ksm = Ksm::new(cfg, hints);
         ksm.scan_batch(&mut mem, 1); // record hashes
-        // Mutate line 40 (beyond 1 KB, not an ECC sample offset).
+                                     // Mutate line 40 (beyond 1 KB, not an ECC sample offset).
         mem.guest_write(VmId(0), Gfn(0), 40 * 64 + 3, &[0xAB]);
         ksm.scan_batch(&mut mem, 1);
         let s = ksm.stats();

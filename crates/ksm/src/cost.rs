@@ -8,12 +8,10 @@
 //! calibrated so a steady-state TailBench-like scan reproduces the paper's
 //! proportions.
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_types::{Cycle, Ppn};
 
 /// Raw work performed during a scan batch.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KsmWork {
     /// Candidate pages processed.
     pub candidates: u64,
@@ -67,7 +65,7 @@ impl KsmWork {
 /// uncached data), jhash ~2.2 B/cycle, and each tree visit /
 /// candidate / merge carries fixed bookkeeping overhead. These land the
 /// Table 4 breakdown (≈52% compare, ≈15% hash) at the paper's workload mix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Cycles per byte compared.
     pub cycles_per_cmp_byte: f64,
@@ -94,7 +92,7 @@ impl Default for CostModel {
 }
 
 /// The cycle breakdown of a batch of KSM work (Table 4's categories).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct KsmCycles {
     /// Cycles spent on page comparison.
     pub compare: Cycle,

@@ -14,12 +14,10 @@
 use std::collections::BTreeMap;
 use std::ops::Range;
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_types::{Gfn, VmId};
 
 /// Per-VM registry of `MADV_MERGEABLE` guest-frame ranges.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MergeRegistry {
     /// Sorted, disjoint ranges per VM.
     regions: BTreeMap<VmId, Vec<(u64, u64)>>,

@@ -11,8 +11,6 @@
 //! vanish; stale nodes are detected via allocation epochs and pruned during
 //! walks, as the kernel does.
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_types::{Gfn, PageData, Ppn, VmId};
 use pageforge_vm::HostMemory;
 
@@ -20,7 +18,7 @@ use crate::cost::KsmWork;
 use crate::rbtree::{NodeId, RbTree, Side};
 
 /// A reference to a guest page held in a tree node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageRef {
     /// The host frame at insertion time.
     pub ppn: Ppn,
@@ -39,12 +37,17 @@ impl PageRef {
     pub fn capture(mem: &HostMemory, vm: VmId, gfn: Gfn) -> Option<PageRef> {
         let ppn = mem.translate(vm, gfn)?;
         let epoch = mem.frame_epoch(ppn)?;
-        Some(PageRef { ppn, epoch, vm, gfn })
+        Some(PageRef {
+            ppn,
+            epoch,
+            vm,
+            gfn,
+        })
     }
 }
 
 /// Which of KSM's two trees this is; controls node validation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TreeKind {
     /// Merged, CoW-protected pages. A node is valid while its frame is
     /// still the same allocation (contents are immutable under CoW).
@@ -226,9 +229,7 @@ impl PageTree {
                     self.stale_pruned += 1;
                     continue 'restart;
                 }
-                let node_data = mem
-                    .frame_data(node.ppn)
-                    .expect("valid node frame exists");
+                let node_data = mem.frame_data(node.ppn).expect("valid node frame exists");
                 // Charge the byte-by-byte comparison: both pages stream
                 // through the core's caches up to the diverging byte.
                 let bytes = probe.bytes_examined(node_data);
@@ -258,10 +259,7 @@ impl PageTree {
 
 enum WalkEnd {
     Equal(NodeId),
-    Leaf {
-        parent: Option<NodeId>,
-        side: Side,
-    },
+    Leaf { parent: Option<NodeId>, side: Side },
 }
 
 #[cfg(test)]
@@ -305,10 +303,7 @@ mod tests {
         let mut work = KsmWork::new();
         let hit = tree.search(&mem, &probe, probe_ppn, &mut work);
         assert!(hit.is_some());
-        assert_eq!(
-            mem.frame_data(tree.node(hit.unwrap()).ppn).unwrap(),
-            &probe
-        );
+        assert_eq!(mem.frame_data(tree.node(hit.unwrap()).ppn).unwrap(), &probe);
         assert!(work.comparisons >= 1);
         assert!(work.cmp_bytes >= 4096, "full compare on the equal node");
     }

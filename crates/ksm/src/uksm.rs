@@ -17,8 +17,6 @@
 //! operations are reused, so UKSM-vs-KSM comparisons isolate exactly these
 //! three policy differences.
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_types::{Cycle, Gfn, PageData, VmId};
 use pageforge_vm::HostMemory;
 
@@ -26,7 +24,7 @@ use crate::algorithm::{BatchReport, Ksm, KsmConfig};
 use crate::cost::CostModel;
 
 /// UKSM tuning.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UksmConfig {
     /// Target CPU share of one core the daemon may consume, in `(0, 1]`.
     pub cpu_share: f64,

@@ -1,12 +1,18 @@
-//! Property-based tests: red-black tree invariants under random operation
-//! sequences, and end-to-end KSM merge correctness.
+//! Randomized tests: red-black tree invariants under random operation
+//! sequences, and end-to-end KSM merge correctness. Driven by the vendored
+//! deterministic RNG (fixed seeds; failures reproduce exactly).
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use pageforge_ksm::rbtree::RbTree;
 use pageforge_ksm::{Ksm, KsmConfig};
-use pageforge_types::{Gfn, PageData, VmId};
+use pageforge_types::{derive_seed, Gfn, PageData, VmId};
 use pageforge_vm::HostMemory;
+
+fn rng_for(label: &str) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(0x2B7, label))
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -14,21 +20,27 @@ enum Op {
     RemoveNth(u16),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            3 => any::<u16>().prop_map(Op::Insert),
-            1 => any::<u16>().prop_map(Op::RemoveNth),
-        ],
-        1..200,
-    )
+fn arb_ops(rng: &mut SmallRng) -> Vec<Op> {
+    let n = rng.gen_range(1usize..200);
+    (0..n)
+        .map(|_| {
+            // Weights 3:1 insert:remove, as the original strategy had.
+            if rng.gen_range(0u32..4) < 3 {
+                Op::Insert(rng.gen::<u16>())
+            } else {
+                Op::RemoveNth(rng.gen::<u16>())
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    /// Random insert/remove sequences preserve the red-black invariants and
-    /// agree with a sorted-model reference.
-    #[test]
-    fn rbtree_matches_model(ops in arb_ops()) {
+/// Random insert/remove sequences preserve the red-black invariants and
+/// agree with a sorted-model reference.
+#[test]
+fn rbtree_matches_model() {
+    let mut rng = rng_for("rbtree_model");
+    for _ in 0..64 {
+        let ops = arb_ops(&mut rng);
         let mut tree: RbTree<u16> = RbTree::new();
         let mut handles = Vec::new();
         let mut model: Vec<u16> = Vec::new();
@@ -49,21 +61,24 @@ proptest! {
                     }
                 }
             }
-            tree.check_invariants().map_err(|e| {
-                TestCaseError::fail(format!("invariant violated: {e}"))
-            })?;
+            tree.check_invariants()
+                .unwrap_or_else(|e| panic!("invariant violated: {e}"));
         }
         model.sort_unstable();
         let inorder: Vec<u16> = tree.iter().copied().collect();
-        prop_assert_eq!(inorder, model);
+        assert_eq!(inorder, model);
     }
+}
 
-    /// The tree height stays logarithmic (RB guarantee: ≤ 2·log2(n+1)).
-    #[test]
-    fn rbtree_height_is_logarithmic(values in proptest::collection::vec(any::<u32>(), 1..500)) {
+/// The tree height stays logarithmic (RB guarantee: ≤ 2·log2(n+1)).
+#[test]
+fn rbtree_height_is_logarithmic() {
+    let mut rng = rng_for("rbtree_height");
+    for _ in 0..32 {
+        let count = rng.gen_range(1usize..500);
         let mut tree = RbTree::new();
-        for v in &values {
-            tree.insert_ord(*v);
+        for _ in 0..count {
+            tree.insert_ord(rng.gen::<u32>());
         }
         let n = tree.len();
         let bound = 2 * ((n + 1) as f64).log2().ceil() as usize + 1;
@@ -74,17 +89,20 @@ proptest! {
                 depth += 1;
                 cur = tree.parent(x);
             }
-            prop_assert!(depth <= bound, "depth {depth} > bound {bound} for n={n}");
+            assert!(depth <= bound, "depth {depth} > bound {bound} for n={n}");
         }
     }
+}
 
-    /// KSM merges exactly the duplicate classes: after steady state, the
-    /// number of frames equals the number of distinct page contents, and
-    /// every guest still reads its original bytes.
-    #[test]
-    fn ksm_reaches_content_optimal_state(
-        contents in proptest::collection::vec(0u8..6, 2..24),
-    ) {
+/// KSM merges exactly the duplicate classes: after steady state, the
+/// number of frames equals the number of distinct page contents, and
+/// every guest still reads its original bytes.
+#[test]
+fn ksm_reaches_content_optimal_state() {
+    let mut rng = rng_for("content_optimal");
+    for _ in 0..32 {
+        let n = rng.gen_range(2usize..24);
+        let contents: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..6)).collect();
         let mut mem = HostMemory::new();
         let mut hints = Vec::new();
         let mut originals = Vec::new();
@@ -103,21 +121,33 @@ proptest! {
         let mut distinct: Vec<u8> = contents.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert_eq!(mem.allocated_frames(), distinct.len());
+        assert_eq!(mem.allocated_frames(), distinct.len());
 
         // No guest observes corrupted data.
         for (vm, gfn, data) in &originals {
-            prop_assert_eq!(mem.guest_read(*vm, *gfn).unwrap(), data);
+            assert_eq!(mem.guest_read(*vm, *gfn).unwrap(), data);
         }
-        mem.check_invariants().map_err(TestCaseError::fail)?;
+        mem.check_invariants().unwrap();
     }
+}
 
-    /// Writes between passes never corrupt other guests' views.
-    #[test]
-    fn ksm_with_interleaved_writes_is_safe(
-        contents in proptest::collection::vec(0u8..4, 4..16),
-        writes in proptest::collection::vec((0usize..16, 0usize..4096, any::<u8>()), 0..20),
-    ) {
+/// Writes between passes never corrupt other guests' views.
+#[test]
+fn ksm_with_interleaved_writes_is_safe() {
+    let mut rng = rng_for("interleaved_writes");
+    for _ in 0..32 {
+        let n = rng.gen_range(4usize..16);
+        let contents: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..4)).collect();
+        let n_writes = rng.gen_range(0usize..20);
+        let writes: Vec<(usize, usize, u8)> = (0..n_writes)
+            .map(|_| {
+                (
+                    rng.gen_range(0usize..16),
+                    rng.gen_range(0usize..4096),
+                    rng.gen::<u8>(),
+                )
+            })
+            .collect();
         let mut mem = HostMemory::new();
         let mut hints = Vec::new();
         for (i, &c) in contents.iter().enumerate() {
@@ -125,7 +155,6 @@ proptest! {
             mem.map_new_page(vm, Gfn(0), PageData::from_fn(|_| c));
             hints.push((vm, Gfn(0)));
         }
-        let n = contents.len();
         let mut ksm = Ksm::new(KsmConfig::default(), hints);
         let mut expected: Vec<PageData> = (0..n)
             .map(|i| mem.guest_read(VmId(i as u32), Gfn(0)).unwrap().clone())
@@ -134,15 +163,15 @@ proptest! {
         for (k, &(who, off, val)) in writes.iter().enumerate() {
             let vm = VmId((who % n) as u32);
             mem.guest_write(vm, Gfn(0), off, &[val]);
-            expected[(who % n)].as_bytes_mut()[off] = val;
+            expected[who % n].as_bytes_mut()[off] = val;
             if k % 3 == 0 {
                 ksm.scan_batch(&mut mem, n);
             }
         }
         ksm.run_to_steady_state(&mut mem, 8);
         for (i, exp) in expected.iter().enumerate() {
-            prop_assert_eq!(mem.guest_read(VmId(i as u32), Gfn(0)).unwrap(), exp);
+            assert_eq!(mem.guest_read(VmId(i as u32), Gfn(0)).unwrap(), exp);
         }
-        mem.check_invariants().map_err(TestCaseError::fail)?;
+        mem.check_invariants().unwrap();
     }
 }

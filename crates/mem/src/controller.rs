@@ -11,8 +11,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_ecc::LineEcc;
 use pageforge_types::{Cycle, LineAddr, LINE_SIZE};
 
@@ -20,7 +18,7 @@ use crate::dram::{Dram, DramConfig, DramStats};
 
 /// Who issued a memory request. Used to attribute bandwidth (Figure 11
 /// separates demand traffic from dedup-engine traffic).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemSource {
     /// A core's demand miss (including the software KSM daemon's misses).
     Demand,
@@ -41,7 +39,7 @@ pub struct ReadGrant {
 }
 
 /// Controller-level counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct McStats {
     /// Read requests accepted.
     pub reads: u64,
@@ -62,7 +60,7 @@ pub struct McStats {
 /// Records bytes per fixed-width cycle window; the paper reports the
 /// bandwidth of "the most memory-intensive phase of the page deduplication
 /// process", i.e. the peak window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthMeter {
     window_cycles: Cycle,
     windows: Vec<u64>,
@@ -258,7 +256,7 @@ impl EccEngine {
 }
 
 /// Memory-controller configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct McConfig {
     /// The DRAM behind this controller.
     pub dram: DramConfig,
@@ -335,7 +333,9 @@ impl MemoryController {
             // Otherwise the in-flight read is too far ahead in another
             // requester's clock: service this one independently.
         }
-        let done = self.dram.service(addr, now + self.cfg.pipeline_latency, false);
+        let done = self
+            .dram
+            .service(addr, now + self.cfg.pipeline_latency, false);
         let ready_at = done + self.cfg.pipeline_latency;
         self.pending_reads.insert(addr, ready_at);
         self.meter.record(done, LINE_SIZE as u64);
@@ -353,7 +353,9 @@ impl MemoryController {
     pub fn write_line(&mut self, addr: LineAddr, now: Cycle, source: MemSource) -> Cycle {
         self.stats.writes += 1;
         self.count_source(source);
-        let done = self.dram.service(addr, now + self.cfg.pipeline_latency, true);
+        let done = self
+            .dram
+            .service(addr, now + self.cfg.pipeline_latency, true);
         self.meter.record(done, LINE_SIZE as u64);
         done
     }
@@ -511,7 +513,8 @@ mod tests {
         let line = [0x11u8; 64];
         e.inject_fault(LineAddr(3), 5); // word 0
         e.inject_fault(LineAddr(3), 100); // word 1
-        e.read_line_checked(LineAddr(3), &line).expect("both corrected");
+        e.read_line_checked(LineAddr(3), &line)
+            .expect("both corrected");
         assert_eq!(e.corrected, 2);
     }
 

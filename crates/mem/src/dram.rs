@@ -16,12 +16,10 @@
 //! exactly the contention channel the paper's Figure 11 discussion cares
 //! about.
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_types::{Cycle, LineAddr, LINE_SIZE};
 
 /// DRAM geometry and timing, in CPU cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Independent channels.
     pub channels: usize,
@@ -76,7 +74,7 @@ impl DramConfig {
 }
 
 /// Row-hit/miss and traffic counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Reads serviced.
     pub reads: u64,
@@ -352,7 +350,10 @@ mod tests {
         assert_eq!(wait, cfg.max_queue_wait);
         // A request whose previous window is empty pays nothing.
         let far = 10 * cfg.util_window;
-        assert_eq!(ch.queue_wait(far, cfg.util_window, 1000, cfg.max_queue_wait), 0);
+        assert_eq!(
+            ch.queue_wait(far, cfg.util_window, 1000, cfg.max_queue_wait),
+            0
+        );
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub mod controller;
 pub mod dram;
 pub mod system;
 
-pub use controller::{BandwidthMeter, EccEngine, McConfig, McStats, MemSource, MemoryController, ReadGrant};
+pub use controller::{
+    BandwidthMeter, EccEngine, McConfig, McStats, MemSource, MemoryController, ReadGrant,
+};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use system::{MemorySystem, MemorySystemConfig};

@@ -9,15 +9,13 @@
 //! timing is invariant to how channels are grouped into controllers) and
 //! aggregates their statistics.
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_types::{Cycle, LineAddr};
 
 use crate::controller::{McConfig, McStats, MemSource, MemoryController, ReadGrant};
 use crate::dram::DramStats;
 
 /// Configuration of the full memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemorySystemConfig {
     /// Number of memory controllers (Figure 5 shows 2).
     pub controllers: usize,

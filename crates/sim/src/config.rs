@@ -1,8 +1,6 @@
 //! Simulation configuration: Table 2's architecture plus the experiment
 //! knobs.
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_cache::HierarchyConfig;
 use pageforge_core::PageForgeConfig;
 use pageforge_ksm::KsmConfig;
@@ -12,7 +10,7 @@ use pageforge_vm::AppProfile;
 use pageforge_workloads::apps::{AppSpec, CPU_HZ, TIME_SCALE};
 
 /// Which same-page-merging machinery runs (§5.3's three configurations).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DedupMode {
     /// Baseline: no page merging.
     None,
@@ -34,7 +32,7 @@ impl DedupMode {
 }
 
 /// Full experiment configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Cores = VMs (Table 2: 10, one VM pinned per core).
     pub cores: usize,
@@ -158,6 +156,31 @@ impl SimConfig {
         cfg
     }
 
+    /// An aggressively down-scaled configuration for CI smoke runs: the
+    /// whole 15-simulation latency suite finishes in a couple of minutes
+    /// on a shared runner. Keeps the quick() cache-pressure regime (VM
+    /// footprint > L3) on an even smaller system.
+    pub fn smoke(app_name: &str, dedup: DedupMode, seed: u64) -> SimConfig {
+        let mut cfg = Self::quick(app_name, dedup, seed);
+        cfg.cores = 2;
+        cfg.hierarchy = HierarchyConfig::micro50(2);
+        cfg.hierarchy.l3.size_bytes = 512 << 10;
+        cfg.hierarchy.l3.ways = 16;
+        for p in &mut cfg.profiles {
+            p.pages_per_vm = 128;
+        }
+        cfg.warmup_cycles = 1_000_000;
+        cfg.measure_cycles = 8_000_000;
+        cfg.churn_interval = 2_000_000;
+        cfg.ksm_sticky_intervals = 8;
+        match &mut cfg.dedup {
+            DedupMode::Ksm(k) => k.pages_to_scan = 8,
+            DedupMode::PageForge(p) => p.pages_to_scan = 8,
+            DedupMode::None => {}
+        }
+        cfg
+    }
+
     /// A heterogeneous mix: VM `i` runs `app_names[i % len]`. Everything
     /// else follows [`micro50`](Self::micro50). The generated VM images
     /// still share their full-span library groups (same guest OS), so
@@ -223,7 +246,11 @@ mod tests {
 
     #[test]
     fn micro50_defaults() {
-        let cfg = SimConfig::micro50("silo", DedupMode::Ksm(SimConfig::scaled_ksm()), DEFAULT_SEED);
+        let cfg = SimConfig::micro50(
+            "silo",
+            DedupMode::Ksm(SimConfig::scaled_ksm()),
+            DEFAULT_SEED,
+        );
         assert_eq!(cfg.cores, 10);
         assert_eq!(cfg.app_for(0).name, "silo");
         assert_eq!(cfg.profile_for(3).name, "silo");
@@ -250,6 +277,21 @@ mod tests {
         assert!(q.cores < full.cores);
         assert!(q.measure_cycles < full.measure_cycles);
         assert!(q.horizon() == q.warmup_cycles + q.measure_cycles);
+    }
+
+    #[test]
+    fn smoke_is_smaller_than_quick() {
+        let s = SimConfig::smoke("silo", DedupMode::Ksm(SimConfig::scaled_ksm()), 1);
+        let q = SimConfig::quick("silo", DedupMode::Ksm(SimConfig::scaled_ksm()), 1);
+        assert!(s.cores < q.cores);
+        assert!(s.measure_cycles < q.measure_cycles);
+        assert!(s.profiles[0].pages_per_vm < q.profiles[0].pages_per_vm);
+        match (&s.dedup, &q.dedup) {
+            (DedupMode::Ksm(sk), DedupMode::Ksm(qk)) => {
+                assert!(sk.pages_to_scan < qk.pages_to_scan);
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

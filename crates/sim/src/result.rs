@@ -1,14 +1,13 @@
 //! Simulation results: everything the paper's figures and tables read off.
 
-use serde::{Deserialize, Serialize};
-
+use pageforge_types::json::{obj, FromJson, ToJson, Value};
 use pageforge_types::stats::LatencyRecorder;
 use pageforge_types::Cycle;
 use pageforge_vm::MemoryStats;
 
 /// Summary of the deduplication machinery's behaviour during the
 /// measurement window.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DedupSummary {
     /// Pages merged during the whole run (including pre-merge).
     pub merged_total: u64,
@@ -30,7 +29,7 @@ pub struct DedupSummary {
 }
 
 /// The outcome of one full-system simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Configuration label ("Baseline" / "KSM" / "PageForge").
     pub label: String,
@@ -82,6 +81,76 @@ impl SimResult {
     /// Total recorded queries across VMs.
     pub fn total_samples(&self) -> usize {
         self.per_vm_latency.iter().map(|r| r.count()).sum()
+    }
+}
+
+impl ToJson for DedupSummary {
+    fn to_json(&self) -> Value {
+        obj([
+            ("merged_total", self.merged_total.to_json()),
+            ("core_cycles_frac_avg", self.core_cycles_frac_avg.to_json()),
+            ("core_cycles_frac_max", self.core_cycles_frac_max.to_json()),
+            ("compare_frac", self.compare_frac.to_json()),
+            ("hash_frac", self.hash_frac.to_json()),
+            (
+                "engine_run_cycles_mean",
+                self.engine_run_cycles_mean.to_json(),
+            ),
+            (
+                "engine_run_cycles_std",
+                self.engine_run_cycles_std.to_json(),
+            ),
+            ("engine_lines_fetched", self.engine_lines_fetched.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DedupSummary {
+    fn from_json(value: &Value) -> Option<Self> {
+        Some(DedupSummary {
+            merged_total: u64::from_json(value.get("merged_total")?)?,
+            core_cycles_frac_avg: f64::from_json(value.get("core_cycles_frac_avg")?)?,
+            core_cycles_frac_max: f64::from_json(value.get("core_cycles_frac_max")?)?,
+            compare_frac: f64::from_json(value.get("compare_frac")?)?,
+            hash_frac: f64::from_json(value.get("hash_frac")?)?,
+            engine_run_cycles_mean: f64::from_json(value.get("engine_run_cycles_mean")?)?,
+            engine_run_cycles_std: f64::from_json(value.get("engine_run_cycles_std")?)?,
+            engine_lines_fetched: u64::from_json(value.get("engine_lines_fetched")?)?,
+        })
+    }
+}
+
+impl ToJson for SimResult {
+    fn to_json(&self) -> Value {
+        obj([
+            ("label", self.label.to_json()),
+            ("app", self.app.to_json()),
+            ("per_vm_latency", self.per_vm_latency.to_json()),
+            ("queries_completed", self.queries_completed.to_json()),
+            ("l3_miss_rate", self.l3_miss_rate.to_json()),
+            ("bandwidth_mean_gbps", self.bandwidth_mean_gbps.to_json()),
+            ("bandwidth_peak_gbps", self.bandwidth_peak_gbps.to_json()),
+            ("mem_stats", self.mem_stats.to_json()),
+            ("dedup", self.dedup.to_json()),
+            ("window_cycles", self.window_cycles.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SimResult {
+    fn from_json(value: &Value) -> Option<Self> {
+        Some(SimResult {
+            label: String::from_json(value.get("label")?)?,
+            app: String::from_json(value.get("app")?)?,
+            per_vm_latency: Vec::from_json(value.get("per_vm_latency")?)?,
+            queries_completed: u64::from_json(value.get("queries_completed")?)?,
+            l3_miss_rate: f64::from_json(value.get("l3_miss_rate")?)?,
+            bandwidth_mean_gbps: f64::from_json(value.get("bandwidth_mean_gbps")?)?,
+            bandwidth_peak_gbps: f64::from_json(value.get("bandwidth_peak_gbps")?)?,
+            mem_stats: MemoryStats::from_json(value.get("mem_stats")?)?,
+            dedup: Option::from_json(value.get("dedup")?)?,
+            window_cycles: Cycle::from_json(value.get("window_cycles")?)?,
+        })
     }
 }
 

@@ -341,7 +341,12 @@ impl System {
     }
 
     /// Executes up to [`SLICE_CYCLES`] of a query; returns (finished, end).
-    fn run_query_slice(&mut self, core: usize, rq: &mut RunningQuery, start: Cycle) -> (bool, Cycle) {
+    fn run_query_slice(
+        &mut self,
+        core: usize,
+        rq: &mut RunningQuery,
+        start: Cycle,
+    ) -> (bool, Cycle) {
         let mut t = start;
         let budget_end = start + SLICE_CYCLES;
         let overlap = u64::from(self.cfg.overlap_x10.max(10));
@@ -657,7 +662,11 @@ mod tests {
     fn pageforge_merges_with_less_overhead_than_ksm() {
         let base = run("silo", DedupMode::None, 4);
         let ksm = run("silo", DedupMode::Ksm(SimConfig::scaled_ksm()), 4);
-        let pf = run("silo", DedupMode::PageForge(SimConfig::scaled_pageforge()), 4);
+        let pf = run(
+            "silo",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+            4,
+        );
         let pd = pf.dedup.as_ref().expect("PF summary");
         assert!(pd.merged_total > 0);
         assert!(pd.engine_run_cycles_mean > 0.0);
@@ -670,12 +679,19 @@ mod tests {
             "PageForge ({pf_over:.3}×) should beat KSM ({ksm_over:.3}×)"
         );
         // And identical memory savings.
-        assert_eq!(pf.mem_stats.allocated_frames, ksm.mem_stats.allocated_frames);
+        assert_eq!(
+            pf.mem_stats.allocated_frames,
+            ksm.mem_stats.allocated_frames
+        );
     }
 
     #[test]
     fn pageforge_core_theft_is_negligible() {
-        let pf = run("silo", DedupMode::PageForge(SimConfig::scaled_pageforge()), 5);
+        let pf = run(
+            "silo",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+            5,
+        );
         let d = pf.dedup.as_ref().unwrap();
         assert!(
             d.core_cycles_frac_avg < 0.01,
@@ -687,7 +703,11 @@ mod tests {
     #[test]
     fn dedup_consumes_bandwidth() {
         let base = run("silo", DedupMode::None, 6);
-        let pf = run("silo", DedupMode::PageForge(SimConfig::scaled_pageforge()), 6);
+        let pf = run(
+            "silo",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+            6,
+        );
         assert!(pf.bandwidth_peak_gbps > base.bandwidth_peak_gbps);
         assert!(pf.bandwidth_peak_gbps >= pf.bandwidth_mean_gbps);
     }

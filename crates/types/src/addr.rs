@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::page::{LINE_SIZE, PAGE_SIZE};
 
 /// Host **P**hysical **P**age **N**umber: the frame number of a page in host
@@ -19,7 +17,7 @@ use crate::page::{LINE_SIZE, PAGE_SIZE};
 /// let ppn = Ppn(3);
 /// assert_eq!(ppn.base_addr(), PhysAddr(3 * 4096));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ppn(pub u64);
 
 impl Ppn {
@@ -38,7 +36,10 @@ impl Ppn {
     ///
     /// Panics if `line >= LINES_PER_PAGE`.
     pub fn line_addr(self, line: usize) -> LineAddr {
-        assert!(line < PAGE_SIZE / LINE_SIZE, "line index {line} out of range");
+        assert!(
+            line < PAGE_SIZE / LINE_SIZE,
+            "line index {line} out of range"
+        );
         LineAddr(self.0 * (PAGE_SIZE / LINE_SIZE) as u64 + line as u64)
     }
 }
@@ -63,7 +64,7 @@ impl From<Ppn> for u64 {
 
 /// **G**uest **F**rame **N**umber: a guest-physical page number inside one
 /// VM. The pair (`VmId`, `Gfn`) identifies a guest page globally.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Gfn(pub u64);
 
 impl fmt::Debug for Gfn {
@@ -79,7 +80,7 @@ impl fmt::Display for Gfn {
 }
 
 /// Identifier of one virtual machine (the paper deploys 10, one per core).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VmId(pub u32);
 
 impl fmt::Debug for VmId {
@@ -95,7 +96,7 @@ impl fmt::Display for VmId {
 }
 
 /// A byte-granular host physical address.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhysAddr(pub u64);
 
 impl PhysAddr {
@@ -129,7 +130,7 @@ impl fmt::Display for PhysAddr {
 
 /// A line-granular host physical address (address / 64): the unit of
 /// transfer between caches, the memory controller, and DRAM.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {

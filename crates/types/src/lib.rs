@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod json;
 pub mod page;
 pub mod stats;
 
@@ -50,3 +51,33 @@ pub type Cycle = u64;
 /// The default seed used by every deterministic experiment in the
 /// reproduction. Override with `--seed` in the bench binaries.
 pub const DEFAULT_SEED: u64 = 0xC0FFEE;
+
+/// Derives a per-experiment seed from a base seed and a stable label.
+///
+/// Every unit of work scheduled by the parallel experiment harness gets a
+/// seed that depends only on `(base, label)` — never on worker identity,
+/// scheduling order, or thread count — so results are bit-identical at
+/// any `--jobs` level. FNV-1a over the label, SplitMix64-finalized.
+pub fn derive_seed(base: u64, label: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = base ^ h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod seed_tests {
+    use super::derive_seed;
+
+    #[test]
+    fn stable_and_label_sensitive() {
+        assert_eq!(derive_seed(7, "fig7"), derive_seed(7, "fig7"));
+        assert_ne!(derive_seed(7, "fig7"), derive_seed(7, "fig8"));
+        assert_ne!(derive_seed(7, "fig7"), derive_seed(8, "fig7"));
+    }
+}

@@ -60,7 +60,11 @@ impl PageData {
     ///
     /// Panics if `bytes.len() != PAGE_SIZE`.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        assert_eq!(bytes.len(), PAGE_SIZE, "a page is exactly {PAGE_SIZE} bytes");
+        assert_eq!(
+            bytes.len(),
+            PAGE_SIZE,
+            "a page is exactly {PAGE_SIZE} bytes"
+        );
         let mut page = Self::zeroed();
         page.0.copy_from_slice(bytes);
         page
@@ -133,12 +137,7 @@ impl PageData {
     /// Number of *bytes* examined by a byte-by-byte comparison (KSM's
     /// `memcmp`), i.e. the first diverging byte + 1, or the whole page.
     pub fn bytes_examined(&self, other: &PageData) -> usize {
-        match self
-            .0
-            .iter()
-            .zip(other.0.iter())
-            .position(|(a, b)| a != b)
-        {
+        match self.0.iter().zip(other.0.iter()).position(|(a, b)| a != b) {
             Some(i) => i + 1,
             None => PAGE_SIZE,
         }

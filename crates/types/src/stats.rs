@@ -5,7 +5,7 @@
 //! [`RunningStats`] provides streaming mean/stddev; [`LatencyRecorder`]
 //! stores samples so exact percentiles can be extracted.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{obj, FromJson, ToJson, Value};
 
 /// Streaming mean / variance accumulator (Welford's algorithm).
 ///
@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert!((s.population_stddev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
@@ -115,6 +115,36 @@ impl RunningStats {
     }
 }
 
+impl ToJson for RunningStats {
+    fn to_json(&self) -> Value {
+        obj([
+            ("count", self.count.to_json()),
+            ("mean", self.mean.to_json()),
+            ("m2", self.m2.to_json()),
+            ("min", self.min.to_json()),
+            ("max", self.max.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunningStats {
+    fn from_json(value: &Value) -> Option<Self> {
+        let count = u64::from_json(value.get("count")?)?;
+        if count == 0 {
+            // min/max were ±∞ and serialized as null; rebuild the empty
+            // accumulator exactly.
+            return Some(RunningStats::new());
+        }
+        Some(RunningStats {
+            count,
+            mean: f64::from_json(value.get("mean")?)?,
+            m2: f64::from_json(value.get("m2")?)?,
+            min: f64::from_json(value.get("min")?)?,
+            max: f64::from_json(value.get("max")?)?,
+        })
+    }
+}
+
 /// Stores latency samples and extracts exact percentiles.
 ///
 /// ```
@@ -126,7 +156,7 @@ impl RunningStats {
 /// assert_eq!(r.percentile(0.95), 95.0);
 /// assert_eq!(r.mean(), 50.5);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LatencyRecorder {
     samples: Vec<f64>,
     stats: RunningStats,
@@ -192,13 +222,36 @@ impl LatencyRecorder {
     }
 }
 
+impl ToJson for LatencyRecorder {
+    fn to_json(&self) -> Value {
+        obj([
+            ("samples", self.samples.to_json()),
+            ("stats", self.stats.to_json()),
+            ("sorted", self.sorted.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LatencyRecorder {
+    fn from_json(value: &Value) -> Option<Self> {
+        // Restore the streaming stats verbatim rather than re-recording
+        // the samples: bit-exact round-trips keep cached simulation
+        // results byte-identical to freshly computed ones.
+        Some(LatencyRecorder {
+            samples: Vec::<f64>::from_json(value.get("samples")?)?,
+            stats: RunningStats::from_json(value.get("stats")?)?,
+            sorted: bool::from_json(value.get("sorted")?)?,
+        })
+    }
+}
+
 /// A log₂-bucketed histogram for latency distributions.
 ///
 /// Percentile extraction from [`LatencyRecorder`] is exact but stores every
 /// sample; the histogram is the constant-space companion used for
 /// distribution *shape* reporting (e.g. latency CCDFs across millions of
 /// queries). Buckets are powers of two: bucket *i* covers `[2^i, 2^(i+1))`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -393,7 +446,10 @@ mod tests {
             let bound = h.percentile_bound(p) as f64;
             let truth = exact.percentile(p);
             assert!(bound >= truth, "p{p}: bound {bound} < exact {truth}");
-            assert!(bound <= truth * 2.0 + 2.0, "p{p}: bound {bound} too loose for {truth}");
+            assert!(
+                bound <= truth * 2.0 + 2.0,
+                "p{p}: bound {bound} too loose for {truth}"
+            );
         }
     }
 

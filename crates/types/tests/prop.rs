@@ -1,103 +1,148 @@
-//! Property-based tests for the foundational types.
+//! Randomized property tests for the foundational types, driven by the
+//! vendored deterministic RNG (fixed seeds, so failures are always
+//! reproducible by re-running the test).
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use pageforge_types::stats::{LatencyRecorder, RunningStats};
-use pageforge_types::{LineAddr, PageData, PhysAddr, Ppn, LINES_PER_PAGE, PAGE_SIZE};
+use pageforge_types::{derive_seed, LineAddr, PageData, PhysAddr, Ppn, LINES_PER_PAGE, PAGE_SIZE};
 
-fn arb_page() -> impl Strategy<Value = PageData> {
-    // Build pages from a handful of (offset, byte) pokes so interesting
-    // structure (mostly-zero pages) is common.
-    proptest::collection::vec((0..PAGE_SIZE, any::<u8>()), 0..32).prop_map(|pokes| {
-        let mut p = PageData::zeroed();
-        for (off, b) in pokes {
-            p.as_bytes_mut()[off] = b;
-        }
-        p
-    })
+fn rng_for(label: &str) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(0xC0FFEE, label))
 }
 
-proptest! {
-    #[test]
-    fn content_cmp_is_consistent_with_eq(a in arb_page(), b in arb_page()) {
-        let eq = a == b;
-        prop_assert_eq!(eq, a.content_cmp(&b) == std::cmp::Ordering::Equal);
-        prop_assert_eq!(a.content_cmp(&b), b.content_cmp(&a).reverse());
+/// Builds pages from a handful of (offset, byte) pokes so interesting
+/// structure (mostly-zero pages) is common.
+fn arb_page(rng: &mut SmallRng) -> PageData {
+    let pokes = rng.gen_range(0usize..32);
+    let mut p = PageData::zeroed();
+    for _ in 0..pokes {
+        let off = rng.gen_range(0usize..PAGE_SIZE);
+        p.as_bytes_mut()[off] = rng.gen::<u8>();
     }
+    p
+}
 
-    #[test]
-    fn diverging_line_agrees_with_eq(a in arb_page(), b in arb_page()) {
+#[test]
+fn content_cmp_is_consistent_with_eq() {
+    let mut rng = rng_for("content_cmp");
+    for _ in 0..256 {
+        let a = arb_page(&mut rng);
+        let b = arb_page(&mut rng);
+        let eq = a == b;
+        assert_eq!(eq, a.content_cmp(&b) == std::cmp::Ordering::Equal);
+        assert_eq!(a.content_cmp(&b), b.content_cmp(&a).reverse());
+    }
+}
+
+#[test]
+fn diverging_line_agrees_with_eq() {
+    let mut rng = rng_for("diverging_line");
+    for _ in 0..256 {
+        let a = arb_page(&mut rng);
+        let b = arb_page(&mut rng);
         match a.first_diverging_line(&b) {
-            None => prop_assert_eq!(&a, &b),
+            None => assert_eq!(&a, &b),
             Some(i) => {
-                prop_assert!(i < LINES_PER_PAGE);
-                prop_assert_ne!(a.line(i), b.line(i));
+                assert!(i < LINES_PER_PAGE);
+                assert_ne!(a.line(i), b.line(i));
                 for j in 0..i {
-                    prop_assert_eq!(a.line(j), b.line(j));
+                    assert_eq!(a.line(j), b.line(j));
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn bytes_examined_bounds(a in arb_page(), b in arb_page()) {
+#[test]
+fn bytes_examined_bounds() {
+    let mut rng = rng_for("bytes_examined");
+    for _ in 0..256 {
+        let a = arb_page(&mut rng);
+        let b = arb_page(&mut rng);
         let n = a.bytes_examined(&b);
-        prop_assert!(n >= 1 && n <= PAGE_SIZE);
+        assert!((1..=PAGE_SIZE).contains(&n));
         if a != b {
             // The diverging byte sits in the diverging line.
             let line = a.first_diverging_line(&b).unwrap();
-            prop_assert!(n > line * 64 && n <= (line + 1) * 64);
+            assert!(n > line * 64 && n <= (line + 1) * 64);
         }
     }
+}
 
-    #[test]
-    fn phys_addr_decomposition_round_trips(raw in 0u64..(1 << 40)) {
+#[test]
+fn phys_addr_decomposition_round_trips() {
+    let mut rng = rng_for("phys_addr");
+    for _ in 0..1000 {
+        let raw = rng.gen_range(0u64..(1 << 40));
         let a = PhysAddr(raw);
         let reassembled = a.ppn().base_addr().0 + a.page_offset() as u64;
-        prop_assert_eq!(reassembled, raw);
-        prop_assert_eq!(a.line().ppn(), a.ppn());
+        assert_eq!(reassembled, raw);
+        assert_eq!(a.line().ppn(), a.ppn());
     }
+}
 
-    #[test]
-    fn ppn_line_addr_bijective(ppn in 0u64..(1 << 28), line in 0usize..LINES_PER_PAGE) {
+#[test]
+fn ppn_line_addr_bijective() {
+    let mut rng = rng_for("ppn_line_addr");
+    for _ in 0..1000 {
+        let ppn = rng.gen_range(0u64..(1 << 28));
+        let line = rng.gen_range(0usize..LINES_PER_PAGE);
         let la = Ppn(ppn).line_addr(line);
-        prop_assert_eq!(la.ppn(), Ppn(ppn));
-        prop_assert_eq!(la.line_in_page(), line);
-        prop_assert_eq!(LineAddr(la.0), la.base_addr().line());
+        assert_eq!(la.ppn(), Ppn(ppn));
+        assert_eq!(la.line_in_page(), line);
+        assert_eq!(LineAddr(la.0), la.base_addr().line());
     }
+}
 
-    #[test]
-    fn running_stats_mean_in_range(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn running_stats_mean_in_range() {
+    let mut rng = rng_for("stats_mean");
+    for _ in 0..200 {
+        let n = rng.gen_range(1usize..200);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
         let mut s = RunningStats::new();
         for &x in &xs {
             s.push(x);
         }
-        prop_assert!(s.mean() >= s.min() - 1e-9);
-        prop_assert!(s.mean() <= s.max() + 1e-9);
-        prop_assert_eq!(s.count(), xs.len() as u64);
+        assert!(s.mean() >= s.min() - 1e-9);
+        assert!(s.mean() <= s.max() + 1e-9);
+        assert_eq!(s.count(), xs.len() as u64);
     }
+}
 
-    #[test]
-    fn stats_merge_is_order_independent(
-        xs in proptest::collection::vec(0f64..1e3, 1..100),
-        split in 0usize..100,
-    ) {
-        let split = split.min(xs.len());
+#[test]
+fn stats_merge_is_order_independent() {
+    let mut rng = rng_for("stats_merge");
+    for _ in 0..200 {
+        let n = rng.gen_range(1usize..100);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(0f64..1e3)).collect();
+        let split = rng.gen_range(0usize..100).min(xs.len());
         let (l, r) = xs.split_at(split);
         let mut a = RunningStats::new();
         let mut b = RunningStats::new();
-        for &x in l { a.push(x); }
-        for &x in r { b.push(x); }
+        for &x in l {
+            a.push(x);
+        }
+        for &x in r {
+            b.push(x);
+        }
         let mut ab = a;
         ab.merge(&b);
         let mut ba = b;
         ba.merge(&a);
-        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
-        prop_assert!((ab.population_stddev() - ba.population_stddev()).abs() < 1e-9);
+        assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        assert!((ab.population_stddev() - ba.population_stddev()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn percentiles_are_monotone(xs in proptest::collection::vec(0f64..1e6, 1..300)) {
+#[test]
+fn percentiles_are_monotone() {
+    let mut rng = rng_for("percentiles");
+    for _ in 0..200 {
+        let n = rng.gen_range(1usize..300);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(0f64..1e6)).collect();
         let mut r = LatencyRecorder::new();
         for &x in &xs {
             r.record(x);
@@ -105,7 +150,16 @@ proptest! {
         let p50 = r.percentile(0.5);
         let p95 = r.percentile(0.95);
         let p100 = r.percentile(1.0);
-        prop_assert!(p50 <= p95 && p95 <= p100);
-        prop_assert!(xs.contains(&p95));
+        assert!(p50 <= p95 && p95 <= p100);
+        assert!(xs.contains(&p95));
     }
+}
+
+#[test]
+fn derive_seed_is_stable_and_label_sensitive() {
+    // The scheduler relies on derive_seed being a pure function of
+    // (base, label): same inputs, same unit seed, on any thread.
+    assert_eq!(derive_seed(1, "fig7"), derive_seed(1, "fig7"));
+    assert_ne!(derive_seed(1, "fig7"), derive_seed(1, "fig8"));
+    assert_ne!(derive_seed(1, "fig7"), derive_seed(2, "fig7"));
 }

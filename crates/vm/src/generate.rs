@@ -16,14 +16,13 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use pageforge_types::{Gfn, PageData, VmId, PAGE_SIZE};
 
 use crate::memory::HostMemory;
 
 /// Ground-truth class of a generated page, matching Figure 7's breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PageCategory {
     /// Unique or frequently-changing content; never merges.
     Unmergeable,
@@ -34,7 +33,7 @@ pub enum PageCategory {
 }
 
 /// Write-churn parameters, applied once per merging interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnModel {
     /// Per-interval probability that an unmergeable page is fully
     /// rewritten with new content.
@@ -69,7 +68,7 @@ impl Default for ChurnModel {
 
 /// One write applied by the churn step; the simulator replays these as
 /// guest memory traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChurnEvent {
     /// The whole page was rewritten.
     FullRewrite {
@@ -94,7 +93,7 @@ pub enum ChurnEvent {
 /// Memory-content profile of one application, stand-in for its real VM
 /// image. Fractions must sum to at most 1; the remainder is mergeable
 /// non-zero content.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     /// Application name (TailBench suite).
     pub name: String,
@@ -266,7 +265,7 @@ impl AppProfile {
 }
 
 /// One generated guest page with its ground-truth category.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GeneratedPage {
     /// Owning VM.
     pub vm: VmId,
@@ -278,7 +277,7 @@ pub struct GeneratedPage {
 
 /// The generated layout: every guest page with its category. The hint list
 /// (`madvise(MADV_MERGEABLE)` in the paper) is all pages.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryImage {
     /// Application name this image models.
     pub app: String,
@@ -327,7 +326,10 @@ impl MemoryImage {
                         let mut bytes = vec![0u8; PAGE_SIZE];
                         rng.fill_bytes(&mut bytes);
                         mem.guest_write(p.vm, p.gfn, 0, &bytes);
-                        events.push(ChurnEvent::FullRewrite { vm: p.vm, gfn: p.gfn });
+                        events.push(ChurnEvent::FullRewrite {
+                            vm: p.vm,
+                            gfn: p.gfn,
+                        });
                     } else if roll < churn.full_rewrite_prob + churn.partial_write_prob {
                         let (offset, len) = partial_write_span(churn, rng);
                         let mut bytes = vec![0u8; len];
@@ -375,7 +377,7 @@ impl MemoryImage {
 }
 
 /// Ground-truth category counts for Figure 7.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CategoryCounts {
     /// Unmergeable pages.
     pub unmergeable: usize,
@@ -497,8 +499,12 @@ mod tests {
             .iter()
             .filter(|p| p.category == PageCategory::Unmergeable)
             .collect();
-        let first = mem.guest_read(unmergeable[0].vm, unmergeable[0].gfn).unwrap();
-        let second = mem.guest_read(unmergeable[1].vm, unmergeable[1].gfn).unwrap();
+        let first = mem
+            .guest_read(unmergeable[0].vm, unmergeable[0].gfn)
+            .unwrap();
+        let second = mem
+            .guest_read(unmergeable[1].vm, unmergeable[1].gfn)
+            .unwrap();
         assert_ne!(first, second);
     }
 
@@ -506,7 +512,11 @@ mod tests {
     fn zero_pages_are_zero() {
         let mut mem = HostMemory::new();
         let image = small_profile().generate(&mut mem, 1, 7);
-        for p in image.pages.iter().filter(|p| p.category == PageCategory::MergeableZero) {
+        for p in image
+            .pages
+            .iter()
+            .filter(|p| p.category == PageCategory::MergeableZero)
+        {
             assert!(mem.guest_read(p.vm, p.gfn).unwrap().is_zero());
         }
     }
@@ -543,8 +553,7 @@ mod tests {
         let names: Vec<_> = suite.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(names, ["img_dnn", "masstree", "moses", "silo", "sphinx"]);
         // Average unmergeable fraction ≈ 45% as in Figure 7.
-        let avg: f64 =
-            suite.iter().map(|p| p.unmergeable_frac).sum::<f64>() / suite.len() as f64;
+        let avg: f64 = suite.iter().map(|p| p.unmergeable_frac).sum::<f64>() / suite.len() as f64;
         assert!((avg - 0.45).abs() < 0.01, "avg unmergeable {avg}");
     }
 

@@ -8,8 +8,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
+use pageforge_types::json::{obj, FromJson, ToJson, Value};
 use pageforge_types::{Gfn, PageData, Ppn, VmId};
 
 /// A host physical frame: its contents plus the CoW protection bit.
@@ -25,7 +24,7 @@ struct Frame {
 }
 
 /// Counters describing the merge state of a [`HostMemory`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryStats {
     /// Frames currently allocated.
     pub allocated_frames: usize,
@@ -46,6 +45,33 @@ impl MemoryStats {
             return 0.0;
         }
         1.0 - self.allocated_frames as f64 / self.mapped_guest_pages as f64
+    }
+}
+
+impl ToJson for MemoryStats {
+    fn to_json(&self) -> Value {
+        obj([
+            ("allocated_frames", self.allocated_frames.to_json()),
+            ("mapped_guest_pages", self.mapped_guest_pages.to_json()),
+            ("merges", self.merges.to_json()),
+            ("cow_breaks", self.cow_breaks.to_json()),
+            (
+                "frames_freed_by_merge",
+                self.frames_freed_by_merge.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for MemoryStats {
+    fn from_json(value: &Value) -> Option<Self> {
+        Some(MemoryStats {
+            allocated_frames: usize::from_json(value.get("allocated_frames")?)?,
+            mapped_guest_pages: usize::from_json(value.get("mapped_guest_pages")?)?,
+            merges: u64::from_json(value.get("merges")?)?,
+            cow_breaks: u64::from_json(value.get("cow_breaks")?)?,
+            frames_freed_by_merge: u64::from_json(value.get("frames_freed_by_merge")?)?,
+        })
     }
 }
 

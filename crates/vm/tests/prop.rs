@@ -1,12 +1,16 @@
-//! Property tests: `HostMemory` invariants under arbitrary operation
-//! sequences, and generator/churn guarantees.
+//! Randomized tests: `HostMemory` invariants under arbitrary operation
+//! sequences, and generator/churn guarantees. Driven by the vendored
+//! deterministic RNG (fixed seeds; failures reproduce exactly).
 
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use pageforge_types::{Gfn, PageData, VmId, PAGE_SIZE};
+use pageforge_types::{derive_seed, Gfn, PageData, VmId, PAGE_SIZE};
 use pageforge_vm::{AppProfile, HostMemory};
+
+fn rng_for(label: &str) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(0x5EED, label))
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,32 +20,40 @@ enum Op {
     Unmap { idx: u8 },
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            4 => (any::<u8>(), any::<u8>(), 0u8..6).prop_map(|(vm, gfn, content)| Op::Map {
-                vm: vm % 3,
-                gfn: gfn % 8,
-                content
-            }),
-            3 => (any::<u8>(), any::<u16>(), any::<u8>()).prop_map(|(idx, offset, byte)| Op::Write {
-                idx,
-                offset: offset % PAGE_SIZE as u16,
-                byte
-            }),
-            2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Merge { a, b }),
-            1 => any::<u8>().prop_map(|idx| Op::Unmap { idx }),
-        ],
-        1..120,
-    )
+fn arb_ops(rng: &mut SmallRng) -> Vec<Op> {
+    let n = rng.gen_range(1usize..120);
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..10) {
+            // Weights 4:3:2:1, as the original proptest strategy had.
+            0..=3 => Op::Map {
+                vm: rng.gen::<u8>() % 3,
+                gfn: rng.gen::<u8>() % 8,
+                content: rng.gen_range(0u8..6),
+            },
+            4..=6 => Op::Write {
+                idx: rng.gen::<u8>(),
+                offset: rng.gen::<u16>() % PAGE_SIZE as u16,
+                byte: rng.gen::<u8>(),
+            },
+            7..=8 => Op::Merge {
+                a: rng.gen::<u8>(),
+                b: rng.gen::<u8>(),
+            },
+            _ => Op::Unmap {
+                idx: rng.gen::<u8>(),
+            },
+        })
+        .collect()
 }
 
-proptest! {
-    /// Whatever sequence of map/write/merge/unmap runs, the memory's
-    /// internal invariants hold and every guest reads back exactly the
-    /// bytes its own history wrote (a shadow model tracks ground truth).
-    #[test]
-    fn host_memory_matches_shadow_model(ops in arb_ops()) {
+/// Whatever sequence of map/write/merge/unmap runs, the memory's
+/// internal invariants hold and every guest reads back exactly the
+/// bytes its own history wrote (a shadow model tracks ground truth).
+#[test]
+fn host_memory_matches_shadow_model() {
+    let mut rng = rng_for("shadow_model");
+    for _ in 0..64 {
+        let ops = arb_ops(&mut rng);
         let mut mem = HostMemory::new();
         let mut shadow: std::collections::HashMap<(VmId, Gfn), PageData> =
             std::collections::HashMap::new();
@@ -51,10 +63,10 @@ proptest! {
             match op {
                 Op::Map { vm, gfn, content } => {
                     let key = (VmId(u32::from(vm)), Gfn(u64::from(gfn)));
-                    if !shadow.contains_key(&key) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = shadow.entry(key) {
                         let data = PageData::from_fn(|i| content.wrapping_add((i % 13) as u8));
                         mem.map_new_page(key.0, key.1, data.clone());
-                        shadow.insert(key, data);
+                        e.insert(data);
                         mapped.push(key);
                     }
                 }
@@ -78,7 +90,7 @@ proptest! {
                         // same frame); success requires equal content.
                         let equal = shadow[&ka] == shadow[&kb];
                         let merged = mem.merge_into(pa, pb).is_ok();
-                        prop_assert!(
+                        assert!(
                             !merged || equal,
                             "merge must only succeed on identical content"
                         );
@@ -92,47 +104,57 @@ proptest! {
                     }
                 }
             }
-            mem.check_invariants().map_err(TestCaseError::fail)?;
+            mem.check_invariants().unwrap();
         }
         // Final read-back: every mapped guest sees its shadow content.
         for (key, data) in &shadow {
-            prop_assert_eq!(mem.guest_read(key.0, key.1), Some(data));
+            assert_eq!(mem.guest_read(key.0, key.1), Some(data));
         }
-        prop_assert_eq!(mem.mapped_guest_pages(), shadow.len());
+        assert_eq!(mem.mapped_guest_pages(), shadow.len());
     }
+}
 
-    /// Generated images always satisfy the profile's exact category counts
-    /// and memory invariants, for any fractions.
-    #[test]
-    fn generator_respects_fractions(
-        unmergeable in 0.0f64..0.9,
-        zero in 0.0f64..0.09,
-        pages in 16usize..80,
-        n_vms in 1u32..5,
-        seed in any::<u64>(),
-    ) {
+/// Generated images always satisfy the profile's exact category counts
+/// and memory invariants, for any fractions.
+#[test]
+fn generator_respects_fractions() {
+    let mut rng = rng_for("fractions");
+    for _ in 0..64 {
+        let unmergeable = rng.gen_range(0.0f64..0.9);
+        let zero = rng.gen_range(0.0f64..0.09);
+        let pages = rng.gen_range(16usize..80);
+        let n_vms = rng.gen_range(1u32..5);
+        let seed = rng.gen::<u64>();
         let profile = AppProfile::new("prop", pages, unmergeable, zero);
         let mut mem = HostMemory::new();
         let image = profile.generate(&mut mem, n_vms, seed);
         let c = image.category_counts();
-        prop_assert_eq!(c.total(), pages * n_vms as usize);
-        prop_assert_eq!(c.unmergeable, (pages as f64 * unmergeable) as usize * n_vms as usize);
-        prop_assert_eq!(c.zero, (pages as f64 * zero) as usize * n_vms as usize);
-        mem.check_invariants().map_err(TestCaseError::fail)?;
+        assert_eq!(c.total(), pages * n_vms as usize);
+        assert_eq!(
+            c.unmergeable,
+            (pages as f64 * unmergeable) as usize * n_vms as usize
+        );
+        assert_eq!(c.zero, (pages as f64 * zero) as usize * n_vms as usize);
+        mem.check_invariants().unwrap();
     }
+}
 
-    /// Churn never breaks invariants nor unmaps pages.
-    #[test]
-    fn churn_preserves_mappings(seed in any::<u64>(), steps in 1usize..6) {
+/// Churn never breaks invariants nor unmaps pages.
+#[test]
+fn churn_preserves_mappings() {
+    let mut rng = rng_for("churn");
+    for _ in 0..16 {
+        let seed = rng.gen::<u64>();
+        let steps = rng.gen_range(1usize..6);
         let profile = AppProfile::new("prop", 64, 0.4, 0.1);
         let mut mem = HostMemory::new();
         let image = profile.generate(&mut mem, 3, seed);
         let before = mem.mapped_guest_pages();
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut churn_rng = SmallRng::seed_from_u64(seed);
         for _ in 0..steps {
-            image.churn_step(&mut mem, &profile.churn, &mut rng);
-            mem.check_invariants().map_err(TestCaseError::fail)?;
+            image.churn_step(&mut mem, &profile.churn, &mut churn_rng);
+            mem.check_invariants().unwrap();
         }
-        prop_assert_eq!(mem.mapped_guest_pages(), before);
+        assert_eq!(mem.mapped_guest_pages(), before);
     }
 }

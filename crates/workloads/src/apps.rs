@@ -1,7 +1,5 @@
 //! Per-application specifications (Table 3 + §5.2's app descriptions).
 
-use serde::{Deserialize, Serialize};
-
 use pageforge_types::Cycle;
 
 /// Factor by which wall-clock time is compressed relative to the paper's
@@ -14,7 +12,7 @@ pub const TIME_SCALE: f64 = 100.0;
 pub const CPU_HZ: f64 = 2.0e9;
 
 /// One TailBench application's load and service model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppSpec {
     /// Application name.
     pub name: String,

@@ -71,8 +71,7 @@ impl ArrivalProcess {
         let service = (mu + sigma2.sqrt() * z).exp();
         let service_cycles = service.max(100.0) as Cycle;
 
-        let accesses =
-            (service / 1000.0 * self.spec.accesses_per_kilocycle).max(1.0) as u32;
+        let accesses = (service / 1000.0 * self.spec.accesses_per_kilocycle).max(1.0) as u32;
         self.issued += 1;
         Query {
             arrival: self.next_arrival as Cycle,
@@ -169,7 +168,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut p1 = ArrivalProcess::new(spec(), 1);
         let mut p2 = ArrivalProcess::new(spec(), 2);
-        let same = (0..20).filter(|_| p1.next_query() == p2.next_query()).count();
+        let same = (0..20)
+            .filter(|_| p1.next_query() == p2.next_query())
+            .count();
         assert!(same < 20);
     }
 

@@ -55,7 +55,8 @@ impl AccessPattern {
         let page_index = if hot {
             self.rng.gen_range(0..self.hot_pages)
         } else {
-            self.rng.gen_range(self.hot_pages.min(self.working_set - 1)..self.working_set)
+            self.rng
+                .gen_range(self.hot_pages.min(self.working_set - 1)..self.working_set)
         };
         LineTouch {
             page_index,

@@ -59,7 +59,5 @@ fn main() {
         );
     }
     let avg = gains.iter().sum::<f64>() / gains.len() as f64;
-    println!(
-        "\naverage consolidation gain: {avg:.2}x (the paper reports ~2x, §6.1)"
-    );
+    println!("\naverage consolidation gain: {avg:.2}x (the paper reports ~2x, §6.1)");
 }

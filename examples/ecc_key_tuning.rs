@@ -49,7 +49,10 @@ fn main() {
         ("all in first 1KB (header-focused)", vec![1, 5, 9, 13]),
         ("spread, header-weighted", vec![1, 7, 19, 40]),
         ("tail-focused", vec![50, 54, 58, 62]),
-        ("eight offsets (64-bit key)", vec![1, 9, 17, 25, 33, 41, 49, 57]),
+        (
+            "eight offsets (64-bit key)",
+            vec![1, 9, 17, 25, 33, 41, 49, 57],
+        ),
     ];
 
     println!("profiling change-detection rate of offset placements");
@@ -64,7 +67,7 @@ fn main() {
             rate * 100.0,
             cfg.bytes_fetched()
         );
-        if best.as_ref().map_or(true, |(r, _, _)| rate > *r) {
+        if best.as_ref().is_none_or(|(r, _, _)| rate > *r) {
             best = Some((rate, name, offsets.clone()));
         }
     }

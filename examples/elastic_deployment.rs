@@ -29,7 +29,10 @@ fn main() {
     let mut vms = 0u32;
 
     println!("host budget {HOST_FRAMES} frames; each VM maps {PAGES_PER_VM} pages\n");
-    println!("{:>4}  {:>10}  {:>10}  {:>8}", "VMs", "frames", "headroom", "savings");
+    println!(
+        "{:>4}  {:>10}  {:>10}  {:>8}",
+        "VMs", "frames", "headroom", "savings"
+    );
 
     loop {
         // Boot the next VM if its *unmerged* footprint fits right now;

@@ -20,14 +20,21 @@ fn main() {
         let vm = VmId(v);
         mem.map_new_page(vm, Gfn(0), kernel_page.clone());
         mem.map_new_page(vm, Gfn(1), PageData::zeroed());
-        mem.map_new_page(vm, Gfn(2), PageData::from_fn(|i| (i as u32 * (v + 2)) as u8));
+        mem.map_new_page(
+            vm,
+            Gfn(2),
+            PageData::from_fn(|i| (i as u32 * (v + 2)) as u8),
+        );
         mem.map_new_page(vm, Gfn(3), PageData::from_fn(|i| (i as u32 + 97 * v) as u8));
         for g in 0..4 {
             hints.push((vm, Gfn(g))); // madvise(MADV_MERGEABLE)
         }
     }
-    println!("before merging: {} frames for {} guest pages",
-        mem.allocated_frames(), mem.mapped_guest_pages());
+    println!(
+        "before merging: {} frames for {} guest pages",
+        mem.allocated_frames(),
+        mem.mapped_guest_pages()
+    );
 
     // --- Run the PageForge hardware ------------------------------------
     // `FlatFabric` stands in for the on-chip network + DRAM; the full

@@ -5,14 +5,13 @@
 
 use pageforge::core::PowerModel;
 use pageforge::sim::{DedupMode, SimConfig, System};
-use pageforge_bench::experiments;
+use pageforge_bench::experiments::{self, Scale};
 
 /// §6.1: "reduces the memory footprint by an average of 48%".
 #[test]
 fn memory_savings_average_about_half() {
-    let (_, results) = experiments::figure7(0xC0FFEE, 256);
-    let avg: f64 =
-        results.iter().map(|r| r.savings()).sum::<f64>() / results.len() as f64;
+    let (_, results) = experiments::figure7(0xC0FFEE, Scale::Quick);
+    let avg: f64 = results.iter().map(|r| r.savings()).sum::<f64>() / results.len() as f64;
     assert!(
         (0.40..=0.56).contains(&avg),
         "average savings {avg} out of the paper's ballpark (48%)"
@@ -26,7 +25,7 @@ fn memory_savings_average_about_half() {
 /// §6.2: ECC keys have slightly more (false-positive) matches than jhash.
 #[test]
 fn ecc_keys_have_slightly_more_matches() {
-    let (_, results) = experiments::figure8(0xC0FFEE, 128, 3);
+    let (_, results) = experiments::figure8(0xC0FFEE, Scale::Quick);
     let delta: f64 = results
         .iter()
         .map(|o| o.ecc_match - o.jhash_match)
@@ -44,7 +43,7 @@ fn ecc_keys_have_slightly_more_matches() {
 /// §6.3: KSM inflates latency substantially; PageForge barely.
 #[test]
 fn latency_overhead_ordering_holds() {
-    let [base, ksm, pf] = experiments::run_triple("silo", 11, true);
+    let [base, ksm, pf] = experiments::run_triple("silo", 11, Scale::Quick);
     let ksm_over = ksm.mean_sojourn() / base.mean_sojourn();
     let pf_over = pf.mean_sojourn() / base.mean_sojourn();
     assert!(ksm_over > 1.15, "KSM overhead {ksm_over} too small");
@@ -60,7 +59,7 @@ fn latency_overhead_ordering_holds() {
 /// §6.3/Figure 10: tails suffer more than means under KSM.
 #[test]
 fn ksm_tail_latency_worse_than_mean() {
-    let [mut base, mut ksm, _] = experiments::run_triple("silo", 12, true);
+    let [mut base, mut ksm, _] = experiments::run_triple("silo", 12, Scale::Quick);
     let mean_ratio = ksm.mean_sojourn() / base.mean_sojourn();
     let tail_ratio = ksm.p95_sojourn() / base.p95_sojourn();
     assert!(
@@ -73,7 +72,7 @@ fn ksm_tail_latency_worse_than_mean() {
 /// apps (silo).
 #[test]
 fn query_granularity_determines_sensitivity() {
-    let [sb, sk, _] = experiments::run_triple("silo", 13, true);
+    let [sb, sk, _] = experiments::run_triple("silo", 13, Scale::Quick);
     let silo_over = sk.mean_sojourn() / sb.mean_sojourn();
     let mut cfg_base = SimConfig::quick("sphinx", DedupMode::None, 13);
     let mut cfg_ksm = SimConfig::quick("sphinx", DedupMode::Ksm(SimConfig::scaled_ksm()), 13);
@@ -104,7 +103,7 @@ fn power_claims_hold() {
 /// and PageForge's engine traffic is additive to the cores'.
 #[test]
 fn bandwidth_ordering_holds() {
-    let [base, _ksm, pf] = experiments::run_triple("masstree", 14, true);
+    let [base, _ksm, pf] = experiments::run_triple("masstree", 14, Scale::Quick);
     // Engine traffic is additive to the cores' (§6.4.1): the *mean* DRAM
     // bandwidth is the robust signal (peak windows are noisy at quick
     // scale).
@@ -121,8 +120,18 @@ fn bandwidth_ordering_holds() {
 /// Determinism: a full quick sim repeated with the same seed is identical.
 #[test]
 fn simulations_are_deterministic() {
-    let a = System::new(SimConfig::quick("img_dnn", DedupMode::Ksm(SimConfig::scaled_ksm()), 5)).run();
-    let b = System::new(SimConfig::quick("img_dnn", DedupMode::Ksm(SimConfig::scaled_ksm()), 5)).run();
+    let a = System::new(SimConfig::quick(
+        "img_dnn",
+        DedupMode::Ksm(SimConfig::scaled_ksm()),
+        5,
+    ))
+    .run();
+    let b = System::new(SimConfig::quick(
+        "img_dnn",
+        DedupMode::Ksm(SimConfig::scaled_ksm()),
+        5,
+    ))
+    .run();
     assert_eq!(a.queries_completed, b.queries_completed);
     assert_eq!(a.mean_sojourn(), b.mean_sojourn());
     assert_eq!(a.l3_miss_rate, b.l3_miss_rate);

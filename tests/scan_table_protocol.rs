@@ -39,18 +39,20 @@ fn multi_batch_protocol_finds_late_duplicate() {
 
     let candidate = p[6];
     engine.insert_pfe(candidate, false, 0);
-    let mut batches = 0;
     let mut found = None;
-    for chunk in p[..6].chunks(2) {
+    for (batch, chunk) in p[..6].chunks(2).enumerate() {
         engine.clear_others();
         for (i, &ppn) in chunk.iter().enumerate() {
-            let next = if i + 1 < chunk.len() { (i + 1) as u8 } else { INVALID_INDEX };
+            let next = if i + 1 < chunk.len() {
+                (i + 1) as u8
+            } else {
+                INVALID_INDEX
+            };
             engine.insert_ppn(i as u8, ppn, next, next);
         }
-        let last = batches == 2;
+        let last = batch == 2;
         engine.update_pfe(last, 0);
-        engine.run_batch(&mem, &mut fabric, batches * 50_000);
-        batches += 1;
+        engine.run_batch(&mem, &mut fabric, batch as u64 * 50_000);
         let info = engine.pfe_info();
         assert!(info.scanned, "S must be set after every batch");
         if info.duplicate {

@@ -74,7 +74,11 @@ fn merged_pages_share_cache_lines() {
     assert_eq!(shared, mem.translate(VmId(1), Gfn(0)).unwrap());
     caches.access(0, shared.line_addr(1), false);
     let after = caches.access(1, shared.line_addr(1), false);
-    assert_ne!(after.level, HitLevel::Memory, "merged line supplied on-chip");
+    assert_ne!(
+        after.level,
+        HitLevel::Memory,
+        "merged line supplied on-chip"
+    );
 }
 
 /// The KSM daemon's core theft shows up on exactly the cores it visited.
