@@ -19,6 +19,9 @@ use crate::scheduler::ParallelConfig;
 ///   (default 1; results are byte-identical at any level);
 /// * `--only <a,b,...>` — run only the named experiments (`run_all`);
 /// * `--out <dir>` — directory for JSON results (default `results/`);
+/// * `--trace <file>` — write the unit trace streams as JSONL to this
+///   path (`run_all`; produces events only when built with `--features
+///   trace`), or read them from it (`trace_report`);
 /// * `--print-config` — print the Table 2 configuration and exit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
@@ -34,6 +37,8 @@ pub struct BenchArgs {
     pub only: Vec<String>,
     /// JSON output directory.
     pub out_dir: PathBuf,
+    /// JSONL trace path (written by `run_all`, read by `trace_report`).
+    pub trace: Option<PathBuf>,
     /// Print the architecture configuration and exit.
     pub print_config: bool,
 }
@@ -47,6 +52,7 @@ impl Default for BenchArgs {
             jobs: 1,
             only: Vec::new(),
             out_dir: PathBuf::from("results"),
+            trace: None,
             print_config: false,
         }
     }
@@ -87,11 +93,16 @@ impl BenchArgs {
                 "--out" => {
                     out.out_dir = PathBuf::from(iter.next().expect("--out requires a value"));
                 }
+                "--trace" => {
+                    out.trace = Some(PathBuf::from(
+                        iter.next().expect("--trace requires a value"),
+                    ));
+                }
                 "--print-config" => out.print_config = true,
                 other => panic!(
                     "unknown argument `{other}`; \
                      usage: [--seed N] [--quick] [--smoke] [--jobs N] \
-                     [--only a,b] [--out DIR] [--print-config]"
+                     [--only a,b] [--out DIR] [--trace FILE] [--print-config]"
                 ),
             }
         }
@@ -176,6 +187,17 @@ mod tests {
         // Smoke wins over quick.
         assert_eq!(a.scale(), Scale::Smoke);
         assert_eq!(a.parallel().jobs, 4);
+    }
+
+    #[test]
+    fn trace_path_parses() {
+        let a = BenchArgs::from_args(
+            ["--trace", "/tmp/trace.jsonl"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.trace, Some(PathBuf::from("/tmp/trace.jsonl")));
+        assert_eq!(BenchArgs::default().trace, None);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use pageforge_bench::scheduler::RunTiming;
+use pageforge_bench::trace_report::TraceAttribution;
 use pageforge_bench::{BenchArgs, Table};
 use pageforge_types::json::{self, FromJson};
 
@@ -75,6 +76,37 @@ fn timing_section(dir: &Path) -> Option<String> {
     Some(out)
 }
 
+/// Renders the folded trace attribution (written by `trace_report` under
+/// `<out_dir>/meta/trace_attribution.json`) as a Markdown section: per
+/// component/kind event counts, summed cycles, and — where the Table 5
+/// power model applies — energy.
+fn trace_section(dir: &Path) -> Option<String> {
+    let attr = TraceAttribution::read(dir)?;
+    let mut out = String::from("## Trace attribution (per-component cycles and energy)\n\n");
+    let _ = writeln!(
+        out,
+        "Folded from {} trace events ({} unparsed lines); see \
+         OBSERVABILITY.md for the event schema. `—` marks components \
+         without a power model.\n",
+        attr.total_events, attr.unparsed_lines,
+    );
+    out.push_str("| Component | Kind | Events | Cycles | Energy (mJ) |\n|---|---|---|---|---|\n");
+    for r in &attr.rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.0} | {} |",
+            r.component,
+            r.kind,
+            r.events,
+            r.cycles,
+            r.energy_mj
+                .map_or_else(|| "—".to_owned(), |e| format!("{e:.4}")),
+        );
+    }
+    out.push('\n');
+    Some(out)
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let mut report = String::from(
@@ -98,6 +130,9 @@ fn main() {
     }
     if let Some(timing) = timing_section(&args.out_dir) {
         report.push_str(&timing);
+    }
+    if let Some(trace) = trace_section(&args.out_dir) {
+        report.push_str(&trace);
     }
     let path = args.out_dir.join("REPORT.md");
     std::fs::write(&path, &report).expect("write report");

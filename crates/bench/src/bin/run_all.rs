@@ -13,7 +13,7 @@
 //! renders it into REPORT.md.
 
 use pageforge_bench::args::print_table2;
-use pageforge_bench::{suite, BenchArgs};
+use pageforge_bench::{suite, trace_report, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -29,6 +29,23 @@ fn main() {
     suite::print_and_write(&outcome, &args.out_dir);
     outcome.timing.table().print();
     outcome.timing.write(&args.out_dir);
+
+    if let Some(trace_path) = &args.trace {
+        if !pageforge_obs::trace::compiled_in() {
+            eprintln!(
+                "warning: --trace given but tracing is compiled out; \
+                 rebuild with `--features trace` to capture events"
+            );
+        }
+        match trace_report::write_trace_jsonl(trace_path, &outcome.traces) {
+            Ok(()) => println!(
+                "Trace for {} unit(s) written to {}.",
+                outcome.traces.len(),
+                trace_path.display()
+            ),
+            Err(e) => eprintln!("warning: could not write trace: {e}"),
+        }
+    }
 
     println!(
         "\nAll experiments complete. JSON copies under {}.",

@@ -1,0 +1,39 @@
+//! Folds a JSONL trace (from `run_all --trace trace.jsonl`, built with
+//! `--features trace`) into per-component cycle/energy attribution:
+//! prints the table and writes `<out>/meta/trace_attribution.json`,
+//! which `make_report` renders into REPORT.md.
+//!
+//! `cargo run --release -p pageforge-bench --features trace --bin run_all -- \
+//!     --smoke --trace results/meta/trace.jsonl`
+//! `cargo run --release -p pageforge-bench --bin trace_report -- \
+//!     --trace results/meta/trace.jsonl`
+
+use pageforge_bench::trace_report::TraceAttribution;
+use pageforge_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let Some(trace_path) = &args.trace else {
+        eprintln!("usage: trace_report --trace FILE [--out DIR]");
+        std::process::exit(1);
+    };
+    let attribution = match TraceAttribution::fold_file(trace_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: could not read {}: {e}", trace_path.display());
+            std::process::exit(1);
+        }
+    };
+    if attribution.total_events == 0 {
+        eprintln!(
+            "warning: no events in {} — was run_all built with --features trace?",
+            trace_path.display()
+        );
+    }
+    attribution.table().print();
+    attribution.write(&args.out_dir);
+    println!(
+        "\nAttribution written to {}/meta/trace_attribution.json.",
+        args.out_dir.display()
+    );
+}

@@ -30,6 +30,7 @@ pub mod experiments;
 pub mod report;
 pub mod scheduler;
 pub mod suite;
+pub mod trace_report;
 
 pub use args::BenchArgs;
 pub use report::Table;

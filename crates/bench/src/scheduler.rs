@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
+use pageforge_obs::trace::{self, Collector, TraceEvent};
 use pageforge_types::json::{self, obj, FromJson, ToJson, Value};
 
 /// How a bench run schedules its experiments.
@@ -85,6 +86,11 @@ pub struct UnitResult<T> {
     pub value: T,
     /// Wall-clock seconds the unit took on its worker.
     pub secs: f64,
+    /// Trace events the unit emitted. Always empty unless the `trace`
+    /// cargo feature is enabled (each worker installs a per-unit
+    /// [`Collector`], so events stay in deterministic submission order
+    /// at any `--jobs` level).
+    pub events: Vec<TraceEvent>,
 }
 
 /// A unit panicked; the run was aborted.
@@ -123,7 +129,8 @@ pub fn run_units<T: Send>(
             .into_iter()
             .map(|u| {
                 let started = Instant::now();
-                let value = run_caught(u.run).map_err(|message| SchedulerError {
+                let (value, events) = run_traced(u.run);
+                let value = value.map_err(|message| SchedulerError {
                     label: u.label.clone(),
                     message,
                 })?;
@@ -132,6 +139,7 @@ pub fn run_units<T: Send>(
                     label: u.label,
                     value,
                     secs: started.elapsed().as_secs_f64(),
+                    events,
                 })
             })
             .collect();
@@ -169,12 +177,14 @@ pub fn run_units<T: Send>(
                 let experiment = unit.experiment;
                 let label = unit.label;
                 let started = Instant::now();
-                let outcome = match run_caught(unit.run) {
+                let (value, events) = run_traced(unit.run);
+                let outcome = match value {
                     Ok(value) => Ok(UnitResult {
                         experiment,
                         label,
                         value,
                         secs: started.elapsed().as_secs_f64(),
+                        events,
                     }),
                     Err(message) => {
                         aborted.store(true, Ordering::Relaxed);
@@ -213,6 +223,18 @@ pub fn run_units<T: Send>(
             None => Ok(results),
         }
     })
+}
+
+/// Runs one unit with a fresh per-unit trace [`Collector`] installed on
+/// the current thread, returning its output and the events it emitted.
+/// Without the `trace` feature the install/drain calls are no-ops and the
+/// event list is always empty.
+fn run_traced<T>(f: Box<dyn FnOnce() -> T + Send>) -> (Result<T, String>, Vec<TraceEvent>) {
+    trace::install(Collector::new());
+    let value = run_caught(f);
+    let events = trace::drain();
+    trace::uninstall();
+    (value, events)
 }
 
 /// Runs the closure, translating a panic into its message.
@@ -427,18 +449,21 @@ mod tests {
                 label: "fig7/a".into(),
                 value: (),
                 secs: 1.0,
+                events: vec![],
             },
             UnitResult {
                 experiment: "fig8".into(),
                 label: "fig8/a".into(),
                 value: (),
                 secs: 2.0,
+                events: vec![],
             },
             UnitResult {
                 experiment: "fig7".into(),
                 label: "fig7/b".into(),
                 value: (),
                 secs: 0.5,
+                events: vec![],
             },
         ];
         let t = RunTiming::from_results(4, 2.0, &results);

@@ -59,6 +59,9 @@ pub struct SuiteOutcome {
     pub tables: Vec<(String, Table)>,
     /// Per-experiment wall-clock accounting.
     pub timing: RunTiming,
+    /// Per-unit trace streams `(unit label, events)` in submission
+    /// order. Empty unless the crate was built with `--features trace`.
+    pub traces: Vec<(String, Vec<pageforge_obs::TraceEvent>)>,
 }
 
 /// Runs the selected experiments on `args.jobs` workers and reassembles
@@ -190,7 +193,11 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
     let mut sims = Vec::new();
     let mut engine = Vec::new();
     let mut singles: Vec<(String, Table)> = Vec::new();
+    let mut traces = Vec::new();
     for r in results {
+        if !r.events.is_empty() {
+            traces.push((r.label.clone(), r.events));
+        }
         match r.value {
             UnitOutput::Table(t) => singles.push((r.experiment, t)),
             UnitOutput::Savings(s) => savings.push(s),
@@ -275,7 +282,11 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
             push(&mut tables, name, t);
         }
     }
-    Ok(SuiteOutcome { tables, timing })
+    Ok(SuiteOutcome {
+        tables,
+        timing,
+        traces,
+    })
 }
 
 /// Writes every table of a finished suite under `out_dir` and prints it.

@@ -1,0 +1,351 @@
+//! Folds a JSONL trace (written by `run_all --trace`) into per-component
+//! cycle and energy attribution tables.
+//!
+//! Each trace line is one [`pageforge_obs::trace::OwnedTraceEvent`]. The
+//! fold groups events by `(component, kind)`, sums each group's cycle
+//! cost (the `cycles` / `latency` / `queue_wait` payload field, whichever
+//! the emitter uses), and converts busy cycles into energy using the
+//! Table 5 power model from [`pageforge_core::power`]:
+//!
+//! * `engine` events run on the PageForge module (Scan Table + ALU);
+//! * `ksm` events run on one of the server chip's OoO cores (the
+//!   software baseline the paper compares against);
+//! * `dram` / `scan_table` / `driver` events are counted and their
+//!   cycles attributed, but no per-event energy model exists for them —
+//!   their energy column reads `—`.
+//!
+//! The result is written to `<out>/meta/trace_attribution.json` —
+//! deliberately *outside* the `results/*.json` determinism glob, since a
+//! trace exists only when the `trace` feature was enabled — and rendered
+//! into REPORT.md by `make_report`.
+
+use std::path::Path;
+
+use pageforge_core::power::PowerModel;
+use pageforge_obs::trace::parse_line;
+use pageforge_types::json::{self, obj, FromJson, ToJson, Value};
+
+use crate::report::Table;
+
+/// Cycles per second of the simulated CPU (Table 2: 2 GHz).
+const CPU_HZ: f64 = 2e9;
+
+/// Scan Table capacity in bytes used for the power model (the paper's
+/// ≈260 B table, provisioned as 512 B SRAM).
+const SCAN_TABLE_BYTES: usize = 260;
+
+/// One `(component, kind)` row of the attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionRow {
+    /// Emitting component (`engine`, `ksm`, `dram`, ...).
+    pub component: String,
+    /// Event kind within the component.
+    pub kind: String,
+    /// Number of events in the group.
+    pub events: u64,
+    /// Summed cycle cost across the group (0 when the kind carries no
+    /// cost field — e.g. Scan Table transitions, which are markers).
+    pub cycles: f64,
+    /// Energy in millijoules, when a power model covers the component.
+    pub energy_mj: Option<f64>,
+}
+
+/// The folded trace: attribution rows plus parse accounting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceAttribution {
+    /// Rows in first-appearance order.
+    pub rows: Vec<AttributionRow>,
+    /// Total events parsed.
+    pub total_events: u64,
+    /// Lines that failed to parse (should be 0 for a well-formed trace).
+    pub unparsed_lines: u64,
+}
+
+/// The payload field carrying a group's cycle cost, by emitter
+/// convention: `cycles` for batch-level events, `latency` for DRAM
+/// commands.
+fn cost_field(event: &pageforge_obs::trace::OwnedTraceEvent) -> f64 {
+    event
+        .field("cycles")
+        .or_else(|| event.field("latency"))
+        .unwrap_or(0.0)
+}
+
+/// Average power (W) attributed to busy cycles of `component`, if the
+/// Table 5 model covers it.
+fn component_power_w(component: &str) -> Option<f64> {
+    let model = PowerModel::hp_22nm();
+    match component {
+        "engine" => Some(model.pageforge_module(SCAN_TABLE_BYTES).power_w),
+        // Software KSM occupies one of the 10 OoO server cores.
+        "ksm" => Some(PowerModel::server_chip().power_w / 10.0),
+        _ => None,
+    }
+}
+
+impl TraceAttribution {
+    /// Folds an iterator of JSONL lines into the attribution.
+    pub fn fold_lines<'a>(lines: impl Iterator<Item = &'a str>) -> Self {
+        let mut out = TraceAttribution::default();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some(event) = parse_line(line) else {
+                out.unparsed_lines += 1;
+                continue;
+            };
+            out.total_events += 1;
+            let cost = cost_field(&event);
+            match out
+                .rows
+                .iter_mut()
+                .find(|r| r.component == event.component && r.kind == event.kind)
+            {
+                Some(row) => {
+                    row.events += 1;
+                    row.cycles += cost;
+                }
+                None => out.rows.push(AttributionRow {
+                    component: event.component.clone(),
+                    kind: event.kind,
+                    events: 1,
+                    cycles: cost,
+                    energy_mj: None,
+                }),
+            }
+        }
+        // Energy follows from the final cycle totals.
+        for row in &mut out.rows {
+            row.energy_mj =
+                component_power_w(&row.component).map(|watts| row.cycles / CPU_HZ * watts * 1e3);
+        }
+        out
+    }
+
+    /// Folds a JSONL file from disk.
+    pub fn fold_file(path: &Path) -> std::io::Result<Self> {
+        let raw = std::fs::read_to_string(path)?;
+        Ok(Self::fold_lines(raw.lines()))
+    }
+
+    /// Renders the attribution as a printable [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "Trace attribution: {} events ({} unparsed lines)",
+                self.total_events, self.unparsed_lines
+            ),
+            &["Component", "Kind", "Events", "Cycles", "Energy (mJ)"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.component.clone(),
+                r.kind.clone(),
+                r.events.to_string(),
+                format!("{:.0}", r.cycles),
+                r.energy_mj
+                    .map_or_else(|| "—".to_owned(), |e| format!("{e:.4}")),
+            ]);
+        }
+        t
+    }
+
+    /// Writes the attribution to `<out_dir>/meta/trace_attribution.json`
+    /// (best-effort, like the scheduler's timing record).
+    pub fn write(&self, out_dir: &Path) {
+        let dir = out_dir.join("meta");
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|_| {
+            std::fs::write(
+                dir.join("trace_attribution.json"),
+                self.to_json().to_string_pretty(),
+            )
+        }) {
+            eprintln!("warning: could not write trace attribution: {e}");
+        }
+    }
+
+    /// Reads an attribution written by [`TraceAttribution::write`].
+    pub fn read(out_dir: &Path) -> Option<Self> {
+        let raw =
+            std::fs::read_to_string(out_dir.join("meta").join("trace_attribution.json")).ok()?;
+        Self::from_json(&json::parse(&raw).ok()?)
+    }
+}
+
+/// Writes per-unit trace events as one JSONL stream in submission order.
+/// Each unit is preceded by a `bench/unit_start` marker event carrying
+/// the unit's submission index, so a reader can segment the stream; the
+/// unit labels print alongside on stderr.
+pub fn write_trace_jsonl(
+    path: &Path,
+    traces: &[(String, Vec<pageforge_obs::TraceEvent>)],
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for (index, (label, events)) in traces.iter().enumerate() {
+        let marker = pageforge_obs::TraceEvent::new(
+            0,
+            "bench",
+            "unit_start",
+            vec![("index", index as f64), ("events", events.len() as f64)],
+        );
+        writeln!(file, "{}", marker.to_json().to_string_compact())?;
+        eprintln!("  trace: unit {index} = {label} ({} events)", events.len());
+        for event in events {
+            writeln!(file, "{}", event.to_json().to_string_compact())?;
+        }
+    }
+    Ok(())
+}
+
+impl ToJson for AttributionRow {
+    fn to_json(&self) -> Value {
+        let mut members = vec![
+            ("component".to_owned(), self.component.to_json()),
+            ("kind".to_owned(), self.kind.to_json()),
+            ("events".to_owned(), self.events.to_json()),
+            ("cycles".to_owned(), self.cycles.to_json()),
+        ];
+        if let Some(e) = self.energy_mj {
+            members.push(("energy_mj".to_owned(), e.to_json()));
+        }
+        Value::Obj(members)
+    }
+}
+
+impl FromJson for AttributionRow {
+    fn from_json(value: &Value) -> Option<Self> {
+        Some(AttributionRow {
+            component: String::from_json(value.get("component")?)?,
+            kind: String::from_json(value.get("kind")?)?,
+            events: u64::from_json(value.get("events")?)?,
+            cycles: f64::from_json(value.get("cycles")?)?,
+            energy_mj: value.get("energy_mj").and_then(f64::from_json),
+        })
+    }
+}
+
+impl ToJson for TraceAttribution {
+    fn to_json(&self) -> Value {
+        obj([
+            ("rows", self.rows.to_json()),
+            ("total_events", self.total_events.to_json()),
+            ("unparsed_lines", self.unparsed_lines.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TraceAttribution {
+    fn from_json(value: &Value) -> Option<Self> {
+        Some(TraceAttribution {
+            rows: Vec::from_json(value.get("rows")?)?,
+            total_events: u64::from_json(value.get("total_events")?)?,
+            unparsed_lines: u64::from_json(value.get("unparsed_lines")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pageforge_obs::TraceEvent;
+
+    fn sample_lines() -> Vec<String> {
+        [
+            TraceEvent::new(100, "engine", "batch", vec![("cycles", 5000.0)]),
+            TraceEvent::new(200, "engine", "batch", vec![("cycles", 7000.0)]),
+            TraceEvent::new(150, "dram", "command", vec![("latency", 80.0)]),
+            TraceEvent::new(150, "scan_table", "transition", vec![("ptr", 3.0)]),
+            TraceEvent::new(900, "ksm", "batch", vec![("cycles", 20000.0)]),
+        ]
+        .iter()
+        .map(|e| e.to_json().to_string_compact())
+        .collect()
+    }
+
+    #[test]
+    fn fold_groups_by_component_and_kind() {
+        let lines = sample_lines();
+        let attr = TraceAttribution::fold_lines(lines.iter().map(String::as_str));
+        assert_eq!(attr.total_events, 5);
+        assert_eq!(attr.unparsed_lines, 0);
+        let engine = attr
+            .rows
+            .iter()
+            .find(|r| r.component == "engine")
+            .expect("engine row");
+        assert_eq!(engine.events, 2);
+        assert!((engine.cycles - 12_000.0).abs() < 1e-9);
+        // 12k cycles at 2 GHz on a 0.037 W module: ~2.2e-4 mJ.
+        let energy = engine.energy_mj.expect("engine has a power model");
+        assert!(energy > 0.0 && energy < 1e-2, "{energy}");
+        // Scan Table transitions are markers: counted, zero cycles, no
+        // energy model.
+        let st = attr
+            .rows
+            .iter()
+            .find(|r| r.component == "scan_table")
+            .unwrap();
+        assert_eq!(st.cycles, 0.0);
+        assert!(st.energy_mj.is_none());
+        // KSM burns far more energy per cycle than the module (§6.4.2).
+        let ksm = attr.rows.iter().find(|r| r.component == "ksm").unwrap();
+        assert!(ksm.energy_mj.unwrap() > energy);
+    }
+
+    #[test]
+    fn fold_counts_unparsed_lines() {
+        let lines = [
+            "not json",
+            "{\"cycle\":1,\"component\":\"a\",\"kind\":\"b\"}",
+        ];
+        let attr = TraceAttribution::fold_lines(lines.iter().copied());
+        assert_eq!(attr.total_events, 1);
+        assert_eq!(attr.unparsed_lines, 1);
+    }
+
+    #[test]
+    fn attribution_roundtrips_through_json() {
+        let lines = sample_lines();
+        let attr = TraceAttribution::fold_lines(lines.iter().map(String::as_str));
+        let back =
+            TraceAttribution::from_json(&json::parse(&attr.to_json().to_string_pretty()).unwrap());
+        assert_eq!(back, Some(attr));
+    }
+
+    #[test]
+    fn jsonl_writer_emits_markers_and_parses_back() {
+        let dir = std::env::temp_dir().join("pageforge-trace-report-test");
+        let path = dir.join("trace.jsonl");
+        let traces = vec![
+            (
+                "fig7/img_dnn".to_owned(),
+                vec![TraceEvent::new(
+                    5,
+                    "engine",
+                    "batch",
+                    vec![("cycles", 10.0)],
+                )],
+            ),
+            ("fig7/silo".to_owned(), vec![]),
+        ];
+        write_trace_jsonl(&path, &traces).unwrap();
+        let attr = TraceAttribution::fold_file(&path).unwrap();
+        // 2 markers + 1 event, all parseable.
+        assert_eq!(attr.unparsed_lines, 0);
+        assert_eq!(attr.total_events, 3);
+        let markers = attr
+            .rows
+            .iter()
+            .find(|r| r.component == "bench" && r.kind == "unit_start")
+            .unwrap();
+        assert_eq!(markers.events, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,139 @@
+//! Determinism and zero-overhead guarantees of the observability layer.
+//!
+//! Two properties underwrite the whole of OBSERVABILITY.md:
+//!
+//! 1. metric snapshots are byte-identical regardless of the scheduler's
+//!    `--jobs` level (same guarantee `results/*.json` already has);
+//! 2. with the `trace` feature disabled, the tracing hooks compile to
+//!    literal no-ops — a zero-sized collector and no observable events —
+//!    so instrumented hot paths cost nothing in default builds.
+
+use pageforge_bench::scheduler::{run_units, Unit};
+use pageforge_obs::trace;
+use pageforge_sim::{DedupMode, SimConfig, System};
+use pageforge_types::json::ToJson;
+
+/// One snapshot-producing unit per (app, dedup mode) cell: run the full
+/// simulation and serialise the aggregated registry snapshot.
+fn snapshot_units() -> Vec<Unit<String>> {
+    let cells: Vec<(&'static str, DedupMode)> = vec![
+        ("silo", DedupMode::None),
+        ("silo", DedupMode::Ksm(SimConfig::scaled_ksm())),
+        ("silo", DedupMode::PageForge(SimConfig::scaled_pageforge())),
+        (
+            "masstree",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+        ),
+    ];
+    cells
+        .into_iter()
+        .map(|(app, mode)| {
+            let label = format!("{app}/{}", mode.label());
+            Unit::new("obs", label, move || {
+                let (_, snapshot) = System::new(SimConfig::quick(app, mode, 11)).run_observed();
+                snapshot.to_json().to_string_compact()
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn snapshots_are_byte_identical_across_jobs_levels() {
+    let two = run_units(2, snapshot_units()).expect("jobs=2 run");
+    let four = run_units(4, snapshot_units()).expect("jobs=4 run");
+    assert_eq!(two.len(), four.len());
+    for (a, b) in two.iter().zip(&four) {
+        assert_eq!(a.label, b.label, "submission order must be preserved");
+        assert_eq!(a.value, b.value, "snapshot bytes for {}", a.label);
+        assert!(
+            a.value.starts_with('{'),
+            "snapshot serialises as a JSON object"
+        );
+    }
+    // The snapshots are not degenerate: the PageForge cell carries
+    // engine metrics the baseline cell lacks.
+    assert!(two[2].value.contains("\"engine.comparisons\""));
+    assert!(!two[0].value.contains("\"engine.comparisons\""));
+}
+
+#[cfg(not(feature = "trace"))]
+mod disabled {
+    use super::*;
+
+    /// The no-op configuration really is free: the collector is a ZST,
+    /// the macro records nothing, and scheduler results carry no events.
+    #[test]
+    fn tracing_compiles_to_zero_overhead() {
+        assert_eq!(std::mem::size_of::<trace::Collector>(), 0);
+        assert!(!trace::compiled_in());
+        trace::install(trace::Collector::new());
+        pageforge_obs::trace_event!(1, "engine", "batch", { comparisons: 31.0 });
+        assert!(trace::drain().is_empty());
+        assert!(!trace::active());
+
+        let results = run_units(
+            1,
+            vec![Unit::new("obs", "noop", || {
+                pageforge_obs::trace_event!(2, "engine", "batch", { comparisons: 7.0 });
+            })],
+        )
+        .unwrap();
+        assert!(results[0].events.is_empty());
+    }
+}
+
+#[cfg(feature = "trace")]
+mod enabled {
+    use super::*;
+
+    /// With tracing compiled in, the scheduler captures each unit's
+    /// events separately and identically at any jobs level.
+    #[test]
+    fn scheduler_captures_per_unit_events_deterministically() {
+        let mk = || {
+            (0..4u64)
+                .map(|i| {
+                    Unit::new("obs", format!("u{i}"), move || {
+                        pageforge_obs::trace_event!(i, "engine", "batch", { unit: i as f64 });
+                        i
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        let seq = run_units(1, mk()).unwrap();
+        let par = run_units(4, mk()).unwrap();
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.events, b.events, "unit {}", a.label);
+            assert_eq!(a.events.len(), 1);
+            assert_eq!(a.events[0].cycle, a.value);
+        }
+    }
+
+    /// A traced simulation emits the documented event kinds.
+    #[test]
+    fn simulation_emits_documented_event_kinds() {
+        trace::install(trace::Collector::new());
+        let _ = System::new(SimConfig::quick(
+            "silo",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+            11,
+        ))
+        .run();
+        let events = trace::drain();
+        trace::uninstall();
+        assert!(!events.is_empty());
+        for (component, kind) in [
+            ("engine", "batch"),
+            ("scan_table", "transition"),
+            ("dram", "command"),
+            ("driver", "refill"),
+        ] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.component == component && e.kind == kind),
+                "expected at least one {component}/{kind} event"
+            );
+        }
+    }
+}

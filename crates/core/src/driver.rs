@@ -23,6 +23,7 @@ use pageforge_ecc::{EccHashKey, EccKeyConfig};
 use pageforge_ksm::rbtree::{NodeId, Side};
 use pageforge_ksm::tree::{PageRef, PageTree, TreeKind};
 use pageforge_ksm::KsmWork;
+use pageforge_obs::{trace_event, Registry};
 use pageforge_types::stats::RunningStats;
 use pageforge_types::{Cycle, Gfn, Ppn, VmId};
 use pageforge_vm::HostMemory;
@@ -158,8 +159,53 @@ impl PageForge {
     }
 
     /// Hardware engine statistics (Table 5's cycle distribution).
-    pub fn engine_stats(&self) -> &EngineStats {
+    pub fn engine_stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    /// Projects driver + engine statistics into one registry: the
+    /// engine's own `engine.*` metrics plus the driver's `pageforge.*`
+    /// counters and tree gauges (see OBSERVABILITY.md).
+    pub fn export_metrics(&self) -> Registry {
+        let mut reg = self.engine.metrics().clone();
+        let s = &self.stats;
+        for (name, v) in [
+            ("pageforge.passes", s.passes),
+            ("pageforge.candidates", s.candidates),
+            ("pageforge.merged_stable", s.merged_stable),
+            ("pageforge.merged_unstable", s.merged_unstable),
+            ("pageforge.inserted_unstable", s.inserted_unstable),
+            ("pageforge.dropped_changed", s.dropped_changed),
+            ("pageforge.already_shared", s.already_shared),
+            ("pageforge.unmapped", s.unmapped),
+            ("pageforge.key_matches", s.key_matches),
+            ("pageforge.key_mismatches", s.key_mismatches),
+            ("pageforge.refills", s.refills),
+            ("pageforge.os_cycles", s.os_cycles),
+            ("pageforge.stable_tree.rotations", self.stable.rotations()),
+            (
+                "pageforge.unstable_tree.rotations",
+                self.unstable.rotations(),
+            ),
+        ] {
+            let id = reg.counter(name);
+            reg.add(id, v);
+        }
+        for (name, v) in [
+            ("pageforge.stable_tree.size", self.stable.len() as f64),
+            ("pageforge.stable_tree.depth", self.stable.depth() as f64),
+            ("pageforge.unstable_tree.size", self.unstable.len() as f64),
+            (
+                "pageforge.unstable_tree.depth",
+                self.unstable.depth() as f64,
+            ),
+        ] {
+            let id = reg.gauge(name);
+            reg.set(id, v);
+        }
+        let h = reg.histogram("pageforge.candidate_cycles");
+        reg.merge_into(h, &s.candidate_cycles);
+        reg
     }
 
     /// The ECC key configuration in use.
@@ -471,6 +517,10 @@ impl PageForge {
             }
             self.stats.refills += 1;
             self.stats.os_cycles += self.cfg.os_refill_cycles;
+            trace_event!(t, "driver", "refill", {
+                entries: entries.len() as f64,
+                last_refill: if last_refill { 1.0 } else { 0.0 },
+            });
 
             // Trigger and poll.
             let run = self.engine.run_batch(mem, fabric, t);

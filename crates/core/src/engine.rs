@@ -10,6 +10,8 @@
 //! memory controller to assemble the hash key for free.
 
 use pageforge_ecc::{EccKeyConfig, EccKeyConfigError, KeyBuilder, LineEcc};
+use pageforge_obs::trace_event;
+use pageforge_obs::{CounterId, HistogramId, Registry};
 use pageforge_types::stats::RunningStats;
 use pageforge_types::{Cycle, PageData, Ppn, LINES_PER_PAGE};
 use pageforge_vm::HostMemory;
@@ -42,6 +44,11 @@ impl Default for EngineConfig {
 
 /// Counters and the per-batch cycle distribution (Table 5 reports a mean of
 /// 7,486 cycles with σ ≈ 1,296 for processing the Scan Table).
+///
+/// Since the observability layer landed, this struct is a *view*
+/// assembled on demand from the engine's [`Registry`] (metric names
+/// `engine.*`, see OBSERVABILITY.md) — the registry is the single
+/// source of truth, and this keeps the long-standing accessor shape.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineStats {
     /// Batches processed (engine triggers).
@@ -73,24 +80,57 @@ pub struct EngineRun {
     pub comparisons: u64,
 }
 
+/// Ids of the engine's metrics in its [`Registry`] (registered once at
+/// construction so hot-path updates are plain array indexing).
+#[derive(Debug, Clone, Copy)]
+struct EngineMetricIds {
+    runs: CounterId,
+    comparisons: CounterId,
+    lines_fetched: CounterId,
+    lines_on_chip: CounterId,
+    lines_from_dram: CounterId,
+    duplicates: CounterId,
+    keys_completed: CounterId,
+    run_cycles: HistogramId,
+}
+
+impl EngineMetricIds {
+    fn register(reg: &mut Registry) -> Self {
+        EngineMetricIds {
+            runs: reg.counter("engine.runs"),
+            comparisons: reg.counter("engine.comparisons"),
+            lines_fetched: reg.counter("engine.lines_fetched"),
+            lines_on_chip: reg.counter("engine.lines_on_chip"),
+            lines_from_dram: reg.counter("engine.lines_from_dram"),
+            duplicates: reg.counter("engine.duplicates"),
+            keys_completed: reg.counter("engine.keys_completed"),
+            run_cycles: reg.histogram("engine.run_cycles"),
+        }
+    }
+}
+
 /// The PageForge module: Scan Table + comparator FSM + key snatcher.
 #[derive(Debug, Clone)]
 pub struct PageForgeEngine {
     cfg: EngineConfig,
     table: ScanTable,
     key: KeyBuilder,
-    stats: EngineStats,
+    metrics: Registry,
+    ids: EngineMetricIds,
 }
 
 impl PageForgeEngine {
     /// Builds an idle engine.
     pub fn new(cfg: EngineConfig) -> Self {
         let key = cfg.ecc.builder();
+        let mut metrics = Registry::new();
+        let ids = EngineMetricIds::register(&mut metrics);
         PageForgeEngine {
             table: ScanTable::new(cfg.table_entries),
             key,
             cfg,
-            stats: EngineStats::default(),
+            metrics,
+            ids,
         }
     }
 
@@ -99,9 +139,25 @@ impl PageForgeEngine {
         &self.cfg
     }
 
-    /// Counter snapshot.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// Counter snapshot, assembled from the metric registry (names
+    /// `engine.*`). Returned by value: the struct is a view, not storage.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            runs: self.metrics.counter_value(self.ids.runs),
+            comparisons: self.metrics.counter_value(self.ids.comparisons),
+            lines_fetched: self.metrics.counter_value(self.ids.lines_fetched),
+            lines_on_chip: self.metrics.counter_value(self.ids.lines_on_chip),
+            lines_from_dram: self.metrics.counter_value(self.ids.lines_from_dram),
+            duplicates: self.metrics.counter_value(self.ids.duplicates),
+            keys_completed: self.metrics.counter_value(self.ids.keys_completed),
+            run_cycles: *self.metrics.histogram_stats(self.ids.run_cycles),
+        }
+    }
+
+    /// The underlying metric registry (`engine.*` namespace), for
+    /// aggregation into a simulation-wide snapshot.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// The Scan Table (read-only; the OS mutates it through the API calls).
@@ -174,6 +230,31 @@ impl PageForgeEngine {
     ///
     /// Panics if no valid candidate was loaded, or a loaded page does not
     /// exist in `mem` (the OS driver must load valid frames).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pageforge_core::engine::{EngineConfig, PageForgeEngine};
+    /// use pageforge_core::fabric::FlatFabric;
+    /// use pageforge_core::scan_table::INVALID_INDEX;
+    /// use pageforge_types::{Gfn, PageData, VmId};
+    /// use pageforge_vm::HostMemory;
+    ///
+    /// // Two identical pages: the engine must flag a duplicate.
+    /// let mut mem = HostMemory::new();
+    /// let cand = mem.map_new_page(VmId(0), Gfn(0), PageData::from_fn(|_| 7));
+    /// let other = mem.map_new_page(VmId(0), Gfn(1), PageData::from_fn(|_| 7));
+    ///
+    /// let mut engine = PageForgeEngine::new(EngineConfig::default());
+    /// engine.insert_pfe(cand, true, 0); // Table 1: insert_PFE
+    /// engine.insert_ppn(0, other, INVALID_INDEX, INVALID_INDEX);
+    ///
+    /// let mut fabric = FlatFabric::all_dram(80);
+    /// let run = engine.run_batch(&mem, &mut fabric, 0);
+    /// assert!(engine.pfe_info().duplicate);
+    /// assert_eq!(run.comparisons, 1);
+    /// assert_eq!(engine.stats().duplicates, 1);
+    /// ```
     pub fn run_batch(
         &mut self,
         mem: &HostMemory,
@@ -194,6 +275,10 @@ impl PageForgeEngine {
             let Some(other_entry) = self.table.other(ptr) else {
                 // Invalid index: batch exhausted without a match.
                 self.table.pfe_mut().scanned = true;
+                trace_event!(now, "scan_table", "transition", {
+                    ptr: ptr as f64,
+                    outcome: 2.0, // exhausted: Scanned set, no Duplicate
+                });
                 break;
             };
             let other_ppn = other_entry.ppn;
@@ -223,11 +308,29 @@ impl PageForgeEngine {
                     let pfe = self.table.pfe_mut();
                     pfe.duplicate = true;
                     pfe.scanned = true;
-                    self.stats.duplicates += 1;
+                    self.metrics.inc(self.ids.duplicates);
+                    trace_event!(now, "scan_table", "transition", {
+                        ptr: ptr as f64,
+                        outcome: 0.0, // duplicate: Scanned and Duplicate set
+                    });
                     break;
                 }
-                std::cmp::Ordering::Less => self.table.pfe_mut().ptr = less,
-                std::cmp::Ordering::Greater => self.table.pfe_mut().ptr = more,
+                std::cmp::Ordering::Less => {
+                    self.table.pfe_mut().ptr = less;
+                    trace_event!(now, "scan_table", "transition", {
+                        ptr: ptr as f64,
+                        outcome: -1.0, // candidate < entry: follow Less
+                        next: less as f64,
+                    });
+                }
+                std::cmp::Ordering::Greater => {
+                    self.table.pfe_mut().ptr = more;
+                    trace_event!(now, "scan_table", "transition", {
+                        ptr: ptr as f64,
+                        outcome: 1.0, // candidate > entry: follow More
+                        next: more as f64,
+                    });
+                }
             }
         }
 
@@ -244,13 +347,19 @@ impl PageForgeEngine {
         if self.key.is_complete() && !self.table.pfe().hash_ready {
             self.table.pfe_mut().hash = self.key.finish();
             self.table.pfe_mut().hash_ready = true;
-            self.stats.keys_completed += 1;
+            self.metrics.inc(self.ids.keys_completed);
+            trace_event!(now, "engine", "key_complete", {});
         }
 
         let cycles = now - start;
-        self.stats.runs += 1;
-        self.stats.comparisons += comparisons;
-        self.stats.run_cycles.push(cycles as f64);
+        self.metrics.inc(self.ids.runs);
+        self.metrics.add(self.ids.comparisons, comparisons);
+        self.metrics.observe(self.ids.run_cycles, cycles as f64);
+        trace_event!(now, "engine", "batch", {
+            cycles: cycles as f64,
+            comparisons: comparisons as f64,
+            duplicate: if self.table.pfe().duplicate { 1.0 } else { 0.0 },
+        });
         EngineRun {
             finished_at: now,
             cycles,
@@ -266,11 +375,11 @@ impl PageForgeEngine {
         now: Cycle,
     ) -> Cycle {
         let read = fabric.read_line(ppn.line_addr(line), now);
-        self.stats.lines_fetched += 1;
+        self.metrics.inc(self.ids.lines_fetched);
         if read.on_chip {
-            self.stats.lines_on_chip += 1;
+            self.metrics.inc(self.ids.lines_on_chip);
         } else {
-            self.stats.lines_from_dram += 1;
+            self.metrics.inc(self.ids.lines_from_dram);
         }
         read.ready_at
     }

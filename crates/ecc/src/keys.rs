@@ -137,6 +137,25 @@ impl EccKeyConfig {
 
     /// Computes the key of a page directly (the "all lines available at
     /// once" path, used by software and by tests).
+    ///
+    /// Keys are pure functions of content at the sampled offsets, so
+    /// identical pages can never produce different keys — the "zero
+    /// false negatives" property §3.3.2 relies on (compare Figure 8,
+    /// where jhash sampling misses merge opportunities that ECC keys
+    /// keep).
+    ///
+    /// ```
+    /// use pageforge_ecc::EccKeyConfig;
+    /// use pageforge_types::PageData;
+    ///
+    /// let cfg = EccKeyConfig::default();
+    /// let page = PageData::from_fn(|i| (i % 251) as u8);
+    /// let key = cfg.page_key(&page);
+    /// // Identical content always reproduces the identical key.
+    /// assert_eq!(key, cfg.page_key(&page.clone()));
+    /// // The default key is 32 bits built from 256 B of the page.
+    /// assert_eq!(cfg.key_bits(), 32);
+    /// ```
     pub fn page_key(&self, page: &PageData) -> EccHashKey {
         let mut key = 0u64;
         for (i, &line) in self.offsets.iter().enumerate() {

@@ -39,7 +39,7 @@
 //! assert_eq!(key, cfg.page_key(&page.clone()));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod hamming;
 pub mod keys;

@@ -20,6 +20,8 @@
 use std::collections::HashMap;
 
 use pageforge_ecc::{EccHashKey, EccKeyConfig};
+use pageforge_obs::trace_event;
+use pageforge_obs::Registry;
 use pageforge_types::{Gfn, VmId};
 use pageforge_vm::HostMemory;
 
@@ -177,6 +179,57 @@ impl Ksm {
         &self.stats
     }
 
+    /// Projects the cumulative statistics into a metric registry under
+    /// the `ksm.*` namespace (see OBSERVABILITY.md).
+    ///
+    /// KSM's stats are richer than plain metrics — [`KsmWork::touched`]
+    /// records *which* frames passed through the cache for pollution
+    /// modeling — so [`KsmStats`] stays the storage and this is a
+    /// one-way projection of the metric-representable part.
+    pub fn export_metrics(&self) -> Registry {
+        let mut reg = Registry::new();
+        let s = &self.stats;
+        for (name, v) in [
+            ("ksm.passes", s.passes),
+            ("ksm.candidates", s.candidates),
+            ("ksm.merged_stable", s.merged_stable),
+            ("ksm.merged_zero", s.merged_zero),
+            ("ksm.merged_unstable", s.merged_unstable),
+            ("ksm.inserted_unstable", s.inserted_unstable),
+            ("ksm.dropped_changed", s.dropped_changed),
+            ("ksm.already_shared", s.already_shared),
+            ("ksm.unmapped", s.unmapped),
+            ("ksm.jhash_matches", s.jhash_matches),
+            ("ksm.jhash_mismatches", s.jhash_mismatches),
+            ("ksm.ecc_matches", s.ecc_matches),
+            ("ksm.ecc_mismatches", s.ecc_mismatches),
+            ("ksm.work.comparisons", s.work.comparisons),
+            ("ksm.work.cmp_bytes", s.work.cmp_bytes),
+            ("ksm.work.hash_ops", s.work.hash_ops),
+            ("ksm.work.hash_bytes", s.work.hash_bytes),
+            ("ksm.work.tree_ops", s.work.tree_ops),
+            ("ksm.work.merges", s.work.merges),
+            ("ksm.cycles.compare", s.cycles.compare),
+            ("ksm.cycles.hash", s.cycles.hash),
+            ("ksm.cycles.other", s.cycles.other),
+            ("ksm.stable_tree.rotations", self.stable.rotations()),
+            ("ksm.unstable_tree.rotations", self.unstable.rotations()),
+        ] {
+            let id = reg.counter(name);
+            reg.add(id, v);
+        }
+        for (name, v) in [
+            ("ksm.stable_tree.size", self.stable.len() as f64),
+            ("ksm.stable_tree.depth", self.stable.depth() as f64),
+            ("ksm.unstable_tree.size", self.unstable.len() as f64),
+            ("ksm.unstable_tree.depth", self.unstable.depth() as f64),
+        ] {
+            let id = reg.gauge(name);
+            reg.set(id, v);
+        }
+        reg
+    }
+
     /// The stable tree (merged pages).
     pub fn stable_tree(&self) -> &PageTree {
         &self.stable
@@ -199,11 +252,37 @@ impl Ksm {
 
     /// Scans up to `n` candidate pages, wrapping (and resetting the
     /// unstable tree) at pass boundaries.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pageforge_ksm::{Ksm, KsmConfig};
+    /// use pageforge_types::{Gfn, PageData, VmId};
+    /// use pageforge_vm::HostMemory;
+    ///
+    /// // Three VMs, each with one identical page, all hinted mergeable.
+    /// let mut mem = HostMemory::new();
+    /// let mut hints = Vec::new();
+    /// for v in 0..3 {
+    ///     mem.map_new_page(VmId(v), Gfn(0), PageData::from_fn(|_| 42));
+    ///     hints.push((VmId(v), Gfn(0)));
+    /// }
+    /// let mut ksm = Ksm::new(KsmConfig::default(), hints);
+    ///
+    /// // Pass 1 records checksums; pass 2 merges (Algorithm 1 requires a
+    /// // page's checksum to be seen unchanged twice before tree insertion).
+    /// ksm.scan_batch(&mut mem, 3);
+    /// let report = ksm.scan_batch(&mut mem, 3);
+    /// assert_eq!(report.merged, 2, "two pages merged into the first");
+    /// assert_eq!(mem.allocated_frames(), 1);
+    /// assert!(report.cycles.total() > 0, "work is priced in cycles");
+    /// ```
     pub fn scan_batch(&mut self, mem: &mut HostMemory, n: usize) -> BatchReport {
         let mut report = BatchReport::default();
         if self.hints.is_empty() {
             return report;
         }
+        let rotations_before = self.stable.rotations() + self.unstable.rotations();
         for _ in 0..n {
             let (vm, gfn) = self.hints[self.cursor];
             let outcome = self.process_candidate(mem, vm, gfn, &mut report.work);
@@ -222,11 +301,31 @@ impl Ksm {
                 self.unstable.clear();
                 self.stats.passes += 1;
                 report.pass_completed = true;
+                trace_event!(self.stats.cycles.total(), "ksm", "pass", {
+                    pass: self.stats.passes as f64,
+                    stable_size: self.stable.len() as f64,
+                    stable_depth: self.stable.depth() as f64,
+                });
             }
         }
         report.cycles = self.cfg.cost.price(&report.work);
         self.stats.work.absorb(&report.work);
         self.stats.cycles.absorb(report.cycles);
+        // Trace stamps are the daemon's own cumulative priced cycles: KSM
+        // has no global clock until the simulator schedules it.
+        let rotated = self.stable.rotations() + self.unstable.rotations() - rotations_before;
+        if rotated > 0 {
+            trace_event!(self.stats.cycles.total(), "ksm", "rebalance", {
+                rotations: rotated as f64,
+                stable_depth: self.stable.depth() as f64,
+                unstable_depth: self.unstable.depth() as f64,
+            });
+        }
+        trace_event!(self.stats.cycles.total(), "ksm", "batch", {
+            candidates: report.work.candidates as f64,
+            merged: report.merged as f64,
+            cycles: report.cycles.total() as f64,
+        });
         report
     }
 

@@ -79,6 +79,9 @@ pub struct RbTree<T> {
     root: u32,
     free: Vec<u32>,
     len: usize,
+    /// Cumulative rotations performed by rebalancing (survives `clear`,
+    /// like KSM's own work counters — it meters *work done*, not state).
+    rotations: u64,
 }
 
 impl<T> Default for RbTree<T> {
@@ -104,12 +107,41 @@ impl<T> RbTree<T> {
             root: NIL,
             free: Vec::new(),
             len: 0,
+            rotations: 0,
         }
     }
 
     /// Number of live nodes.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Cumulative rotations performed by rebalancing since construction
+    /// (not reset by [`clear`](Self::clear)). A proxy for how much
+    /// restructuring work the tree has cost — the paper's KSM analysis
+    /// charges tree maintenance under "other" cycles.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Height of the tree: nodes on the longest root-to-leaf path
+    /// (0 for an empty tree). O(n); intended for reporting, not hot paths.
+    pub fn depth(&self) -> usize {
+        let Some(root) = self.root() else {
+            return 0;
+        };
+        let mut max = 0usize;
+        let mut stack = vec![(root, 1usize)];
+        while let Some((id, d)) = stack.pop() {
+            max = max.max(d);
+            if let Some(l) = self.left(id) {
+                stack.push((l, d + 1));
+            }
+            if let Some(r) = self.right(id) {
+                stack.push((r, d + 1));
+            }
+        }
+        max
     }
 
     /// `true` when the tree has no nodes.
@@ -235,6 +267,7 @@ impl<T> RbTree<T> {
     }
 
     fn rotate_left(&mut self, x: u32) {
+        self.rotations += 1;
         let y = self.nodes[x as usize].right;
         debug_assert_ne!(y, NIL);
         let y_left = self.nodes[y as usize].left;
@@ -256,6 +289,7 @@ impl<T> RbTree<T> {
     }
 
     fn rotate_right(&mut self, x: u32) {
+        self.rotations += 1;
         let y = self.nodes[x as usize].left;
         debug_assert_ne!(y, NIL);
         let y_right = self.nodes[y as usize].right;

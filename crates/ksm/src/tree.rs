@@ -105,6 +105,16 @@ impl PageTree {
         self.stale_pruned
     }
 
+    /// Height of the tree: nodes on the longest root-to-leaf path.
+    pub fn depth(&self) -> usize {
+        self.tree.depth()
+    }
+
+    /// Cumulative rebalancing rotations (survives [`clear`](Self::clear)).
+    pub fn rotations(&self) -> u64 {
+        self.tree.rotations()
+    }
+
     /// Drops every node (the per-pass unstable reset).
     pub fn clear(&mut self) {
         self.tree.clear();

@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use pageforge_ecc::LineEcc;
+use pageforge_obs::{CounterId, GaugeId, Registry};
 use pageforge_types::{Cycle, LineAddr, LINE_SIZE};
 
 use crate::dram::{Dram, DramConfig, DramStats};
@@ -39,6 +40,9 @@ pub struct ReadGrant {
 }
 
 /// Controller-level counters.
+///
+/// A *view* assembled on demand from the controller's metric registry
+/// (names `mem.controller.*`, see OBSERVABILITY.md).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct McStats {
     /// Read requests accepted.
@@ -284,6 +288,33 @@ impl McConfig {
     }
 }
 
+/// Ids of the controller counters in the metric registry
+/// (`mem.controller.*`).
+#[derive(Debug, Clone, Copy)]
+struct McMetricIds {
+    reads: CounterId,
+    writes: CounterId,
+    coalesced_reads: CounterId,
+    demand_lines: CounterId,
+    pageforge_lines: CounterId,
+    writeback_lines: CounterId,
+    queue_occupancy: GaugeId,
+}
+
+impl McMetricIds {
+    fn register(reg: &mut Registry) -> Self {
+        McMetricIds {
+            reads: reg.counter("mem.controller.reads"),
+            writes: reg.counter("mem.controller.writes"),
+            coalesced_reads: reg.counter("mem.controller.coalesced_reads"),
+            demand_lines: reg.counter("mem.controller.demand_lines"),
+            pageforge_lines: reg.counter("mem.controller.pageforge_lines"),
+            writeback_lines: reg.counter("mem.controller.writeback_lines"),
+            queue_occupancy: reg.gauge("mem.controller.queue_occupancy"),
+        }
+    }
+}
+
 /// The memory controller.
 #[derive(Debug, Clone)]
 pub struct MemoryController {
@@ -291,7 +322,8 @@ pub struct MemoryController {
     dram: Dram,
     /// In-flight reads: line → ready cycle (for coalescing).
     pending_reads: HashMap<LineAddr, Cycle>,
-    stats: McStats,
+    metrics: Registry,
+    ids: McMetricIds,
     meter: BandwidthMeter,
     ecc: EccEngine,
 }
@@ -299,10 +331,13 @@ pub struct MemoryController {
 impl MemoryController {
     /// Builds an idle controller.
     pub fn new(cfg: McConfig) -> Self {
+        let mut metrics = Registry::new();
+        let ids = McMetricIds::register(&mut metrics);
         MemoryController {
             dram: Dram::new(cfg.dram),
             pending_reads: HashMap::new(),
-            stats: McStats::default(),
+            metrics,
+            ids,
             meter: BandwidthMeter::new(cfg.meter_window),
             cfg,
             ecc: EccEngine::default(),
@@ -316,12 +351,12 @@ impl MemoryController {
 
     /// Reads one line. Coalesces with an in-flight read of the same line.
     pub fn read_line(&mut self, addr: LineAddr, now: Cycle, source: MemSource) -> ReadGrant {
-        self.stats.reads += 1;
+        self.metrics.inc(self.ids.reads);
         self.count_source(source);
         // Purge and check the pending set.
         if let Some(&ready) = self.pending_reads.get(&addr) {
             if ready > now && ready - now <= self.cfg.coalesce_window {
-                self.stats.coalesced_reads += 1;
+                self.metrics.inc(self.ids.coalesced_reads);
                 return ReadGrant {
                     ready_at: ready,
                     coalesced: true,
@@ -342,6 +377,8 @@ impl MemoryController {
         if self.pending_reads.len() > 4096 {
             self.pending_reads.retain(|_, &mut r| r > now);
         }
+        self.metrics
+            .set(self.ids.queue_occupancy, self.pending_reads.len() as f64);
         ReadGrant {
             ready_at,
             coalesced: false,
@@ -351,7 +388,7 @@ impl MemoryController {
     /// Writes one line; returns the completion cycle. Writes are posted
     /// (buffered), so callers normally don't wait on this.
     pub fn write_line(&mut self, addr: LineAddr, now: Cycle, source: MemSource) -> Cycle {
-        self.stats.writes += 1;
+        self.metrics.inc(self.ids.writes);
         self.count_source(source);
         let done = self
             .dram
@@ -361,21 +398,38 @@ impl MemoryController {
     }
 
     fn count_source(&mut self, source: MemSource) {
-        match source {
-            MemSource::Demand => self.stats.demand_lines += 1,
-            MemSource::PageForge => self.stats.pageforge_lines += 1,
-            MemSource::Writeback => self.stats.writeback_lines += 1,
+        let id = match source {
+            MemSource::Demand => self.ids.demand_lines,
+            MemSource::PageForge => self.ids.pageforge_lines,
+            MemSource::Writeback => self.ids.writeback_lines,
+        };
+        self.metrics.inc(id);
+    }
+
+    /// Controller counters, assembled from the metric registry
+    /// (`mem.controller.*`). Returned by value: the struct is a view.
+    pub fn stats(&self) -> McStats {
+        McStats {
+            reads: self.metrics.counter_value(self.ids.reads),
+            writes: self.metrics.counter_value(self.ids.writes),
+            coalesced_reads: self.metrics.counter_value(self.ids.coalesced_reads),
+            demand_lines: self.metrics.counter_value(self.ids.demand_lines),
+            pageforge_lines: self.metrics.counter_value(self.ids.pageforge_lines),
+            writeback_lines: self.metrics.counter_value(self.ids.writeback_lines),
         }
     }
 
-    /// Controller counters.
-    pub fn stats(&self) -> &McStats {
-        &self.stats
+    /// DRAM counters (view over the device's `mem.dram.*` metrics).
+    pub fn dram_stats(&self) -> DramStats {
+        self.dram.stats()
     }
 
-    /// DRAM counters.
-    pub fn dram_stats(&self) -> &DramStats {
-        self.dram.stats()
+    /// Controller plus DRAM metrics (`mem.controller.*` + `mem.dram.*`)
+    /// as one registry, for aggregation into a simulation-wide snapshot.
+    pub fn export_metrics(&self) -> Registry {
+        let mut reg = self.metrics.clone();
+        reg.absorb(self.dram.metrics());
+        reg
     }
 
     /// The bandwidth meter.

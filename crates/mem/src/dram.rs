@@ -16,6 +16,8 @@
 //! exactly the contention channel the paper's Figure 11 discussion cares
 //! about.
 
+use pageforge_obs::trace_event;
+use pageforge_obs::{CounterId, Registry};
 use pageforge_types::{Cycle, LineAddr, LINE_SIZE};
 
 /// DRAM geometry and timing, in CPU cycles.
@@ -74,6 +76,9 @@ impl DramConfig {
 }
 
 /// Row-hit/miss and traffic counters.
+///
+/// A *view* assembled on demand from the device's metric registry
+/// (names `mem.dram.*`, see OBSERVABILITY.md).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Reads serviced.
@@ -156,23 +161,51 @@ impl Channel {
     }
 }
 
+/// Ids of the device counters in the metric registry (`mem.dram.*`).
+#[derive(Debug, Clone, Copy)]
+struct DramMetricIds {
+    reads: CounterId,
+    writes: CounterId,
+    row_hits: CounterId,
+    row_misses: CounterId,
+    bytes: CounterId,
+    queue_wait_cycles: CounterId,
+}
+
+impl DramMetricIds {
+    fn register(reg: &mut Registry) -> Self {
+        DramMetricIds {
+            reads: reg.counter("mem.dram.reads"),
+            writes: reg.counter("mem.dram.writes"),
+            row_hits: reg.counter("mem.dram.row_hits"),
+            row_misses: reg.counter("mem.dram.row_misses"),
+            bytes: reg.counter("mem.dram.bytes"),
+            queue_wait_cycles: reg.counter("mem.dram.queue_wait_cycles"),
+        }
+    }
+}
+
 /// The DRAM device array.
 #[derive(Debug, Clone)]
 pub struct Dram {
     cfg: DramConfig,
     banks: Vec<Bank>,
     channels: Vec<Channel>,
-    stats: DramStats,
+    metrics: Registry,
+    ids: DramMetricIds,
 }
 
 impl Dram {
     /// Builds an idle DRAM with the given configuration.
     pub fn new(cfg: DramConfig) -> Self {
+        let mut metrics = Registry::new();
+        let ids = DramMetricIds::register(&mut metrics);
         Dram {
             banks: vec![Bank::default(); cfg.total_banks()],
             channels: vec![Channel::default(); cfg.channels],
             cfg,
-            stats: DramStats::default(),
+            metrics,
+            ids,
         }
     }
 
@@ -181,9 +214,22 @@ impl Dram {
         &self.cfg
     }
 
-    /// Counter snapshot.
-    pub fn stats(&self) -> &DramStats {
-        &self.stats
+    /// Counter snapshot, assembled from the metric registry
+    /// (`mem.dram.*`). Returned by value: the struct is a view.
+    pub fn stats(&self) -> DramStats {
+        DramStats {
+            reads: self.metrics.counter_value(self.ids.reads),
+            writes: self.metrics.counter_value(self.ids.writes),
+            row_hits: self.metrics.counter_value(self.ids.row_hits),
+            row_misses: self.metrics.counter_value(self.ids.row_misses),
+            bytes: self.metrics.counter_value(self.ids.bytes),
+            queue_wait_cycles: self.metrics.counter_value(self.ids.queue_wait_cycles),
+        }
+    }
+
+    /// The underlying metric registry (`mem.dram.*` namespace).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Utilization estimate a request at `now` on `channel` would observe,
@@ -213,17 +259,18 @@ impl Dram {
         let bank_idx =
             channel_idx * self.cfg.ranks_per_channel * self.cfg.banks_per_rank + bank_in_channel;
 
+        let row_hit = matches!(self.banks[bank_idx].open_row, Some(open) if open == row);
         let access_latency = match self.banks[bank_idx].open_row {
             Some(open) if open == row => {
-                self.stats.row_hits += 1;
+                self.metrics.inc(self.ids.row_hits);
                 self.cfg.t_cas
             }
             Some(_) => {
-                self.stats.row_misses += 1;
+                self.metrics.inc(self.ids.row_misses);
                 self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas
             }
             None => {
-                self.stats.row_misses += 1;
+                self.metrics.inc(self.ids.row_misses);
                 self.cfg.t_rcd + self.cfg.t_cas
             }
         };
@@ -239,12 +286,20 @@ impl Dram {
         channel.note(now, self.cfg.t_burst, self.cfg.util_window);
 
         if write {
-            self.stats.writes += 1;
+            self.metrics.inc(self.ids.writes);
         } else {
-            self.stats.reads += 1;
+            self.metrics.inc(self.ids.reads);
         }
-        self.stats.bytes += LINE_SIZE as u64;
-        self.stats.queue_wait_cycles += wait;
+        self.metrics.add(self.ids.bytes, LINE_SIZE as u64);
+        self.metrics.add(self.ids.queue_wait_cycles, wait);
+        trace_event!(now, "dram", "command", {
+            channel: channel_idx as f64,
+            bank: bank_idx as f64,
+            is_write: if write { 1.0 } else { 0.0 },
+            row_hit: if row_hit { 1.0 } else { 0.0 },
+            queue_wait: wait as f64,
+            latency: (wait + access_latency + self.cfg.t_burst) as f64,
+        });
         now + wait + access_latency + self.cfg.t_burst
     }
 }

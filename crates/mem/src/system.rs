@@ -9,6 +9,7 @@
 //! timing is invariant to how channels are grouped into controllers) and
 //! aggregates their statistics.
 
+use pageforge_obs::Registry;
 use pageforge_types::{Cycle, LineAddr};
 
 use crate::controller::{McConfig, McStats, MemSource, MemoryController, ReadGrant};
@@ -126,6 +127,17 @@ impl MemorySystem {
             total.row_misses += s.row_misses;
             total.bytes += s.bytes;
             total.queue_wait_cycles += s.queue_wait_cycles;
+        }
+        total
+    }
+
+    /// Controller and DRAM metrics summed across all controllers
+    /// (`mem.controller.*` + `mem.dram.*`; counters add, the
+    /// `queue_occupancy` gauge is the summed occupancy).
+    pub fn export_metrics(&self) -> Registry {
+        let mut total = Registry::new();
+        for mc in &self.mcs {
+            total.absorb(&mc.export_metrics());
         }
         total
     }

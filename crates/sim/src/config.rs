@@ -32,6 +32,22 @@ impl DedupMode {
 }
 
 /// Full experiment configuration.
+///
+/// [`SimConfig::micro50`] is the paper's Table 2 machine;
+/// [`SimConfig::quick`] is the down-scaled variant the test suite and
+/// `--quick` bench runs use.
+///
+/// ```
+/// use pageforge_sim::{DedupMode, SimConfig};
+///
+/// let cfg = SimConfig::micro50("silo", DedupMode::None, 0xC0FFEE);
+/// assert_eq!(cfg.cores, 10);          // Table 2: 10 cores, one VM each
+/// assert_eq!(cfg.mem.controllers, 2); // Figure 5: two memory controllers
+/// assert!(cfg.premerge);              // §5.3: measure at merge steady state
+///
+/// let quick = SimConfig::quick("silo", DedupMode::None, 1);
+/// assert_eq!(quick.cores, 4);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Cores = VMs (Table 2: 10, one VM pinned per core).

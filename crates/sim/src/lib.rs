@@ -24,6 +24,16 @@
 //! lengths, `sleep_millisecs`, `pages_to_scan`, warm-up — is scaled by the
 //! same factor, preserving utilization and queueing shape.
 //!
+//! | module | paper anchor | contents |
+//! |--------|--------------|----------|
+//! | [`config`] | Table 2, §5.3 | [`SimConfig`]: machine + dedup-mode knobs |
+//! | [`system`] | §5–§6 | the event loop, dispatcher, KSM/PageForge scheduling |
+//! | [`fabric`] | §3.2, Figure 5 | [`SimFabric`]: PageForge's cache-probe/DRAM path |
+//! | [`result`] | Figures 9–11, Table 4 | [`SimResult`]: latency/bandwidth/merge outcomes |
+//!
+//! [`System::run_observed`](system::System::run_observed) additionally
+//! returns the unified metric snapshot described in OBSERVABILITY.md.
+//!
 //! # Examples
 //!
 //! ```no_run

@@ -17,6 +17,7 @@ use pageforge_cache::{HitLevel, SystemCaches};
 use pageforge_core::{FlatFabric, PageForge};
 use pageforge_ksm::Ksm;
 use pageforge_mem::{MemSource, MemorySystem};
+use pageforge_obs::{Registry, Snapshot};
 use pageforge_types::stats::LatencyRecorder;
 use pageforge_types::{Cycle, Gfn, VmId};
 use pageforge_vm::{HostMemory, MemoryImage};
@@ -243,7 +244,17 @@ impl System {
     }
 
     /// Runs the simulation to completion and collects the result.
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
+        self.run_observed().0
+    }
+
+    /// Runs the simulation and also returns the unified metric snapshot
+    /// aggregated from every component registry (engine, driver, KSM,
+    /// memory controllers, DRAM, host memory — see OBSERVABILITY.md).
+    ///
+    /// [`SimResult`]'s JSON shape is frozen by the determinism CI check,
+    /// so the snapshot rides alongside instead of inside it.
+    pub fn run_observed(mut self) -> (SimResult, Snapshot) {
         while let Some(Reverse((t, _, event))) = self.events.pop() {
             self.clock = t.max(self.clock);
             match event {
@@ -254,7 +265,33 @@ impl System {
                 Event::WarmupEnd => self.on_warmup_end(),
             }
         }
-        self.collect()
+        let snapshot = self.export_metrics().snapshot();
+        (self.collect(), snapshot)
+    }
+
+    /// Aggregates every component registry into one. Counters add across
+    /// PageForge modules and memory controllers; gauges add too (summed
+    /// occupancy / tree sizes), which is the meaningful system-level view.
+    fn export_metrics(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.absorb(&self.mems.export_metrics());
+        reg.absorb(&self.mem.export_metrics());
+        match &self.dedup {
+            DedupState::None => {}
+            DedupState::Ksm(ksm) => reg.absorb(&ksm.export_metrics()),
+            DedupState::PageForge(pfs) => {
+                for pf in pfs {
+                    reg.absorb(&pf.export_metrics());
+                }
+            }
+        }
+        let queries = reg.counter("sim.queries_completed");
+        reg.add(queries, self.queries_completed);
+        let merged = reg.counter("sim.merged_during_run");
+        reg.add(merged, self.merged_during_run);
+        let clock = reg.gauge("sim.clock");
+        reg.set(clock, self.clock as f64);
+        reg
     }
 
     fn on_arrival(&mut self, core: usize, t: Cycle) {
@@ -776,6 +813,41 @@ mod tests {
             r.mem_stats.allocated_frames < r.mem_stats.mapped_guest_pages,
             "mixed VMs still share library pages"
         );
+    }
+
+    #[test]
+    fn run_observed_snapshot_covers_components() {
+        let cfg = SimConfig::quick(
+            "silo",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+            4,
+        );
+        let (r, snap) = System::new(cfg).run_observed();
+        assert!(snap.counter("engine.comparisons").unwrap() > 0);
+        assert!(snap.counter("pageforge.candidates").unwrap() > 0);
+        assert!(snap.counter("mem.dram.reads").unwrap() > 0);
+        assert!(snap.counter("mem.merges").unwrap() > 0);
+        assert_eq!(
+            snap.counter("sim.queries_completed"),
+            Some(r.queries_completed)
+        );
+        // The snapshot rides alongside SimResult: same run, same numbers.
+        let plain = System::new(SimConfig::quick(
+            "silo",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+            4,
+        ))
+        .run();
+        assert_eq!(plain.queries_completed, r.queries_completed);
+    }
+
+    #[test]
+    fn ksm_snapshot_exports_tree_metrics() {
+        let cfg = SimConfig::quick("silo", DedupMode::Ksm(SimConfig::scaled_ksm()), 3);
+        let (_, snap) = System::new(cfg).run_observed();
+        assert!(snap.counter("ksm.passes").is_some());
+        assert!(snap.gauge("ksm.stable_tree.size").unwrap() > 0.0);
+        assert!(snap.gauge("ksm.stable_tree.depth").unwrap() > 0.0);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! assert_eq!(zero.first_diverging_line(&other), Some(1));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod addr;
 pub mod json;

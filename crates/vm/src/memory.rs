@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use pageforge_obs::{CounterId, Registry};
 use pageforge_types::json::{obj, FromJson, ToJson, Value};
 use pageforge_types::{Gfn, PageData, Ppn, VmId};
 
@@ -135,16 +136,50 @@ impl std::error::Error for MergeError {}
 ///
 /// Deterministic by construction: frame numbers are handed out sequentially
 /// (recycling freed frames LIFO) and all maps iterate in sorted order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct HostMemory {
     frames: HashMap<Ppn, Frame>,
     guest: HashMap<(VmId, Gfn), Ppn>,
     free_list: Vec<Ppn>,
     next_ppn: u64,
     epoch_counter: u64,
-    merges: u64,
-    cow_breaks: u64,
-    frames_freed_by_merge: u64,
+    metrics: Registry,
+    ids: MemMetricIds,
+}
+
+/// Ids of the cumulative merge counters in the metric registry
+/// (`mem.*` namespace; see OBSERVABILITY.md).
+#[derive(Debug, Clone, Copy)]
+struct MemMetricIds {
+    merges: CounterId,
+    cow_breaks: CounterId,
+    frames_freed_by_merge: CounterId,
+}
+
+impl MemMetricIds {
+    fn register(reg: &mut Registry) -> Self {
+        MemMetricIds {
+            merges: reg.counter("mem.merges"),
+            cow_breaks: reg.counter("mem.cow_breaks"),
+            frames_freed_by_merge: reg.counter("mem.frames_freed_by_merge"),
+        }
+    }
+}
+
+impl Default for HostMemory {
+    fn default() -> Self {
+        let mut metrics = Registry::new();
+        let ids = MemMetricIds::register(&mut metrics);
+        HostMemory {
+            frames: HashMap::new(),
+            guest: HashMap::new(),
+            free_list: Vec::new(),
+            next_ppn: 0,
+            epoch_counter: 0,
+            metrics,
+            ids,
+        }
+    }
 }
 
 impl HostMemory {
@@ -259,7 +294,7 @@ impl HostMemory {
             frame.rmap.retain(|&m| m != (vm, gfn));
             let orphaned = frame.rmap.is_empty();
             self.guest.remove(&(vm, gfn));
-            self.cow_breaks += 1;
+            self.metrics.inc(self.ids.cow_breaks);
             // Allocate the copy *before* freeing an orphaned frame so the
             // writer never receives the frame number it just left.
             let new_ppn = self.alloc_ppn();
@@ -327,8 +362,8 @@ impl HostMemory {
         kept.rmap.extend(dropped.rmap);
         kept.cow = true;
         self.free_list.push(drop);
-        self.merges += 1;
-        self.frames_freed_by_merge += 1;
+        self.metrics.inc(self.ids.merges);
+        self.metrics.inc(self.ids.frames_freed_by_merge);
         Ok(())
     }
 
@@ -377,15 +412,28 @@ impl HostMemory {
         entries.into_iter().map(|(&(vm, gfn), &ppn)| (vm, gfn, ppn))
     }
 
-    /// Snapshot of the merge statistics.
+    /// Snapshot of the merge statistics — a view assembled from the
+    /// metric registry plus the live footprint gauges.
     pub fn stats(&self) -> MemoryStats {
         MemoryStats {
             allocated_frames: self.allocated_frames(),
             mapped_guest_pages: self.mapped_guest_pages(),
-            merges: self.merges,
-            cow_breaks: self.cow_breaks,
-            frames_freed_by_merge: self.frames_freed_by_merge,
+            merges: self.metrics.counter_value(self.ids.merges),
+            cow_breaks: self.metrics.counter_value(self.ids.cow_breaks),
+            frames_freed_by_merge: self.metrics.counter_value(self.ids.frames_freed_by_merge),
         }
+    }
+
+    /// The cumulative merge counters plus point-in-time footprint gauges
+    /// as a metric registry (`mem.*` namespace), for aggregation into a
+    /// simulation-wide snapshot.
+    pub fn export_metrics(&self) -> Registry {
+        let mut reg = self.metrics.clone();
+        let allocated = reg.gauge("mem.allocated_frames");
+        reg.set(allocated, self.allocated_frames() as f64);
+        let mapped = reg.gauge("mem.mapped_guest_pages");
+        reg.set(mapped, self.mapped_guest_pages() as f64);
+        reg
     }
 
     /// Checks internal invariants; used by tests and debug assertions.

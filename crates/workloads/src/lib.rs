@@ -18,6 +18,12 @@
 //! run in seconds on a laptop; every interval in the system (query lengths,
 //! KSM's `sleep_millisecs`, warm-up) scales identically, preserving
 //! queueing behaviour. See DESIGN.md ("Time-scaling substitution").
+//!
+//! | module | paper anchor | contents |
+//! |--------|--------------|----------|
+//! | [`apps`] | Table 3 | [`AppSpec`]: the eight TailBench applications + QPS |
+//! | [`arrival`] | §5.3 | [`ArrivalProcess`]: open-loop query generation |
+//! | [`pattern`] | §6.3, Table 4 | [`AccessPattern`]: per-query cache-line touches |
 
 #![warn(missing_docs)]
 

@@ -21,6 +21,7 @@
 //! | [`cache`] | `pageforge-cache` | L1/L2/L3 hierarchy, MESI snoopy bus |
 //! | [`sim`] | `pageforge-sim` | the full-system simulator (Table 2's machine) |
 //! | [`workloads`] | `pageforge-workloads` | TailBench-like latency-critical workloads |
+//! | [`obs`] | `pageforge-obs` | metric registry, cycle-stamped event tracing (OBSERVABILITY.md) |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use pageforge_core as core;
 pub use pageforge_ecc as ecc;
 pub use pageforge_ksm as ksm;
 pub use pageforge_mem as mem;
+pub use pageforge_obs as obs;
 pub use pageforge_sim as sim;
 pub use pageforge_types as types;
 pub use pageforge_vm as vm;
