@@ -22,6 +22,9 @@ use crate::scheduler::ParallelConfig;
 /// * `--trace <file>` — write the unit trace streams as JSONL to this
 ///   path (`run_all`; produces events only when built with `--features
 ///   trace`), or read them from it (`trace_report`);
+/// * `--faults <file>` — JSON fault plan applied to the PageForge engine
+///   in the latency suite (`run_all`). A non-empty plan bypasses the
+///   suite cache; an empty plan is a no-op by construction;
 /// * `--print-config` — print the Table 2 configuration and exit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
@@ -39,6 +42,8 @@ pub struct BenchArgs {
     pub out_dir: PathBuf,
     /// JSONL trace path (written by `run_all`, read by `trace_report`).
     pub trace: Option<PathBuf>,
+    /// Fault-plan JSON path (`run_all`).
+    pub faults: Option<PathBuf>,
     /// Print the architecture configuration and exit.
     pub print_config: bool,
 }
@@ -53,6 +58,7 @@ impl Default for BenchArgs {
             only: Vec::new(),
             out_dir: PathBuf::from("results"),
             trace: None,
+            faults: None,
             print_config: false,
         }
     }
@@ -98,11 +104,17 @@ impl BenchArgs {
                         iter.next().expect("--trace requires a value"),
                     ));
                 }
+                "--faults" => {
+                    out.faults = Some(PathBuf::from(
+                        iter.next().expect("--faults requires a value"),
+                    ));
+                }
                 "--print-config" => out.print_config = true,
                 other => panic!(
                     "unknown argument `{other}`; \
                      usage: [--seed N] [--quick] [--smoke] [--jobs N] \
-                     [--only a,b] [--out DIR] [--trace FILE] [--print-config]"
+                     [--only a,b] [--out DIR] [--trace FILE] [--faults FILE] \
+                     [--print-config]"
                 ),
             }
         }
@@ -198,6 +210,13 @@ mod tests {
         );
         assert_eq!(a.trace, Some(PathBuf::from("/tmp/trace.jsonl")));
         assert_eq!(BenchArgs::default().trace, None);
+    }
+
+    #[test]
+    fn faults_path_parses() {
+        let a = BenchArgs::from_args(["--faults", "/tmp/plan.json"].iter().map(|s| s.to_string()));
+        assert_eq!(a.faults, Some(PathBuf::from("/tmp/plan.json")));
+        assert_eq!(BenchArgs::default().faults, None);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Fault-injection campaign: sweeps deterministic fault rates through the
+//! PageForge engine and verifies the architecture's safety property at
+//! every rate — *merging never corrupts memory contents*, no matter how
+//! many bit flips, stale keys, corrupted Scan Table entries, or engine
+//! stalls the plan schedules.
+//!
+//! For each (rate, seed) cell the campaign builds a duplicate-rich guest
+//! memory with a golden shadow copy, runs the driver to merge steady state
+//! under a generated [`FaultPlan`], then audits every guest page against
+//! the shadow. A single corrupted page fails the run. Per-class fault
+//! outcomes (injected / corrected / detected / masked / degraded) come
+//! from the `faults.*` and `pageforge.*` counters and land in
+//! `results/fault_campaign.json`, which `make_report` renders into
+//! REPORT.md.
+//!
+//! `--smoke` shrinks the guest memory and pass count for CI; the rate ×
+//! seed grid is unchanged.
+
+use pageforge_bench::{BenchArgs, Table};
+use pageforge_core::{FlatFabric, PageForge, PageForgeConfig};
+use pageforge_faults::{FaultInjector, FaultPlan};
+use pageforge_types::{Cycle, Gfn, PageData, VmId};
+use pageforge_vm::HostMemory;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scheduled fault events per cell (the sweep axis).
+const RATES: [usize; 5] = [0, 8, 64, 256, 1024];
+/// Campaign seeds (each reseeds both the guest memory and the plan).
+const SEEDS: [u64; 3] = [1, 2, 3];
+/// Idle gap between scan passes, in cycles.
+const PASS_GAP: Cycle = 10_000;
+
+struct World {
+    mem: HostMemory,
+    shadow: Vec<((VmId, Gfn), PageData)>,
+    hints: Vec<(VmId, Gfn)>,
+}
+
+/// Builds a duplicate-rich guest memory: pages draw their contents from a
+/// small pool of classes, so identical pages abound within and across VMs.
+fn build_world(seed: u64, vms: u32, pages: u64) -> World {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD0_0D1E);
+    let classes = ((vms as u64 * pages) / 4).max(2);
+    let mut mem = HostMemory::new();
+    let mut shadow = Vec::new();
+    let mut hints = Vec::new();
+    for v in 0..vms {
+        for g in 0..pages {
+            let class = rng.gen_range(0..classes);
+            let data = PageData::from_fn(|i| {
+                (class
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((i as u64).wrapping_mul(0x100_0000_01B3))
+                    >> 17) as u8
+            });
+            mem.map_new_page(VmId(v), Gfn(g), data.clone());
+            shadow.push(((VmId(v), Gfn(g)), data));
+            hints.push((VmId(v), Gfn(g)));
+        }
+    }
+    World { mem, shadow, hints }
+}
+
+/// Runs `passes` full scans over the hint list; returns the final cycle.
+fn run_passes(
+    pf: &mut PageForge,
+    mem: &mut HostMemory,
+    fabric: &mut FlatFabric,
+    passes: usize,
+    n: usize,
+) -> Cycle {
+    let mut t = 0;
+    for _ in 0..passes {
+        let report = pf.scan_batch(mem, fabric, t, n);
+        t = report.finished_at.max(t) + PASS_GAP;
+    }
+    t
+}
+
+struct CellOutcome {
+    injected: u64,
+    corrected: u64,
+    detected: u64,
+    miscorrected: u64,
+    key_faults: u64,
+    masked: u64,
+    degraded: u64,
+    merges: u64,
+    incorrect: u64,
+}
+
+/// One (rate, seed) cell: probe for the horizon fault-free, then rerun the
+/// identical workload under the plan and audit memory against the shadow.
+fn run_cell(rate: usize, seed: u64, vms: u32, pages: u64, passes: usize) -> CellOutcome {
+    // Probe run: learns the cycle horizon the plan should cover.
+    let World { mut mem, hints, .. } = build_world(seed, vms, pages);
+    let mut fabric = FlatFabric::all_dram(80);
+    let mut pf = PageForge::new(PageForgeConfig::default(), hints.clone());
+    let n = hints.len();
+    let horizon = run_passes(&mut pf, &mut mem, &mut fabric, passes, n).max(1);
+
+    // Faulted run: identical world, same pass schedule, plan installed.
+    let stalls = if rate == 0 { 0 } else { 3 };
+    let plan = FaultPlan::generate(seed, horizon, rate, stalls, (horizon / 8).max(200_000));
+    let World {
+        mut mem,
+        shadow,
+        hints,
+    } = build_world(seed, vms, pages);
+    let mut fabric = FlatFabric::all_dram(80);
+    let mut pf = PageForge::new(PageForgeConfig::default(), hints);
+    pf.set_fault_injector(Some(FaultInjector::new(&plan)));
+    run_passes(&mut pf, &mut mem, &mut fabric, passes, n);
+
+    // Audit: every guest page must still read back its original contents.
+    // Merging may only have changed *frames*, never *bytes*.
+    let incorrect = shadow
+        .iter()
+        .filter(|((vm, gfn), expect)| mem.guest_read(*vm, *gfn) != Some(expect))
+        .count() as u64;
+    mem.check_invariants()
+        .unwrap_or_else(|e| panic!("memory invariants violated at rate {rate}: {e}"));
+
+    let snap = pf.export_metrics().snapshot();
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    CellOutcome {
+        injected: c("faults.injected"),
+        corrected: c("faults.data_corrected") + c("faults.check_corrected"),
+        detected: c("faults.data_detected"),
+        miscorrected: c("faults.miscorrected"),
+        key_faults: c("faults.key_faults") + c("faults.key_collisions"),
+        masked: c("faults.masked"),
+        degraded: c("pageforge.degraded_candidates")
+            + c("pageforge.engine_errors")
+            + c("pageforge.cross_check_skips"),
+        merges: mem.stats().merges,
+        incorrect,
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (vms, pages, passes) = if args.smoke || args.quick {
+        (3u32, 48u64, 4usize)
+    } else {
+        (6u32, 128u64, 8usize)
+    };
+
+    let mut t = Table::new(
+        "Fault-injection campaign: outcomes per (rate, seed); incorrect merges must be 0",
+        &[
+            "Events",
+            "Seed",
+            "Injected",
+            "Corrected",
+            "Detected",
+            "Miscorr",
+            "KeyFaults",
+            "Masked",
+            "Degraded",
+            "Merges",
+            "Incorrect",
+        ],
+    );
+    let mut sum_injected = 0u64;
+    let mut sum_corrected = 0u64;
+    let mut sum_detected = 0u64;
+    let mut sum_degraded = 0u64;
+    let mut sum_incorrect = 0u64;
+    for rate in RATES {
+        for (i, &seed) in SEEDS.iter().enumerate() {
+            let cell = run_cell(rate, seed ^ args.seed, vms, pages, passes);
+            sum_injected += cell.injected;
+            sum_corrected += cell.corrected;
+            sum_detected += cell.detected;
+            sum_degraded += cell.degraded;
+            sum_incorrect += cell.incorrect;
+            t.row(vec![
+                rate.to_string(),
+                format!("s{i}"),
+                cell.injected.to_string(),
+                cell.corrected.to_string(),
+                cell.detected.to_string(),
+                cell.miscorrected.to_string(),
+                cell.key_faults.to_string(),
+                cell.masked.to_string(),
+                cell.degraded.to_string(),
+                cell.merges.to_string(),
+                cell.incorrect.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    t.write_json(&args.out_dir, "fault_campaign");
+
+    assert_eq!(
+        sum_incorrect, 0,
+        "campaign found {sum_incorrect} corrupted guest pages — the safety \
+         property is violated"
+    );
+    assert!(sum_injected > 0, "campaign injected nothing");
+    assert!(sum_corrected > 0, "no fault was ever corrected");
+    assert!(sum_detected > 0, "no double-bit fault was ever detected");
+    assert!(sum_degraded > 0, "graceful degradation never engaged");
+    println!(
+        "\nCampaign clean: {} faults injected, {} corrected, {} detected, \
+         {} degraded candidates, 0 incorrect merges.",
+        sum_injected, sum_corrected, sum_detected, sum_degraded
+    );
+}

@@ -32,6 +32,7 @@ const ORDER: &[&str] = &[
     "comparison_uksm",
     "sweep_scan_rate",
     "extension_heterogeneous",
+    "fault_campaign",
 ];
 
 fn markdown_table(t: &Table) -> String {

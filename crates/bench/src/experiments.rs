@@ -7,6 +7,7 @@
 use pageforge_core::fabric::FlatFabric;
 use pageforge_core::{EngineConfig, PageForge, PageForgeConfig, PowerModel};
 use pageforge_ecc::EccKeyConfig;
+use pageforge_faults::FaultPlan;
 use pageforge_ksm::{Ksm, KsmConfig};
 use pageforge_sim::{DedupMode, SimConfig, SimResult, System};
 use pageforge_types::json::{self, FromJson, ToJson, Value};
@@ -356,6 +357,22 @@ pub fn suite_modes() -> [DedupMode; 3] {
 /// Runs one (app, mode) cell of the latency suite.
 pub fn run_suite_cell(app: &str, mode: DedupMode, seed: u64, scale: Scale) -> SimResult {
     System::new(sim_config(app, mode, seed, scale)).run()
+}
+
+/// Runs one cell with a fault plan installed. Only PageForge cells have an
+/// engine to fault; Baseline/KSM cells run exactly as [`run_suite_cell`].
+pub fn run_suite_cell_faulted(
+    app: &str,
+    mode: DedupMode,
+    seed: u64,
+    scale: Scale,
+    plan: &FaultPlan,
+) -> SimResult {
+    let mut cfg = sim_config(app, mode, seed, scale);
+    if matches!(cfg.dedup, DedupMode::PageForge(_)) {
+        cfg.faults = Some(plan.clone());
+    }
+    System::new(cfg).run()
 }
 
 /// Runs Baseline/KSM/PageForge for one app. The triple shares the seed so

@@ -78,10 +78,24 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
     let scale = args.scale();
     let seed = args.seed;
 
+    // Load the fault plan, if any. An empty plan is collapsed to `None`
+    // here so `--faults empty.json` takes exactly the code path (and
+    // produces exactly the bytes) of a run with no flag at all.
+    let fault_plan = match &args.faults {
+        Some(path) => {
+            let plan = pageforge_faults::FaultPlan::read_file(path)
+                .unwrap_or_else(|e| panic!("--faults: {e}"));
+            (!plan.is_empty()).then_some(plan)
+        }
+        None => None,
+    };
+
     // The latency suite is cached on disk across binaries; when the cache
-    // is valid there is nothing to schedule for it.
+    // is valid there is nothing to schedule for it. Faulted runs bypass
+    // the cache entirely — reading it would mask the faults, and writing
+    // it would poison later fault-free runs.
     let cache_path = experiments::suite_cache_path(&args.out_dir, seed, scale);
-    let cached_suite = if want("latency") {
+    let cached_suite = if want("latency") && fault_plan.is_none() {
         experiments::read_suite_cache(&cache_path)
     } else {
         None
@@ -97,10 +111,12 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
         for app in experiments::APPS {
             for mode in experiments::suite_modes() {
                 let label = format!("latency/{app}/{}", mode.label());
+                let plan = fault_plan.clone();
                 units.push(Unit::new("latency", label, move || {
-                    UnitOutput::Sim(Box::new(experiments::run_suite_cell(
-                        app, mode, seed, scale,
-                    )))
+                    UnitOutput::Sim(Box::new(match &plan {
+                        Some(p) => experiments::run_suite_cell_faulted(app, mode, seed, scale, p),
+                        None => experiments::run_suite_cell(app, mode, seed, scale),
+                    }))
                 }));
             }
         }
@@ -245,7 +261,10 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
                 }
                 // Cache before figure10 sorts the recorders, so the file's
                 // bytes never depend on which figures were generated.
-                experiments::write_suite_cache(&cache_path, &args.out_dir, &suite);
+                // Faulted results never enter the cache.
+                if fault_plan.is_none() {
+                    experiments::write_suite_cache(&cache_path, &args.out_dir, &suite);
+                }
                 suite
             }
         };

@@ -20,9 +20,10 @@
 use std::collections::HashMap;
 
 use pageforge_ecc::{EccHashKey, EccKeyConfig};
+use pageforge_faults::FaultInjector;
 use pageforge_ksm::rbtree::{NodeId, Side};
-use pageforge_ksm::tree::{PageRef, PageTree, TreeKind};
-use pageforge_ksm::KsmWork;
+use pageforge_ksm::tree::{PageRef, PageTree, SearchInsert, TreeKind};
+use pageforge_ksm::{CostModel, KsmWork};
 use pageforge_obs::{trace_event, Registry};
 use pageforge_types::stats::RunningStats;
 use pageforge_types::{Cycle, Gfn, Ppn, VmId};
@@ -50,6 +51,16 @@ pub struct PageForgeConfig {
     pub os_refill_cycles: Cycle,
     /// OS cycles consumed per `get_PFE_info` poll.
     pub os_check_cycles: Cycle,
+    /// Retries (with exponential backoff) when the engine is stalled
+    /// before the driver degrades the candidate to the software path.
+    pub max_engine_retries: u32,
+    /// Base backoff between engine stall retries, in cycles; doubles on
+    /// each retry. Fully deterministic.
+    pub retry_backoff_cycles: Cycle,
+    /// Engine errors tolerated within one `scan_batch` before the rest of
+    /// the batch degrades straight to software. `u64::MAX` disables the
+    /// threshold (the default: only hard failures degrade).
+    pub degrade_error_threshold: u64,
 }
 
 impl Default for PageForgeConfig {
@@ -61,6 +72,9 @@ impl Default for PageForgeConfig {
             os_check_interval: 12_000,
             os_refill_cycles: 350,
             os_check_cycles: 60,
+            max_engine_retries: 3,
+            retry_backoff_cycles: 20_000,
+            degrade_error_threshold: u64::MAX,
         }
     }
 }
@@ -92,6 +106,16 @@ pub struct PageForgeStats {
     pub refills: u64,
     /// OS-side cycles consumed (refills + polls); tiny by design.
     pub os_cycles: Cycle,
+    /// Candidates that fell back to the software KSM path (engine stall,
+    /// error, or a tripped error threshold).
+    pub degraded_candidates: u64,
+    /// Stall retries attempted (each backs off exponentially).
+    pub stall_retries: u64,
+    /// Engine batches that returned an error.
+    pub engine_errors: u64,
+    /// Hardware duplicate reports rejected by the driver's cross-check
+    /// (table entry no longer matches the tree node — table corruption).
+    pub cross_check_skips: u64,
     /// Per-candidate search latency (cycles from first trigger to
     /// decision).
     pub candidate_cycles: RunningStats,
@@ -119,6 +143,16 @@ enum HwSearch {
     NotFound(Option<(NodeId, Side)>),
 }
 
+/// Whether the hardware resolved a search or the driver must degrade the
+/// candidate to the software path.
+enum HwOutcome {
+    /// The hardware resolved the search.
+    Done(HwSearch, Cycle),
+    /// Engine stalled/errored beyond the retry budget, or its result
+    /// failed the driver's cross-check: finish this candidate in software.
+    Degrade(Cycle),
+}
+
 /// The PageForge system: hardware engine + OS driver state.
 #[derive(Debug, Clone)]
 pub struct PageForge {
@@ -130,6 +164,9 @@ pub struct PageForge {
     cursor: usize,
     prev_key: HashMap<(VmId, Gfn), EccHashKey>,
     stats: PageForgeStats,
+    /// Set when the per-batch error threshold trips: the rest of the
+    /// current `scan_batch` goes straight to the software path.
+    degrade_batch: bool,
 }
 
 impl PageForge {
@@ -145,12 +182,24 @@ impl PageForge {
             cursor: 0,
             prev_key: HashMap::new(),
             stats: PageForgeStats::default(),
+            degrade_batch: false,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &PageForgeConfig {
         &self.cfg
+    }
+
+    /// Installs (or removes) a deterministic fault injector on the
+    /// hardware engine.
+    pub fn set_fault_injector(&mut self, inj: Option<FaultInjector>) {
+        self.engine.set_fault_injector(inj);
+    }
+
+    /// The engine's fault injector, if one is installed.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.engine.fault_injector()
     }
 
     /// Driver statistics.
@@ -182,6 +231,10 @@ impl PageForge {
             ("pageforge.key_mismatches", s.key_mismatches),
             ("pageforge.refills", s.refills),
             ("pageforge.os_cycles", s.os_cycles),
+            ("pageforge.degraded_candidates", s.degraded_candidates),
+            ("pageforge.stall_retries", s.stall_retries),
+            ("pageforge.engine_errors", s.engine_errors),
+            ("pageforge.cross_check_skips", s.cross_check_skips),
             ("pageforge.stable_tree.rotations", self.stable.rotations()),
             (
                 "pageforge.unstable_tree.rotations",
@@ -205,6 +258,9 @@ impl PageForge {
         }
         let h = reg.histogram("pageforge.candidate_cycles");
         reg.merge_into(h, &s.candidate_cycles);
+        if let Some(f) = self.engine.fault_injector() {
+            f.export_metrics(&mut reg);
+        }
         reg
     }
 
@@ -251,8 +307,21 @@ impl PageForge {
             return report;
         }
         let os_before = self.stats.os_cycles;
+        let errors_before = self.stats.engine_errors;
+        self.degrade_batch = false;
         let mut t = now;
         for _ in 0..n {
+            if !self.degrade_batch
+                && self.stats.engine_errors - errors_before >= self.cfg.degrade_error_threshold
+            {
+                // Error threshold tripped: stop bouncing off the engine and
+                // run the rest of this batch in software.
+                self.degrade_batch = true;
+                trace_event!(t, "driver", "degrade", {
+                    reason: 2.0, // error-rate threshold
+                    errors: (self.stats.engine_errors - errors_before) as f64,
+                });
+            }
             let (vm, gfn) = self.hints[self.cursor];
             let (merged, t_after) = self.process_candidate(mem, fabric, vm, gfn, t);
             if merged {
@@ -317,9 +386,15 @@ impl PageForge {
             return (false, now);
         }
         let started = now;
+        if self.degrade_batch {
+            return self.software_candidate(mem, vm, gfn, ppn, started, now);
+        }
 
         // --- Stable tree search (hardware) --------------------------------
-        let (stable_result, mut t) = self.hw_search(TreeKind::Stable, mem, fabric, ppn, now);
+        let (stable_result, mut t) = match self.hw_search(TreeKind::Stable, mem, fabric, ppn, now) {
+            HwOutcome::Done(result, t) => (result, t),
+            HwOutcome::Degrade(t) => return self.software_candidate(mem, vm, gfn, ppn, started, t),
+        };
         if let HwSearch::Found(hit) = stable_result {
             let target = *self.stable.node(hit);
             if mem.merge_into(target.ppn, ppn).is_ok() {
@@ -342,13 +417,30 @@ impl PageForge {
             // set): one empty last-refill run forces the remaining fetches.
             self.engine.clear_others();
             self.engine.update_pfe(true, INVALID_INDEX);
-            let run = self.engine.run_batch(mem, fabric, t);
-            t = self.os_wait(run.finished_at);
+            match self.engine.try_run_batch(mem, fabric, t) {
+                Ok(run) => t = self.os_wait(run.finished_at),
+                Err(_) => {
+                    self.stats.engine_errors += 1;
+                    trace_event!(t, "driver", "degrade", { reason: 1.0 });
+                    return self.software_candidate(mem, vm, gfn, ppn, started, t);
+                }
+            }
             info = self.engine.pfe_info();
         }
-        let new_key = info.hash.expect("last-refill run completes the key");
+        let Some(new_key) = info.hash else {
+            // A forced last-refill run always completes the key; reaching
+            // here means the engine misbehaved under faults. Degrade.
+            return self.software_candidate(mem, vm, gfn, ppn, started, t);
+        };
+        // An adversarially colliding key forces the "unchanged" verdict
+        // even when the previous key differs — §3.3's worst case. The
+        // subsequent full comparison must keep it safe.
+        let collide = self
+            .engine
+            .fault_injector_mut()
+            .is_some_and(|f| f.collide_key(t));
         let prev = self.prev_key.insert((vm, gfn), new_key);
-        if prev == Some(new_key) {
+        if prev == Some(new_key) || (collide && prev.is_some()) {
             self.stats.key_matches += 1;
         } else {
             self.stats.key_mismatches += 1;
@@ -358,7 +450,12 @@ impl PageForge {
         }
 
         // --- Unstable tree search (hardware) -------------------------------
-        let (unstable_result, t2) = self.hw_search(TreeKind::Unstable, mem, fabric, ppn, t);
+        let (unstable_result, t2) = match self.hw_search(TreeKind::Unstable, mem, fabric, ppn, t) {
+            HwOutcome::Done(result, t2) => (result, t2),
+            HwOutcome::Degrade(t2) => {
+                return self.software_candidate(mem, vm, gfn, ppn, started, t2)
+            }
+        };
         t = t2;
         let merged = match unstable_result {
             HwSearch::Found(hit) => {
@@ -400,6 +497,102 @@ impl PageForge {
         (merged, t)
     }
 
+    /// Degraded-mode path: processes one candidate entirely in software
+    /// (the baseline KSM algorithm), bypassing the PageForge engine.
+    ///
+    /// Reached when the engine stalls past the retry budget, reports an
+    /// error, fails a cross-check, or the per-batch error threshold trips.
+    /// Merge *decisions* are identical to the hardware path — both walk the
+    /// same trees in content order and use the same pure key function — so
+    /// degradation costs cycles, never correctness.
+    fn software_candidate(
+        &mut self,
+        mem: &mut HostMemory,
+        vm: VmId,
+        gfn: Gfn,
+        ppn: Ppn,
+        started: Cycle,
+        now: Cycle,
+    ) -> (bool, Cycle) {
+        self.stats.degraded_candidates += 1;
+        trace_event!(now, "driver", "software_fallback", {});
+        let mut work = KsmWork::new();
+        work.candidates += 1;
+        let Some(data) = mem.frame_data(ppn).cloned() else {
+            self.stats.unmapped += 1;
+            return (false, now);
+        };
+        let mut merged = false;
+        let mut done = false;
+
+        // Stable tree first, exactly like the hardware path.
+        if let Some(hit) = self.stable.search(mem, &data, ppn, &mut work) {
+            let target = *self.stable.node(hit);
+            if mem.merge_into(target.ppn, ppn).is_ok() {
+                self.stats.merged_stable += 1;
+                work.merges += 1;
+                merged = true;
+                done = true;
+            }
+        }
+
+        // Hash-key decision with the same pure key function the ECC
+        // hardware computes, so hardware and software agree on "changed".
+        if !done {
+            let new_key = self.cfg.engine.ecc.page_key(&data);
+            work.hash_ops += 1;
+            work.hash_bytes += (self.cfg.engine.ecc.offsets().len() * 64) as u64;
+            let prev = self.prev_key.insert((vm, gfn), new_key);
+            if prev == Some(new_key) {
+                self.stats.key_matches += 1;
+            } else {
+                self.stats.key_mismatches += 1;
+                self.stats.dropped_changed += 1;
+                done = true;
+            }
+        }
+
+        // Unstable tree: merge on equality, insert otherwise.
+        if !done {
+            let me = PageRef::capture(mem, vm, gfn).expect("translated above");
+            match self
+                .unstable
+                .search_or_insert(mem, &data, ppn, me, &mut work)
+            {
+                SearchInsert::FoundEqual(hit) => {
+                    let target = *self.unstable.node(hit);
+                    match mem.merge_into(target.ppn, ppn) {
+                        Ok(()) => {
+                            work.merges += 1;
+                            self.unstable.remove(hit);
+                            let stable_ref = PageRef {
+                                ppn: target.ppn,
+                                epoch: mem.frame_epoch(target.ppn).expect("merged frame exists"),
+                                vm: target.vm,
+                                gfn: target.gfn,
+                            };
+                            self.stable.insert(mem, &data, stable_ref, &mut work);
+                            self.stats.merged_unstable += 1;
+                            merged = true;
+                        }
+                        Err(_) => {
+                            self.stats.dropped_changed += 1;
+                        }
+                    }
+                }
+                SearchInsert::Inserted(_) => {
+                    self.stats.inserted_unstable += 1;
+                }
+            }
+        }
+
+        let cycles = CostModel::default().price(&work).total();
+        self.stats.os_cycles += cycles;
+        let t = now + cycles;
+        self.stats.candidate_cycles.push((t - started) as f64);
+        (merged, t)
+    }
+
     /// Inserts a freshly merged page into the stable tree, preferring the
     /// insertion point the earlier hardware search discovered.
     fn promote_to_stable(
@@ -433,6 +626,9 @@ impl PageForge {
     ///
     /// Always leaves the engine's PFE armed with this candidate (so the
     /// caller can read or force the hash key), even when the tree is empty.
+    /// Degrades (instead of panicking) when the engine stalls past the
+    /// retry budget, errors, or reports a result that fails the driver's
+    /// cross-checks.
     fn hw_search(
         &mut self,
         which: TreeKind,
@@ -440,7 +636,7 @@ impl PageForge {
         fabric: &mut impl MemoryFabric,
         cand_ppn: Ppn,
         now: Cycle,
-    ) -> (HwSearch, Cycle) {
+    ) -> HwOutcome {
         let capacity = self.engine.table().capacity();
         let mut t = now;
         let mut first_batch = true;
@@ -466,7 +662,7 @@ impl PageForge {
                     self.engine.clear_others();
                     self.engine.insert_pfe(cand_ppn, false, INVALID_INDEX);
                 }
-                return (HwSearch::NotFound(continue_from), t);
+                return HwOutcome::Done(HwSearch::NotFound(continue_from), t);
             };
 
             // Collect a breadth-first slice, pruning stale nodes.
@@ -522,16 +718,77 @@ impl PageForge {
                 last_refill: if last_refill { 1.0 } else { 0.0 },
             });
 
+            // Engine unavailable (stall window)? Retry with exponential
+            // backoff — fully deterministic in cycles — then degrade.
+            let mut retries = 0u32;
+            while self.engine.stalled(t) {
+                if retries >= self.cfg.max_engine_retries {
+                    trace_event!(t, "driver", "degrade", {
+                        reason: 0.0, // stall outlasted the retry budget
+                        retries: retries as f64,
+                    });
+                    return HwOutcome::Degrade(t);
+                }
+                self.stats.stall_retries += 1;
+                let backoff = self.cfg.retry_backoff_cycles << retries.min(20);
+                trace_event!(t, "driver", "stall_retry", {
+                    retry: retries as f64,
+                    backoff: backoff as f64,
+                });
+                t = self.os_wait(t + backoff);
+                retries += 1;
+            }
+
             // Trigger and poll.
-            let run = self.engine.run_batch(mem, fabric, t);
+            let run = match self.engine.try_run_batch(mem, fabric, t) {
+                Ok(run) => run,
+                Err(_) => {
+                    self.stats.engine_errors += 1;
+                    trace_event!(t, "driver", "degrade", {
+                        reason: 1.0, // engine error (corrupted PPN / walk cycle)
+                    });
+                    return HwOutcome::Degrade(t);
+                }
+            };
             t = self.os_wait(run.finished_at);
             let info = self.engine.pfe_info();
             debug_assert!(info.scanned);
             if info.duplicate {
-                return (HwSearch::Found(slice[info.ptr as usize]), t);
+                let idx = info.ptr as usize;
+                // Cross-check: the matched table entry must still name the
+                // same frame as the tree node loaded there. A mismatch
+                // means the Scan Table was corrupted after the refill, so
+                // the duplicate report is untrusted.
+                let table_ppn = self.engine.table().other(info.ptr).map(|o| o.ppn);
+                let tree_ppn = (idx < slice.len()).then(|| {
+                    let id = slice[idx];
+                    match which {
+                        TreeKind::Stable => self.stable.node(id).ppn,
+                        TreeKind::Unstable => self.unstable.node(id).ppn,
+                    }
+                });
+                if tree_ppn.is_none() || table_ppn != tree_ppn {
+                    self.stats.cross_check_skips += 1;
+                    trace_event!(t, "driver", "degrade", {
+                        reason: 3.0, // cross-check rejected the hw report
+                    });
+                    return HwOutcome::Degrade(t);
+                }
+                return HwOutcome::Done(HwSearch::Found(slice[idx]), t);
             }
-            let (entry, side) = decode_invalid(info.ptr, capacity)
-                .expect("non-empty batch always ends at an encoded continuation");
+            // A non-empty batch without a duplicate always parks Ptr on an
+            // encoded continuation — unless a corrupted pointer walked off
+            // the encoding entirely, in which case the result is untrusted.
+            let Some((entry, side)) = decode_invalid(info.ptr, capacity) else {
+                self.stats.cross_check_skips += 1;
+                trace_event!(t, "driver", "degrade", { reason: 3.0 });
+                return HwOutcome::Degrade(t);
+            };
+            if entry >= slice.len() {
+                self.stats.cross_check_skips += 1;
+                trace_event!(t, "driver", "degrade", { reason: 3.0 });
+                return HwOutcome::Degrade(t);
+            }
             continue_from = Some((slice[entry], side));
             // Loop: the child may be loaded next, or be absent (NotFound).
         }

@@ -9,7 +9,10 @@
 //! snatches the candidate's ECC codes as its lines stream through the
 //! memory controller to assemble the hash key for free.
 
-use pageforge_ecc::{EccKeyConfig, EccKeyConfigError, KeyBuilder, LineEcc};
+use std::fmt;
+
+use pageforge_ecc::{EccCode, EccKeyConfig, EccKeyConfigError, KeyBuilder, LineEcc};
+use pageforge_faults::FaultInjector;
 use pageforge_obs::trace_event;
 use pageforge_obs::{CounterId, HistogramId, Registry};
 use pageforge_types::stats::RunningStats;
@@ -69,6 +72,42 @@ pub struct EngineStats {
     pub run_cycles: RunningStats,
 }
 
+/// Why a triggered batch could not complete. Without fault injection
+/// none of these arise (the OS driver only loads valid frames); under an
+/// active [`FaultInjector`] they surface corruption the hardware cannot
+/// resolve, and the driver degrades the candidate to the software path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// `run_batch` was triggered with no valid PFE loaded.
+    NoCandidate,
+    /// The candidate frame does not exist in host memory.
+    MissingCandidateFrame(Ppn),
+    /// A loaded Other Pages frame does not exist (e.g. a corrupted PPN).
+    MissingLoadedFrame(Ppn),
+    /// The Less/More walk visited more entries than the table holds — a
+    /// corrupted pointer created a cycle; the hardware watchdog fired.
+    WalkDiverged,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoCandidate => write!(f, "run_batch without a candidate"),
+            EngineError::MissingCandidateFrame(ppn) => {
+                write!(f, "candidate frame {ppn} does not exist")
+            }
+            EngineError::MissingLoadedFrame(ppn) => {
+                write!(f, "loaded frame {ppn} does not exist")
+            }
+            EngineError::WalkDiverged => {
+                write!(f, "scan walk visited more entries than the table holds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Result of one engine trigger (`run_batch`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineRun {
@@ -117,6 +156,9 @@ pub struct PageForgeEngine {
     key: KeyBuilder,
     metrics: Registry,
     ids: EngineMetricIds,
+    /// Deterministic fault layer; `None` (the default) means the engine
+    /// behaves exactly as before the fault subsystem existed.
+    faults: Option<Box<FaultInjector>>,
 }
 
 impl PageForgeEngine {
@@ -131,7 +173,40 @@ impl PageForgeEngine {
             cfg,
             metrics,
             ids,
+            faults: None,
         }
+    }
+
+    /// Installs (or removes) a fault injector. An injector built from an
+    /// empty plan is dropped to `None`, keeping the no-fault hot path
+    /// free of per-line hook calls.
+    pub fn set_fault_injector(&mut self, inj: Option<FaultInjector>) {
+        self.faults = inj.filter(|i| !i.is_inert()).map(Box::new);
+    }
+
+    /// The installed fault injector, if any (for `faults.*` metric
+    /// export).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_deref()
+    }
+
+    /// Mutable access to the installed fault injector (the driver
+    /// consumes key-collision events through this).
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.faults.as_deref_mut()
+    }
+
+    /// Whether the engine is unavailable at `now` (inside a scheduled
+    /// stall window). Always `false` without an injector.
+    pub fn stalled(&mut self, now: Cycle) -> bool {
+        self.faults.as_mut().is_some_and(|f| f.stalled(now))
+    }
+
+    /// First cycle at or after `now` outside every stall window.
+    pub fn stall_clears_at(&self, now: Cycle) -> Cycle {
+        self.faults
+            .as_deref()
+            .map_or(now, |f| f.stall_clears_at(now))
     }
 
     /// The configuration.
@@ -261,13 +336,45 @@ impl PageForgeEngine {
         fabric: &mut impl MemoryFabric,
         start: Cycle,
     ) -> EngineRun {
-        assert!(self.table.pfe().valid, "run_batch without a candidate");
+        match self.try_run_batch(mem, fabric, start) {
+            Ok(run) => run,
+            // Compat wrapper: callers that never install a fault injector
+            // cannot hit any EngineError arm (all are fault-induced).
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`Self::run_batch`]: returns an [`EngineError`]
+    /// instead of panicking when the batch cannot complete. Only fault
+    /// injection makes the error arms reachable; the OS driver uses this
+    /// entry point so it can degrade to the software path.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineError`] for the conditions.
+    pub fn try_run_batch(
+        &mut self,
+        mem: &HostMemory,
+        fabric: &mut impl MemoryFabric,
+        start: Cycle,
+    ) -> Result<EngineRun, EngineError> {
+        if !self.table.pfe().valid {
+            return Err(EngineError::NoCandidate);
+        }
+        // A pending Scan Table fault strikes before the walk begins (the
+        // SRAM flip happened while the table sat loaded).
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(tf) = f.take_table_fault(start) {
+                self.table
+                    .corrupt_other(tf.entry, tf.ppn_xor, tf.less_xor, tf.more_xor);
+            }
+        }
         let mut now = start;
         let mut comparisons = 0u64;
         let cand_ppn = self.table.pfe().ppn;
         let cand: PageData = mem
             .frame_data(cand_ppn)
-            .unwrap_or_else(|| panic!("candidate frame {cand_ppn} does not exist"))
+            .ok_or(EngineError::MissingCandidateFrame(cand_ppn))?
             .clone();
 
         loop {
@@ -283,21 +390,41 @@ impl PageForgeEngine {
             };
             let other_ppn = other_entry.ppn;
             let (less, more) = (other_entry.less, other_entry.more);
-            let other: &PageData = mem
-                .frame_data(other_ppn)
-                .unwrap_or_else(|| panic!("loaded frame {other_ppn} does not exist"));
+            let Some(other) = mem.frame_data(other_ppn) else {
+                return Err(EngineError::MissingLoadedFrame(other_ppn));
+            };
 
             comparisons += 1;
+            // Watchdog: a legitimate walk descends a tree laid out in the
+            // table, so it can visit at most `capacity` entries. More means
+            // a corrupted pointer closed a cycle.
+            if comparisons as usize > self.table.capacity() {
+                return Err(EngineError::WalkDiverged);
+            }
             let mut outcome = std::cmp::Ordering::Equal;
             for line in 0..LINES_PER_PAGE {
                 // Lockstep fetch of the line pair: one offset, two PPNs.
                 let a = self.fetch(fabric, cand_ppn, line, now);
                 let b = self.fetch(fabric, other_ppn, line, now);
                 now = a.max(b) + self.cfg.compare_cycles_per_line;
+                // A scheduled DRAM fault corrupts the *view* of the
+                // candidate line this fetch returned; the corrupted beat
+                // goes through the SECDED decoder inside the injector.
+                let view = self
+                    .faults
+                    .as_mut()
+                    .and_then(|f| f.view_line(now, cand.line(line)));
                 // Snatch the candidate's ECC code as it passes through the
                 // controller (§3.3.2).
-                self.observe_candidate_line(&cand, line);
-                let cmp = cand.line(line).cmp(other.line(line));
+                self.observe_candidate_line(&cand, line, now);
+                let cmp = match &view {
+                    // Detected-uncorrectable: the data is untrusted, so the
+                    // comparator takes a deterministic safe direction — it
+                    // can only cost a missed merge, never cause one.
+                    Some(v) if !v.trusted => std::cmp::Ordering::Less,
+                    Some(v) => v.bytes.as_slice().cmp(other.line(line)),
+                    None => cand.line(line).cmp(other.line(line)),
+                };
                 if cmp != std::cmp::Ordering::Equal {
                     outcome = cmp;
                     break;
@@ -341,7 +468,7 @@ impl PageForgeEngine {
             for line in self.key.missing() {
                 let done = self.fetch(fabric, cand_ppn, line, now);
                 now = done;
-                self.observe_candidate_line(&cand, line);
+                self.observe_candidate_line(&cand, line, now);
             }
         }
         if self.key.is_complete() && !self.table.pfe().hash_ready {
@@ -360,11 +487,11 @@ impl PageForgeEngine {
             comparisons: comparisons as f64,
             duplicate: if self.table.pfe().duplicate { 1.0 } else { 0.0 },
         });
-        EngineRun {
+        Ok(EngineRun {
             finished_at: now,
             cycles,
             comparisons,
-        }
+        })
     }
 
     fn fetch(
@@ -384,9 +511,15 @@ impl PageForgeEngine {
         read.ready_at
     }
 
-    fn observe_candidate_line(&mut self, cand: &PageData, line: usize) {
+    fn observe_candidate_line(&mut self, cand: &PageData, line: usize, now: Cycle) {
         if self.cfg.ecc.offsets().contains(&line) {
-            self.key.observe(line, LineEcc::encode(cand.line(line)));
+            let mut ecc = LineEcc::encode(cand.line(line));
+            // A scheduled key fault corrupts the snatched minikey — the
+            // hash hint lies, exactly the case §3.3 says must stay safe.
+            if let Some(f) = self.faults.as_mut() {
+                ecc.0[0] = EccCode(f.filter_minikey(now, ecc.0[0].0));
+            }
+            self.key.observe(line, ecc);
         }
     }
 }

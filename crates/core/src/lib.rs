@@ -50,7 +50,7 @@ pub mod power;
 pub mod scan_table;
 
 pub use driver::{IntervalReport, PageForge, PageForgeConfig, PageForgeStats};
-pub use engine::{EngineConfig, EngineRun, EngineStats, PageForgeEngine};
+pub use engine::{EngineConfig, EngineError, EngineRun, EngineStats, PageForgeEngine};
 pub use fabric::{FabricRead, FlatFabric, MemoryFabric};
 pub use power::{AreaPower, PowerModel, TechNode};
 pub use scan_table::{OtherPage, PfeEntry, PfeInfo, ScanTable, DEFAULT_OTHER_PAGES, INVALID_INDEX};

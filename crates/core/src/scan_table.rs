@@ -217,6 +217,19 @@ impl ScanTable {
     pub fn other(&self, index: u8) -> Option<&OtherPage> {
         self.others.get(index as usize).filter(|o| o.valid)
     }
+
+    /// Fault hook: XORs the stored fields of the Other Pages entry at
+    /// `index`, modeling a soft error in the table SRAM. No-op when the
+    /// slot is out of range or invalid (an SRAM flip in an invalid entry
+    /// is architecturally silent). Only the fault-injection layer calls
+    /// this; the Table 1 OS interface cannot reach it.
+    pub fn corrupt_other(&mut self, index: u8, ppn_xor: u64, less_xor: u8, more_xor: u8) {
+        if let Some(slot) = self.others.get_mut(index as usize).filter(|o| o.valid) {
+            slot.ppn = Ppn(slot.ppn.0 ^ ppn_xor);
+            slot.less ^= less_xor;
+            slot.more ^= more_xor;
+        }
+    }
 }
 
 impl Default for ScanTable {
@@ -307,5 +320,20 @@ mod tests {
     #[should_panic(expected = "entry count")]
     fn zero_capacity_panics() {
         let _ = ScanTable::new(0);
+    }
+
+    #[test]
+    fn corrupt_other_xors_valid_entries_only() {
+        let mut t = ScanTable::new(4);
+        t.insert_ppn(1, Ppn(0b1000), 2, 3);
+        t.corrupt_other(1, 0b0010, 1, 0);
+        let o = t.other(1).unwrap();
+        assert_eq!(o.ppn, Ppn(0b1010));
+        assert_eq!(o.less, 3);
+        assert_eq!(o.more, 3);
+        // Invalid slot and out-of-range index: silently ignored.
+        t.corrupt_other(0, u64::MAX, 0xFF, 0xFF);
+        assert!(t.other(0).is_none());
+        t.corrupt_other(200, 1, 1, 1);
     }
 }

@@ -351,6 +351,86 @@ mod tests {
         );
     }
 
+    /// The flip for codeword position `pos` (0..72): 64 data bits, then 7
+    /// check bits, then the overall parity bit, as `(data_xor, code_xor)`.
+    fn position_flip(pos: usize) -> (u64, u8) {
+        match pos {
+            0..=63 => (1u64 << pos, 0),
+            64..=70 => (0, 1u8 << (pos - 64)),
+            71 => (0, 0x80),
+            _ => unreachable!("72 codeword positions"),
+        }
+    }
+
+    #[test]
+    fn exhaustive_single_flip_over_all_72_positions() {
+        // Every one of the 72 stored bits, flipped alone, must be corrected
+        // — and data flips must name the exact bit.
+        for data in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF, 0x8000_0000_0000_0001] {
+            let code = Secded72::encode(data);
+            for pos in 0..72 {
+                let (dx, cx) = position_flip(pos);
+                let decoded = Secded72::decode(data ^ dx, EccCode(code.0 ^ cx));
+                match pos {
+                    0..=63 => assert_eq!(
+                        decoded,
+                        Decoded::CorrectedData {
+                            data,
+                            bit: pos as u8
+                        },
+                        "data bit {pos} of {data:#x}"
+                    ),
+                    _ => assert_eq!(
+                        decoded,
+                        Decoded::CorrectedCheck(data),
+                        "check/parity position {pos} of {data:#x}"
+                    ),
+                }
+                assert_eq!(decoded.data(), Some(data));
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_double_flips_over_all_position_pairs() {
+        // All C(72,2) = 2556 distinct double flips must be *detected*, never
+        // miscorrected: every pair leaves overall parity intact and a
+        // syndrome that is either nonzero (two distinct columns never XOR
+        // to zero) or pure-parity — both classified DoubleError.
+        let data = 0xA5A5_0FF0_1234_8765u64;
+        let code = Secded72::encode(data);
+        let mut pairs = 0;
+        for a in 0..72 {
+            for b in (a + 1)..72 {
+                let (dxa, cxa) = position_flip(a);
+                let (dxb, cxb) = position_flip(b);
+                let decoded = Secded72::decode(data ^ dxa ^ dxb, EccCode(code.0 ^ cxa ^ cxb));
+                assert_eq!(decoded, Decoded::DoubleError, "positions {a},{b}");
+                assert_eq!(decoded.data(), None, "positions {a},{b}");
+                pairs += 1;
+            }
+        }
+        assert_eq!(pairs, 72 * 71 / 2);
+    }
+
+    #[test]
+    fn aliased_triple_miscorrects_by_design() {
+        // SECOND is not TripleED: data bits 0,1,2 live at codeword columns
+        // 3, 5, 6 and 3^5^6 = 0, so flipping all three yields a zero
+        // syndrome with odd parity — indistinguishable from a flipped
+        // parity bit. The decoder "corrects" the parity bit and hands back
+        // three wrong data bits. This is the SECDED limit the fault
+        // injector's `faults.miscorrected` counter measures.
+        assert_eq!(COLUMNS[0] ^ COLUMNS[1] ^ COLUMNS[2], 0, "aliasing triple");
+        let data = 0u64;
+        let code = Secded72::encode(data);
+        let corrupted = data ^ 0b111;
+        let decoded = Secded72::decode(corrupted, code);
+        assert_eq!(decoded, Decoded::CorrectedCheck(corrupted));
+        assert_eq!(decoded.data(), Some(corrupted), "wrong data is trusted");
+        assert_ne!(decoded.data(), Some(data));
+    }
+
     #[test]
     fn decoded_data_accessor() {
         assert_eq!(Decoded::Clean(5).data(), Some(5));

@@ -1,0 +1,51 @@
+//! Deterministic fault injection for the PageForge reproduction.
+//!
+//! PageForge's safety argument (§3.3 of the paper) is that the ECC-derived
+//! hash keys are only *hints*: a corrupted or colliding key must never
+//! cause a wrong merge, because the engine always performs a full pairwise
+//! comparison and the final `merge_into` re-verifies content. The (72,64)
+//! SECDED codec underneath corrects single-bit and detects double-bit DRAM
+//! errors. This crate is the adversarial half of that argument: it
+//! schedules faults against the hardware path and accounts for what the
+//! stack did with each one.
+//!
+//! | Module | Provides |
+//! |--------|----------|
+//! | [`plan`] | [`FaultPlan`]: a seed-derived, JSON-serializable schedule of [`FaultEvent`]s by cycle plus engine [`StallWindow`]s |
+//! | [`inject`] | [`FaultInjector`]: consumes a plan against the engine's own deterministic fetch/cycle stream, corrupting line views, ECC hints, and Scan Table entries, and exporting `faults.*` outcome counters |
+//!
+//! Two properties are load-bearing:
+//!
+//! 1. **Determinism.** All randomness is spent at *plan generation* time
+//!    ([`FaultPlan::generate`], seeded by the vendored RNG); replaying a
+//!    plan is a pure function of the simulation's own cycle stream, so a
+//!    faulted run is as reproducible as a clean one — byte-identical
+//!    `results/*.json` at any `--jobs` level.
+//! 2. **Zero effect when empty.** An empty plan ([`FaultPlan::empty`])
+//!    makes every injector hook a no-op that consumes no RNG state and
+//!    mutates nothing, so results are byte-identical to a run without the
+//!    fault layer at all (gated in CI).
+//!
+//! Fault classes and where they land (see DESIGN.md "Fault model"):
+//!
+//! * **Data bit flips** (single / double / aliased-triple) corrupt the
+//!   engine's fetched *view* of a candidate line, then pass through
+//!   [`Secded72::decode`](pageforge_ecc::Secded72::decode): singles are
+//!   corrected, doubles are detected (the comparison then takes a
+//!   deterministic safe direction), and the crafted triple exercises the
+//!   miscorrect arm.
+//! * **Check-bit flips** corrupt the stored ECC code of a word.
+//! * **Key faults / collisions** corrupt the snatched minikey or force a
+//!   stale hash-key match — exactly the hints §3.3 says may lie.
+//! * **Scan Table corruption** XORs an entry's PPN or Less/More pointers.
+//! * **Stall windows** make the engine unavailable; the OS driver degrades
+//!   to the software KSM path with bounded retry + exponential backoff.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod inject;
+pub mod plan;
+
+pub use inject::{FaultInjector, LineView, TableFault};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, StallWindow};

@@ -1,0 +1,440 @@
+//! Fault plans: deterministic, seed-derived schedules of fault events.
+//!
+//! A [`FaultPlan`] is generated once from a seed (all randomness is spent
+//! here), serialized to JSON for archival/CI, and then *replayed* by the
+//! [`FaultInjector`](crate::inject::FaultInjector) against the engine's own
+//! cycle stream — replay itself is pure.
+
+use pageforge_types::json::{obj, FromJson, ToJson, Value};
+use pageforge_types::Cycle;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled fault. It *arms* at `at_cycle` and fires at the first
+/// matching injection point (line fetch, key observation, batch start)
+/// the hardware reaches at or after that cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle at which the fault arms.
+    pub at_cycle: Cycle,
+    /// What to corrupt.
+    pub kind: FaultKind,
+}
+
+/// The fault classes of the campaign (DESIGN.md "Fault model").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip `bits` (positions `0..64`) of data word `word` in the next
+    /// fetched candidate line. One bit is corrected by SECDED; two bits
+    /// are detected as uncorrectable.
+    DataFlip {
+        /// Target word within the 64-byte line (`0..8`).
+        word: u8,
+        /// Bit positions to flip within the word.
+        bits: Vec<u8>,
+    },
+    /// Flip `bits` (positions `0..8`) of the stored ECC byte of `word`:
+    /// one flip exercises the corrected-check arm, two the double-error
+    /// detection arm.
+    CheckFlip {
+        /// Target word within the line.
+        word: u8,
+        /// Bit positions to flip within the 8-bit ECC code.
+        bits: Vec<u8>,
+    },
+    /// Flip data bits 0, 1, and 2 of `word`: their syndrome columns
+    /// (3, 5, 6) XOR to zero while the overall parity goes odd, so SECDED
+    /// "corrects" the parity bit and silently accepts three wrong data
+    /// bits — the miscorrect arm beyond the SECDED guarantee.
+    AliasedTriple {
+        /// Target word within the line.
+        word: u8,
+    },
+    /// XOR the next snatched minikey with `xor`: a stale/corrupted ECC
+    /// hint feeding the hash key (§3.3's "keys are only hints").
+    KeyFault {
+        /// Non-zero XOR mask applied to the 8-bit minikey.
+        xor: u8,
+    },
+    /// Force the next hash-key comparison to report "unchanged": an
+    /// adversarially colliding key. Safety demands the subsequent full
+    /// comparison (and `merge_into`'s content check) still prevents any
+    /// wrong merge.
+    KeyCollision,
+    /// XOR a Scan Table entry's fields before the next batch: a corrupted
+    /// PPN points the comparator at the wrong (possibly nonexistent)
+    /// frame; corrupted Less/More pointers derail the walk.
+    TableCorrupt {
+        /// Other Pages entry index to corrupt.
+        entry: u8,
+        /// XOR applied to the entry's PPN.
+        ppn_xor: u64,
+        /// XOR applied to the Less pointer.
+        less_xor: u8,
+        /// XOR applied to the More pointer.
+        more_xor: u8,
+    },
+}
+
+impl FaultKind {
+    /// Short class tag (JSON discriminant and metric label).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::DataFlip { .. } => "data",
+            FaultKind::CheckFlip { .. } => "check",
+            FaultKind::AliasedTriple { .. } => "alias3",
+            FaultKind::KeyFault { .. } => "key",
+            FaultKind::KeyCollision => "collide",
+            FaultKind::TableCorrupt { .. } => "table",
+        }
+    }
+}
+
+/// A window of cycles during which the engine is unavailable (stalled):
+/// `from <= now < until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// First stalled cycle.
+    pub from: Cycle,
+    /// First cycle after the stall.
+    pub until: Cycle,
+}
+
+impl StallWindow {
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: Cycle) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// A complete fault schedule: the seed it derives from, the events sorted
+/// by arm cycle, and the engine stall windows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (informational once serialized).
+    pub seed: u64,
+    /// Fault events, sorted by [`FaultEvent::at_cycle`].
+    pub events: Vec<FaultEvent>,
+    /// Engine unavailability windows.
+    pub stalls: Vec<StallWindow>,
+}
+
+impl FaultPlan {
+    /// The no-fault plan: every injector hook becomes a no-op.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.stalls.is_empty()
+    }
+
+    /// Generates a mixed-class plan: `events` faults spread uniformly over
+    /// `[0, horizon)` plus `stalls` stall windows of `stall_len` cycles.
+    /// All randomness is spent here; the returned plan replays purely.
+    ///
+    /// The class mix covers every decode arm: singles (corrected), doubles
+    /// (detected), crafted triples (miscorrected), check-bit flips, key
+    /// hints, adversarial collisions, and Scan Table corruption.
+    ///
+    /// ```
+    /// use pageforge_faults::FaultPlan;
+    /// let a = FaultPlan::generate(7, 1_000_000, 32, 2, 50_000);
+    /// let b = FaultPlan::generate(7, 1_000_000, 32, 2, 50_000);
+    /// assert_eq!(a, b); // fully deterministic
+    /// assert_eq!(a.events.len(), 32);
+    /// ```
+    pub fn generate(
+        seed: u64,
+        horizon: Cycle,
+        events: usize,
+        stalls: usize,
+        stall_len: Cycle,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA017);
+        let horizon = horizon.max(1);
+        let mut out = Vec::with_capacity(events);
+        for _ in 0..events {
+            let at_cycle = rng.gen_range(0..horizon);
+            let word = rng.gen_range(0u8..8);
+            let kind = match rng.gen_range(0u32..100) {
+                // Single data-bit flip: the corrected arm.
+                0..=29 => FaultKind::DataFlip {
+                    word,
+                    bits: vec![rng.gen_range(0u8..64)],
+                },
+                // Double data-bit flip: the detected-uncorrectable arm.
+                30..=44 => {
+                    let a = rng.gen_range(0u8..64);
+                    let b = (a + 1 + rng.gen_range(0u8..63)) % 64;
+                    FaultKind::DataFlip {
+                        word,
+                        bits: vec![a, b],
+                    }
+                }
+                // Single check-bit flip: data intact, code corrected.
+                45..=54 => FaultKind::CheckFlip {
+                    word,
+                    bits: vec![rng.gen_range(0u8..8)],
+                },
+                // Double check-bit flip: detected.
+                55..=64 => {
+                    let a = rng.gen_range(0u8..8);
+                    let b = (a + 1 + rng.gen_range(0u8..7)) % 8;
+                    FaultKind::CheckFlip {
+                        word,
+                        bits: vec![a, b],
+                    }
+                }
+                // Crafted 3-bit alias: the miscorrect arm.
+                65..=69 => FaultKind::AliasedTriple { word },
+                // Stale minikey hint.
+                70..=79 => FaultKind::KeyFault {
+                    xor: rng.gen_range(1u8..255),
+                },
+                // Adversarially colliding hash key.
+                80..=89 => FaultKind::KeyCollision,
+                // Scan Table entry corruption.
+                _ => FaultKind::TableCorrupt {
+                    entry: rng.gen_range(0u8..31),
+                    ppn_xor: 1u64 << rng.gen_range(0u32..40),
+                    less_xor: rng.gen_range(0u8..2),
+                    more_xor: rng.gen_range(0u8..2),
+                },
+            };
+            out.push(FaultEvent { at_cycle, kind });
+        }
+        out.sort_by_key(|e| e.at_cycle);
+        let stalls = (0..stalls)
+            .map(|_| {
+                let from = rng.gen_range(0..horizon);
+                StallWindow {
+                    from,
+                    until: from + stall_len.max(1),
+                }
+            })
+            .collect();
+        FaultPlan {
+            seed,
+            events: out,
+            stalls,
+        }
+    }
+
+    /// Reads a plan from a JSON file.
+    pub fn read_file(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let value =
+            pageforge_types::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&value).ok_or_else(|| format!("{}: not a fault plan", path.display()))
+    }
+
+    /// Writes the plan as compact JSON.
+    pub fn write_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json().to_string_compact())
+    }
+}
+
+fn u64_field(value: &Value, key: &str) -> Option<u64> {
+    u64::from_json(value.get(key)?)
+}
+
+fn u8_field(value: &Value, key: &str) -> Option<u8> {
+    u8::try_from(u64_field(value, key)?).ok()
+}
+
+fn bits_field(value: &Value) -> Option<Vec<u8>> {
+    let Value::Arr(items) = value else {
+        return None;
+    };
+    items
+        .iter()
+        .map(|v| u64::from_json(v).and_then(|n| u8::try_from(n).ok()))
+        .collect()
+}
+
+impl ToJson for FaultEvent {
+    fn to_json(&self) -> Value {
+        let mut fields: Vec<(&'static str, Value)> = vec![
+            ("at", self.at_cycle.to_json()),
+            ("kind", self.kind.tag().to_owned().to_json()),
+        ];
+        match &self.kind {
+            FaultKind::DataFlip { word, bits } | FaultKind::CheckFlip { word, bits } => {
+                fields.push(("word", u64::from(*word).to_json()));
+                fields.push((
+                    "bits",
+                    Value::Arr(bits.iter().map(|b| u64::from(*b).to_json()).collect()),
+                ));
+            }
+            FaultKind::AliasedTriple { word } => {
+                fields.push(("word", u64::from(*word).to_json()));
+            }
+            FaultKind::KeyFault { xor } => fields.push(("xor", u64::from(*xor).to_json())),
+            FaultKind::KeyCollision => {}
+            FaultKind::TableCorrupt {
+                entry,
+                ppn_xor,
+                less_xor,
+                more_xor,
+            } => {
+                fields.push(("entry", u64::from(*entry).to_json()));
+                fields.push(("ppn_xor", ppn_xor.to_json()));
+                fields.push(("less_xor", u64::from(*less_xor).to_json()));
+                fields.push(("more_xor", u64::from(*more_xor).to_json()));
+            }
+        }
+        obj(fields)
+    }
+}
+
+impl FromJson for FaultEvent {
+    fn from_json(value: &Value) -> Option<Self> {
+        let at_cycle = u64_field(value, "at")?;
+        let kind = match String::from_json(value.get("kind")?)?.as_str() {
+            "data" => FaultKind::DataFlip {
+                word: u8_field(value, "word")?,
+                bits: bits_field(value.get("bits")?)?,
+            },
+            "check" => FaultKind::CheckFlip {
+                word: u8_field(value, "word")?,
+                bits: bits_field(value.get("bits")?)?,
+            },
+            "alias3" => FaultKind::AliasedTriple {
+                word: u8_field(value, "word")?,
+            },
+            "key" => FaultKind::KeyFault {
+                xor: u8_field(value, "xor")?,
+            },
+            "collide" => FaultKind::KeyCollision,
+            "table" => FaultKind::TableCorrupt {
+                entry: u8_field(value, "entry")?,
+                ppn_xor: u64_field(value, "ppn_xor")?,
+                less_xor: u8_field(value, "less_xor")?,
+                more_xor: u8_field(value, "more_xor")?,
+            },
+            _ => return None,
+        };
+        Some(FaultEvent { at_cycle, kind })
+    }
+}
+
+impl ToJson for StallWindow {
+    fn to_json(&self) -> Value {
+        obj([
+            ("from", self.from.to_json()),
+            ("until", self.until.to_json()),
+        ])
+    }
+}
+
+impl FromJson for StallWindow {
+    fn from_json(value: &Value) -> Option<Self> {
+        Some(StallWindow {
+            from: u64_field(value, "from")?,
+            until: u64_field(value, "until")?,
+        })
+    }
+}
+
+impl ToJson for FaultPlan {
+    fn to_json(&self) -> Value {
+        obj([
+            ("seed", self.seed.to_json()),
+            ("events", self.events.to_json()),
+            ("stalls", self.stalls.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FaultPlan {
+    fn from_json(value: &Value) -> Option<Self> {
+        Some(FaultPlan {
+            seed: u64_field(value, "seed")?,
+            events: Vec::from_json(value.get("events")?)?,
+            stalls: Vec::from_json(value.get("stalls")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::empty().is_empty());
+        assert!(!FaultPlan::generate(1, 1000, 4, 0, 0).is_empty());
+        assert!(!FaultPlan::generate(1, 1000, 0, 1, 10).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sorted() {
+        let a = FaultPlan::generate(42, 5_000_000, 64, 3, 10_000);
+        let b = FaultPlan::generate(42, 5_000_000, 64, 3, 10_000);
+        assert_eq!(a, b);
+        assert!(a.events.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle));
+        assert_eq!(a.events.len(), 64);
+        assert_eq!(a.stalls.len(), 3);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(1, 1_000_000, 32, 1, 100);
+        let b = FaultPlan::generate(2, 1_000_000, 32, 1, 100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generation_covers_all_classes() {
+        let plan = FaultPlan::generate(3, 10_000_000, 400, 2, 100);
+        for tag in ["data", "check", "alias3", "key", "collide", "table"] {
+            assert!(
+                plan.events.iter().any(|e| e.kind.tag() == tag),
+                "missing class {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let plan = FaultPlan::generate(9, 2_000_000, 48, 2, 5_000);
+        let text = plan.to_json().to_string_compact();
+        let parsed = FaultPlan::from_json(&pageforge_types::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(plan, parsed);
+    }
+
+    #[test]
+    fn json_round_trip_empty() {
+        let plan = FaultPlan::empty();
+        let text = plan.to_json().to_string_compact();
+        let parsed = FaultPlan::from_json(&pageforge_types::json::parse(&text).unwrap()).unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pageforge-faults-test");
+        let path = dir.join("plan.json");
+        let plan = FaultPlan::generate(11, 1_000_000, 16, 1, 1_000);
+        plan.write_file(&path).unwrap();
+        assert_eq!(FaultPlan::read_file(&path).unwrap(), plan);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stall_window_containment() {
+        let w = StallWindow {
+            from: 10,
+            until: 20,
+        };
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+    }
+}

@@ -3,6 +3,7 @@
 
 use pageforge_cache::HierarchyConfig;
 use pageforge_core::PageForgeConfig;
+use pageforge_faults::FaultPlan;
 use pageforge_ksm::KsmConfig;
 use pageforge_mem::MemorySystemConfig;
 use pageforge_types::Cycle;
@@ -86,6 +87,10 @@ pub struct SimConfig {
     /// loading its current host heavily (Table 4: 33% of the max core vs
     /// 6.8% average), which requires sticky placement over many intervals.
     pub ksm_sticky_intervals: u32,
+    /// Fault-injection plan applied to the PageForge engine(s). `None` (or
+    /// an empty plan) leaves the no-fault hot path untouched; ignored for
+    /// Baseline and KSM modes, which have no engine to fault.
+    pub faults: Option<FaultPlan>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -120,6 +125,7 @@ impl SimConfig {
             overlap_x10: 15,
             pf_modules: 1,
             ksm_sticky_intervals: 32,
+            faults: None,
             seed,
         }
     }

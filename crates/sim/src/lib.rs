@@ -53,5 +53,5 @@ pub mod system;
 
 pub use config::{DedupMode, SimConfig};
 pub use fabric::SimFabric;
-pub use result::{DedupSummary, SimResult};
+pub use result::{DedupSummary, DegradedSummary, SimResult};
 pub use system::System;

@@ -28,6 +28,29 @@ pub struct DedupSummary {
     pub engine_lines_fetched: u64,
 }
 
+/// Degraded-mode accounting under fault injection (PageForge only): how
+/// often the driver abandoned the hardware engine and fell back to the
+/// software KSM path. All zeros — and absent from the JSON — on a fault-free
+/// run, keeping results byte-identical with builds that never load a plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradedSummary {
+    /// Candidates processed by the software fallback path.
+    pub degraded_candidates: u64,
+    /// Engine-stall retries (deterministic exponential backoff).
+    pub stall_retries: u64,
+    /// Engine errors (corrupted PPNs, diverged Scan Table walks).
+    pub engine_errors: u64,
+    /// Hardware duplicate/continuation reports rejected by cross-checks.
+    pub cross_check_skips: u64,
+}
+
+impl DegradedSummary {
+    /// True when no degradation of any kind occurred.
+    pub fn is_zero(&self) -> bool {
+        *self == DegradedSummary::default()
+    }
+}
+
 /// The outcome of one full-system simulation.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -49,6 +72,9 @@ pub struct SimResult {
     pub mem_stats: MemoryStats,
     /// Dedup summary (None for Baseline).
     pub dedup: Option<DedupSummary>,
+    /// Degraded-mode summary; `None` unless fault injection actually
+    /// degraded something (so fault-free JSON stays byte-identical).
+    pub degraded: Option<DegradedSummary>,
     /// Length of the measurement window in cycles.
     pub window_cycles: Cycle,
 }
@@ -120,9 +146,31 @@ impl FromJson for DedupSummary {
     }
 }
 
-impl ToJson for SimResult {
+impl ToJson for DegradedSummary {
     fn to_json(&self) -> Value {
         obj([
+            ("degraded_candidates", self.degraded_candidates.to_json()),
+            ("stall_retries", self.stall_retries.to_json()),
+            ("engine_errors", self.engine_errors.to_json()),
+            ("cross_check_skips", self.cross_check_skips.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DegradedSummary {
+    fn from_json(value: &Value) -> Option<Self> {
+        Some(DegradedSummary {
+            degraded_candidates: u64::from_json(value.get("degraded_candidates")?)?,
+            stall_retries: u64::from_json(value.get("stall_retries")?)?,
+            engine_errors: u64::from_json(value.get("engine_errors")?)?,
+            cross_check_skips: u64::from_json(value.get("cross_check_skips")?)?,
+        })
+    }
+}
+
+impl ToJson for SimResult {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
             ("label", self.label.to_json()),
             ("app", self.app.to_json()),
             ("per_vm_latency", self.per_vm_latency.to_json()),
@@ -132,8 +180,14 @@ impl ToJson for SimResult {
             ("bandwidth_peak_gbps", self.bandwidth_peak_gbps.to_json()),
             ("mem_stats", self.mem_stats.to_json()),
             ("dedup", self.dedup.to_json()),
-            ("window_cycles", self.window_cycles.to_json()),
-        ])
+        ];
+        // Emitted only when degradation happened: fault-free runs keep the
+        // frozen JSON shape (determinism CI compares bytes).
+        if let Some(d) = &self.degraded {
+            fields.push(("degraded", d.to_json()));
+        }
+        fields.push(("window_cycles", self.window_cycles.to_json()));
+        obj(fields)
     }
 }
 
@@ -149,6 +203,10 @@ impl FromJson for SimResult {
             bandwidth_peak_gbps: f64::from_json(value.get("bandwidth_peak_gbps")?)?,
             mem_stats: MemoryStats::from_json(value.get("mem_stats")?)?,
             dedup: Option::from_json(value.get("dedup")?)?,
+            degraded: match value.get("degraded") {
+                Some(v) => Some(DegradedSummary::from_json(v)?),
+                None => None,
+            },
             window_cycles: Cycle::from_json(value.get("window_cycles")?)?,
         })
     }
@@ -195,6 +253,7 @@ mod tests {
             bandwidth_peak_gbps: 0.0,
             mem_stats: MemoryStats::default(),
             dedup: None,
+            degraded: None,
             window_cycles: 0,
         }
     }

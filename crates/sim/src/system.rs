@@ -23,9 +23,11 @@ use pageforge_types::{Cycle, Gfn, VmId};
 use pageforge_vm::{HostMemory, MemoryImage};
 use pageforge_workloads::{AccessPattern, ArrivalProcess, Query};
 
+use pageforge_faults::FaultInjector;
+
 use crate::config::{DedupMode, SimConfig};
 use crate::fabric::SimFabric;
-use crate::result::{DedupSummary, SimResult};
+use crate::result::{DedupSummary, DegradedSummary, SimResult};
 
 /// Maximum cycles a dispatcher slice may run before yielding.
 pub const SLICE_CYCLES: Cycle = 100_000;
@@ -180,6 +182,16 @@ impl System {
             }
         }
 
+        // Fault injection starts only after premerge: the plan's cycle
+        // schedule is relative to the timed run, and premerge is a
+        // content-level setup phase outside the fault model.
+        if let (Some(plan), DedupState::PageForge(pfs)) = (&cfg.faults, &mut dedup) {
+            let injector = FaultInjector::new(plan);
+            for pf in pfs.iter_mut() {
+                pf.set_fault_injector(Some(injector.clone()));
+            }
+        }
+
         let cores = (0..cfg.cores)
             .map(|c| CoreState {
                 vm: VmId(c as u32),
@@ -295,6 +307,8 @@ impl System {
     }
 
     fn on_arrival(&mut self, core: usize, t: Cycle) {
+        // Invariant: an Arrival event is only ever scheduled together with
+        // a `pending` query on its core (see `schedule_next_arrival`).
         let q = self.cores[core].pending.take().expect("pending query");
         debug_assert_eq!(q.arrival, t);
         let spec = self.cfg.app_for(core);
@@ -579,6 +593,7 @@ impl System {
             total_bytes as f64 / (slots as f64 * win_cycles as f64 / cpu_hz) / 1e9
         };
 
+        let mut deg = DegradedSummary::default();
         let dedup = match &self.dedup {
             DedupState::None => None,
             DedupState::Ksm(ksm) => {
@@ -612,6 +627,10 @@ impl System {
                     run_cycles.merge(&pf.engine_stats().run_cycles);
                     merged_total += pf.stats().merged_stable + pf.stats().merged_unstable;
                     lines += pf.engine_stats().lines_fetched;
+                    deg.degraded_candidates += pf.stats().degraded_candidates;
+                    deg.stall_retries += pf.stats().stall_retries;
+                    deg.engine_errors += pf.stats().engine_errors;
+                    deg.cross_check_skips += pf.stats().cross_check_skips;
                 }
                 Some(DedupSummary {
                     merged_total,
@@ -636,6 +655,7 @@ impl System {
             bandwidth_peak_gbps: peak,
             mem_stats: self.mem.stats(),
             dedup,
+            degraded: (!deg.is_zero()).then_some(deg),
             window_cycles: window,
         }
     }
@@ -854,5 +874,51 @@ mod tests {
     fn l3_misses_observed() {
         let r = run("masstree", DedupMode::None, 8);
         assert!(r.l3_miss_rate > 0.0 && r.l3_miss_rate < 1.0);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical() {
+        use pageforge_types::json::ToJson;
+        let plain = System::new(SimConfig::smoke(
+            "silo",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+            12,
+        ))
+        .run();
+        let mut cfg = SimConfig::smoke(
+            "silo",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+            12,
+        );
+        cfg.faults = Some(pageforge_faults::FaultPlan::empty());
+        let faulted = System::new(cfg).run();
+        assert_eq!(
+            plain.to_json().to_string_compact(),
+            faulted.to_json().to_string_compact(),
+            "an empty plan must leave results byte-identical"
+        );
+    }
+
+    #[test]
+    fn fault_plan_degrades_but_run_completes() {
+        let mut cfg = SimConfig::smoke(
+            "silo",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+            13,
+        );
+        // A dense plan: an event roughly every 10k cycles plus stall
+        // windows, guaranteeing the injector actually fires.
+        cfg.faults = Some(pageforge_faults::FaultPlan::generate(
+            13,
+            cfg.horizon(),
+            (cfg.horizon() / 10_000) as usize,
+            4,
+            200_000,
+        ));
+        let r = System::new(cfg).run();
+        assert!(r.queries_completed > 0, "faulted system still serves");
+        // Merging still happens and never merges differing pages:
+        // HostMemory::merge_into verifies content equality internally.
+        assert!(r.mem_stats.merges > 0, "faulted system still merges");
     }
 }

@@ -53,6 +53,7 @@
 pub use pageforge_cache as cache;
 pub use pageforge_core as core;
 pub use pageforge_ecc as ecc;
+pub use pageforge_faults as faults;
 pub use pageforge_ksm as ksm;
 pub use pageforge_mem as mem;
 pub use pageforge_obs as obs;
