@@ -1,0 +1,13 @@
+//! Fixture: a fully clean result-affecting crate root.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// Registers the one documented metric and emits the one documented
+/// trace pair; uses only deterministic collections and fallible access.
+pub fn register(m: &mut BTreeMap<String, u64>) -> Option<u64> {
+    m.insert("engine.runs".to_owned(), 1);
+    trace_event!(0, "engine", "batch", {});
+    m.get("engine.runs").copied()
+}

@@ -1,0 +1,3 @@
+//! Fixture crate for the missing-tables hard-error path.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]

@@ -1,0 +1,29 @@
+//! Fixture hot-path file: at least one violation of every rule.
+use std::collections::HashMap;
+
+/// Trips DET-HASH (twice), DET-TIME (allowlisted), PANIC-PATH (three
+/// ways), REG-METRIC, and REG-TRACE.
+pub fn hot(xs: &[u32], m: &HashMap<u32, u32>) -> u32 {
+    let t = Instant::now();
+    let v = m.get(&1).unwrap();
+    if xs[0] > 3 {
+        panic!("boom");
+    }
+    counter("engine.undocumented");
+    counter("engine.runs");
+    trace_event!(t, "engine", "batch", {});
+    trace_event!(t, "engine", "rogue", {});
+    *v
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code is stripped: none of these may fire.
+    #[test]
+    #[should_panic]
+    fn exempt() {
+        let m = std::collections::HashMap::new();
+        m.get(&0).unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,2 @@
+//! Fixture crate root: missing both hygiene attributes (HYG-CRATE x2).
+pub mod engine;

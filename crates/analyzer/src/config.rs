@@ -1,0 +1,195 @@
+//! `analyzer.toml` — the reviewed, justification-carrying allowlist.
+//!
+//! The file is a sequence of `[[allow]]` tables in a small TOML subset
+//! (string values only), parsed here without a TOML dependency:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "DET-TIME"
+//! path = "crates/bench/src/scheduler.rs"
+//! item = "Instant"   # optional: restrict to one matched item
+//! reason = "wall-clock timing lands only in results/meta (not results/*.json)"
+//! ```
+//!
+//! Every entry must carry a non-empty `reason`, and every entry must
+//! match at least one live finding — stale entries fail the run, so the
+//! allowlist can never drift from the code it excuses.
+
+/// One reviewed exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id this entry suppresses (e.g. `PANIC-PATH`).
+    pub rule: String,
+    /// Workspace-relative path the findings live in.
+    pub path: String,
+    /// Optional item restriction (e.g. `unwrap`, `HashMap`); `None`
+    /// suppresses every item of `rule` in `path`.
+    pub item: Option<String>,
+    /// The written justification. Required, surfaced in reports.
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header, for error messages.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses the given finding.
+    pub fn matches(&self, rule: &str, path: &str, item: &str) -> bool {
+        self.rule == rule
+            && self.path == path
+            && self.item.as_deref().is_none_or(|want| want == item)
+    }
+}
+
+/// Parses the allowlist, validating entry shape and required fields.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for malformed lines,
+/// unknown or duplicate keys, and entries missing `rule`, `path`, or a
+/// non-empty `reason`.
+pub fn parse_allowlist(src: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(entry) = current.take() {
+                validate(&entry)?;
+                entries.push(entry);
+            }
+            current = Some(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                item: None,
+                reason: String::new(),
+                line: lineno,
+            });
+            continue;
+        }
+        let Some(entry) = current.as_mut() else {
+            return Err(format!(
+                "analyzer.toml:{lineno}: content before the first [[allow]] table"
+            ));
+        };
+        let Some((key, value)) = parse_kv(line) else {
+            return Err(format!(
+                "analyzer.toml:{lineno}: expected `key = \"value\"`, got `{line}`"
+            ));
+        };
+        let slot = match key {
+            "rule" => &mut entry.rule,
+            "path" => &mut entry.path,
+            "reason" => &mut entry.reason,
+            "item" => {
+                if entry.item.is_some() {
+                    return Err(format!("analyzer.toml:{lineno}: duplicate key `item`"));
+                }
+                entry.item = Some(value);
+                continue;
+            }
+            other => {
+                return Err(format!("analyzer.toml:{lineno}: unknown key `{other}`"));
+            }
+        };
+        if !slot.is_empty() {
+            return Err(format!("analyzer.toml:{lineno}: duplicate key `{key}`"));
+        }
+        *slot = value;
+    }
+    if let Some(entry) = current.take() {
+        validate(&entry)?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+fn validate(entry: &AllowEntry) -> Result<(), String> {
+    for (field, value) in [
+        ("rule", &entry.rule),
+        ("path", &entry.path),
+        ("reason", &entry.reason),
+    ] {
+        if value.trim().is_empty() {
+            return Err(format!(
+                "analyzer.toml:{}: [[allow]] entry is missing a non-empty `{field}` \
+                 (every exception needs a rule, a path, and a written justification)",
+                entry.line
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parses `key = "value"`, tolerating a trailing `# comment`.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    let rest = rest.trim();
+    let rest = rest.strip_prefix('"')?;
+    let (value, tail) = rest.split_once('"')?;
+    let tail = tail.trim();
+    if !(tail.is_empty() || tail.starts_with('#')) {
+        return None;
+    }
+    Some((key, value.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_comments_and_optional_item() {
+        let src = r#"
+# header comment
+[[allow]]
+rule = "DET-TIME"
+path = "crates/bench/src/scheduler.rs"
+reason = "timing metadata only"  # trailing comment
+
+[[allow]]
+rule = "PANIC-PATH"
+path = "crates/core/src/engine.rs"
+item = "panic!"
+reason = "documented compat contract"
+"#;
+        let entries = parse_allowlist(src).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].item, None);
+        assert_eq!(entries[1].item.as_deref(), Some("panic!"));
+        assert!(entries[0].matches("DET-TIME", "crates/bench/src/scheduler.rs", "Instant"));
+        assert!(!entries[1].matches("PANIC-PATH", "crates/core/src/engine.rs", "unwrap"));
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let src = "[[allow]]\nrule = \"DET-HASH\"\npath = \"x.rs\"\n";
+        let err = parse_allowlist(src).unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        let src = "[[allow]]\nrule = \"A\"\npath = \"b\"\nreason = \"c\"\nlines = \"3\"\n";
+        assert!(parse_allowlist(src).unwrap_err().contains("unknown key"));
+    }
+
+    #[test]
+    fn content_before_first_table_is_rejected() {
+        assert!(parse_allowlist("rule = \"A\"\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_key_is_rejected() {
+        let src = "[[allow]]\nrule = \"A\"\nrule = \"B\"\npath = \"p\"\nreason = \"r\"\n";
+        assert!(parse_allowlist(src).unwrap_err().contains("duplicate"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Finding type and report rendering.
+
+use std::fmt;
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (e.g. `DET-HASH`); see ANALYSIS.md.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The matched item (e.g. `HashMap`, `unwrap`, a metric name) — the
+    /// key an `analyzer.toml` entry's optional `item` field matches on.
+    pub item: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// How to fix it (or what a justification must argue to allowlist it).
+    pub hint: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    fix: {}",
+            self.path, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// Sorts findings for deterministic output: by path, then line, then
+/// rule id, then item.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.item.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.item.as_str(),
+        ))
+    });
+}

@@ -1,0 +1,467 @@
+//! A small, dependency-free Rust lexer.
+//!
+//! The analyzer's rules only need a *token stream with line numbers* —
+//! identifiers, string literals, and punctuation — not a full syntax
+//! tree. Lexing (rather than regexing raw text) is what makes the rules
+//! trustworthy: comments, doc comments, string contents, raw strings,
+//! char literals, and lifetimes can never be confused with code, so a
+//! `HashMap` mentioned in a comment is not a finding while one in code
+//! always is. The build environment is fully offline, so this is written
+//! from scratch instead of pulling in `syn` (the same trade the rest of
+//! the workspace makes; see `vendored/rand`).
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`foo`, `match`, `r#type`).
+    Ident,
+    /// A string or byte-string literal; `text` holds the (approximately
+    /// unescaped) contents without quotes.
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal (`42`, `0x7f`, `1.5e3`).
+    Num,
+    /// A single punctuation character (`{`, `!`, `[`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The token's kind.
+    pub kind: TokKind,
+    /// The token's text (contents without quotes for `Str`).
+    pub text: String,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == [c as u8]
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Lexes Rust source into a token stream. Comments (line, block, doc)
+/// are skipped; block comments nest as in real Rust.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers /// and //! doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Nested block comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings and raw identifiers: r"..", r#".."#, br#".."#, r#ident.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            if chars[j] == 'b' && j + 1 < n && chars[j + 1] == 'r' {
+                j += 1;
+            }
+            if chars[j] == 'r' && j + 1 < n {
+                let mut hashes = 0usize;
+                let mut k = j + 1;
+                while k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' {
+                    // Raw (byte) string: scan to `"` followed by `hashes` #s.
+                    let start_line = line;
+                    let content_start = k + 1;
+                    let mut m = content_start;
+                    'raw: while m < n {
+                        if chars[m] == '"' {
+                            let mut h = 0usize;
+                            while m + 1 + h < n && h < hashes && chars[m + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                break 'raw;
+                            }
+                        }
+                        m += 1;
+                    }
+                    let content: String = chars[content_start..m.min(n)].iter().collect();
+                    line += count_lines(&chars[i..m.min(n)]);
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: content,
+                        line: start_line,
+                    });
+                    i = (m + 1 + hashes).min(n);
+                    continue;
+                }
+                if hashes == 1 && k < n && is_ident_start(chars[k]) {
+                    // Raw identifier r#type.
+                    let mut m = k;
+                    while m < n && is_ident_continue(chars[m]) {
+                        m += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: chars[k..m].iter().collect(),
+                        line,
+                    });
+                    i = m;
+                    continue;
+                }
+            }
+        }
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            let start_line = line;
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            let mut content = String::new();
+            while j < n && chars[j] != '"' {
+                if chars[j] == '\n' {
+                    line += 1;
+                }
+                if chars[j] == '\\' && j + 1 < n {
+                    // Keep the escaped char verbatim; rule matching only
+                    // ever looks at escape-free names, so this is enough.
+                    content.push(chars[j + 1]);
+                    j += 2;
+                } else {
+                    content.push(chars[j]);
+                    j += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: content,
+                line: start_line,
+            });
+            i = j + 1;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' || (c == 'b' && i + 1 < n && chars[i + 1] == '\'') {
+            let q = if c == 'b' { i + 1 } else { i };
+            if q + 1 < n {
+                let next = chars[q + 1];
+                if next == '\\' {
+                    // Escaped char literal: skip escape, then to closing '.
+                    let mut j = q + 3;
+                    while j < n && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j + 1;
+                    continue;
+                }
+                if is_ident_start(next) {
+                    let mut m = q + 2;
+                    while m < n && is_ident_continue(chars[m]) {
+                        m += 1;
+                    }
+                    if m < n && chars[m] == '\'' && m == q + 2 {
+                        // 'x' — single-char literal.
+                        toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: next.to_string(),
+                            line,
+                        });
+                        i = m + 1;
+                    } else {
+                        // 'ident — a lifetime.
+                        toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: chars[q + 1..m].iter().collect(),
+                            line,
+                        });
+                        i = m;
+                    }
+                    continue;
+                }
+                // Non-identifier char like '0' or '+'.
+                let mut j = q + 2;
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: next.to_string(),
+                    line,
+                });
+                i = j + 1;
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n
+                && (is_ident_continue(chars[j])
+                    || (chars[j] == '.' && j + 1 < n && chars[j + 1].is_ascii_digit()))
+            {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Removes test-only code from a token stream: any item annotated
+/// `#[cfg(test)]` or `#[test]` (the attribute *and* the item it covers,
+/// up to the matching close brace or terminating semicolon).
+///
+/// Test code cannot affect `results/*.json`, so determinism and
+/// panic-surface rules must not fire on it — `#[should_panic]` tests
+/// legitimately call `unwrap()` and friends.
+pub fn strip_tests(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            // Collect the attribute tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let attr_start = j;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let attr = &toks[attr_start..j.saturating_sub(1)];
+            if is_test_attr(attr) {
+                // Skip any further attributes, then the annotated item.
+                i = skip_item(toks, j);
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// `cfg(test)` / `cfg(any(test, ...))` / bare `test`.
+fn is_test_attr(attr: &[Tok]) -> bool {
+    if attr.len() == 1 && attr[0].is_ident("test") {
+        return true;
+    }
+    if attr.first().is_some_and(|t| t.is_ident("cfg")) {
+        return attr.iter().any(|t| t.is_ident("test"));
+    }
+    false
+}
+
+/// Skips from just after a test attribute past the annotated item:
+/// further attributes, then either a `{ ... }` block (brace-matched) or a
+/// terminating `;` (e.g. `#[cfg(test)] use foo;`).
+fn skip_item(toks: &[Tok], mut i: usize) -> usize {
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            // Another attribute on the same item: skip it.
+            let mut depth = 0usize;
+            i += 1;
+            while i < toks.len() {
+                if toks[i].is_punct('[') {
+                    depth += 1;
+                } else if toks[i].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if toks[i].is_punct(';') {
+            return i + 1;
+        }
+        if toks[i].is_punct('{') {
+            let mut depth = 1usize;
+            i += 1;
+            while i < toks.len() && depth > 0 {
+                if toks[i].is_punct('{') {
+                    depth += 1;
+                } else if toks[i].is_punct('}') {
+                    depth -= 1;
+                }
+                i += 1;
+            }
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "// HashMap\n/* HashSet /* nested */ still */ let x = 1;";
+        assert_eq!(idents(src), ["let", "x"]);
+    }
+
+    #[test]
+    fn strings_do_not_leak_idents() {
+        let toks = lex(r#"let s = "HashMap::new()";"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "HashMap::new()");
+        assert_eq!(idents(r#"let s = "HashMap";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = lex(r##"let s = r#"a "quoted" b"#; let r#type = 1;"##);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs[0].text, r#"a "quoted" b"#);
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "let a = \"x\ny\";\nlet b = 2;";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn strip_tests_removes_cfg_test_mod() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn after() {}";
+        let toks = strip_tests(&lex(src));
+        assert!(toks.iter().any(|t| t.is_ident("live")));
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn strip_tests_removes_test_fn_with_extra_attrs() {
+        let src =
+            "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() { panic!(); }\nfn live() {}";
+        let toks = strip_tests(&lex(src));
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+        assert!(toks.iter().any(|t| t.is_ident("live")));
+    }
+
+    #[test]
+    fn strip_tests_handles_semicolon_items() {
+        let src = "#[cfg(test)] use std::collections::HashMap;\nfn live() {}";
+        let toks = strip_tests(&lex(src));
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(toks.iter().any(|t| t.is_ident("live")));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let toks = lex("let x = 1.max(2); let y = 0..10; let z = 1.5e3;");
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Num).count(), 5);
+    }
+}

@@ -1,0 +1,284 @@
+//! pageforge-analyzer — the workspace invariant linter.
+//!
+//! Every headline number this reproduction reports rests on invariants
+//! the type system cannot express: byte-identical results across
+//! `--jobs` levels (determinism), graceful degradation instead of
+//! aborts on the engine hot path (panic-freedom), OBSERVABILITY.md
+//! matching the metrics and trace events the code actually emits
+//! (registry consistency), and uniform crate hygiene. This crate
+//! *proves them statically*: it lexes every workspace source file and
+//! enforces six rules, with a reviewed, justification-carrying
+//! allowlist (`analyzer.toml`) as the only escape hatch.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `DET-HASH`   | no `HashMap`/`HashSet` in result-affecting crates |
+//! | `DET-TIME`   | no wall clock / OS rng / env reads outside bench timing |
+//! | `PANIC-PATH` | no `unwrap`/`expect`/panicking macro/indexing on the hot path |
+//! | `REG-METRIC` | metric names ⊆ OBSERVABILITY.md, and nothing documented is dead |
+//! | `REG-TRACE`  | trace `(component, kind)` pairs likewise |
+//! | `HYG-CRATE`  | every lib crate forbids unsafe and denies missing docs |
+//!
+//! See ANALYSIS.md for the full rationale and the allowlist policy.
+//! Run as `cargo run --release -p pageforge-analyzer`; CI runs it as
+//! the `analysis` job and fails the build on any finding.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use config::AllowEntry;
+use findings::{sort_findings, Finding};
+
+/// The rule ids an `analyzer.toml` entry may reference. `ALLOW-STALE`
+/// is deliberately absent: a stale-entry finding is fixed by deleting
+/// the entry, never by allowlisting the allowlist.
+pub const RULE_IDS: &[&str] = &[
+    "DET-HASH",
+    "DET-TIME",
+    "PANIC-PATH",
+    "REG-METRIC",
+    "REG-TRACE",
+    "HYG-CRATE",
+];
+
+/// The outcome of analysing a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Surviving findings (violations not covered by `analyzer.toml`),
+    /// plus one `ALLOW-STALE` finding per unused allowlist entry.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files lexed and scanned.
+    pub files_scanned: usize,
+    /// Number of findings suppressed by `analyzer.toml` entries.
+    pub suppressed: usize,
+}
+
+/// Analyses the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`, `crates/`, and `OBSERVABILITY.md`).
+///
+/// # Errors
+///
+/// Returns a message for I/O failures, a malformed `analyzer.toml`
+/// (missing reasons, unknown keys or rule ids), or OBSERVABILITY.md
+/// tables that are missing/empty (which would silently disable the
+/// registry rules).
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    let files = enumerate_sources(root)?;
+    let files_scanned = files.len();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut metric_uses = Vec::new();
+    let mut trace_uses = Vec::new();
+
+    for abs in &files {
+        let rel = rel_path(root, abs);
+        let src = fs::read_to_string(abs).map_err(|e| format!("{rel}: {e}"))?;
+        let raw = lexer::lex(&src);
+        let code = lexer::strip_tests(&raw);
+
+        rules::determinism::det_hash(&rel, &code, &mut findings);
+        rules::determinism::det_time(&rel, &code, &mut findings);
+        rules::panics::panic_path(&rel, &code, &mut findings);
+        if is_crate_root(&rel) {
+            rules::hygiene::hyg_crate(&rel, &raw, &mut findings);
+        }
+        rules::registry::collect_metric_uses(&rel, &code, &mut metric_uses);
+        rules::registry::collect_trace_uses(&rel, &code, &mut trace_uses);
+    }
+
+    let obs_path = root.join("OBSERVABILITY.md");
+    let obs = fs::read_to_string(&obs_path)
+        .map_err(|e| format!("OBSERVABILITY.md: {e} (REG rules need the normative tables)"))?;
+    let doc = rules::registry::parse_observability(&obs)?;
+    findings.extend(rules::registry::check(
+        &doc,
+        &metric_uses,
+        &trace_uses,
+        "OBSERVABILITY.md",
+    ));
+
+    let allowlist = load_allowlist(root)?;
+    let mut used = vec![false; allowlist.len()];
+    let mut suppressed = 0usize;
+    findings.retain(|f| {
+        match allowlist
+            .iter()
+            .position(|e| e.matches(f.rule, &f.path, &f.item))
+        {
+            Some(idx) => {
+                used[idx] = true;
+                suppressed += 1;
+                false
+            }
+            None => true,
+        }
+    });
+    for (entry, used) in allowlist.iter().zip(&used) {
+        if !used {
+            findings.push(stale_entry_finding(entry));
+        }
+    }
+
+    sort_findings(&mut findings);
+    Ok(Report {
+        findings,
+        files_scanned,
+        suppressed,
+    })
+}
+
+/// Renders a report exactly as the CLI prints it: one block per
+/// finding, then the one-line summary. Golden tests compare this
+/// string against checked-in `expected.txt` files.
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    for finding in &report.findings {
+        out.push_str(&finding.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "pageforge-analyzer: {} files scanned, {} finding(s), {} suppressed by analyzer.toml\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed
+    ));
+    out
+}
+
+/// All `.rs` files under `<root>/src` and `<root>/crates/*/src`, in
+/// sorted order so reports (and the analyzer's own exit behaviour) are
+/// deterministic. Vendored third-party code, fixtures, integration
+/// tests, and build output are outside these roots by construction.
+fn enumerate_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut src_dirs = vec![root.join("src")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut names: Vec<PathBuf> = fs::read_dir(&crates)
+            .map_err(|e| format!("crates/: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        names.sort();
+        src_dirs.extend(names.into_iter().map(|p| p.join("src")));
+    }
+    let mut files = Vec::new();
+    for dir in src_dirs {
+        if dir.is_dir() {
+            walk_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| format!("{}: {e}", dir.display()))?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (the form rules,
+/// reports, and `analyzer.toml` all use).
+fn rel_path(root: &Path, abs: &Path) -> String {
+    abs.strip_prefix(root)
+        .unwrap_or(abs)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Whether a relative path is a library crate root (`src/lib.rs` of the
+/// facade crate or of a `crates/<name>` member).
+fn is_crate_root(rel: &str) -> bool {
+    if rel == "src/lib.rs" {
+        return true;
+    }
+    let mut parts = rel.split('/');
+    matches!(
+        (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next()
+        ),
+        (Some("crates"), Some(_), Some("src"), Some("lib.rs"), None)
+    )
+}
+
+/// Loads and validates `<root>/analyzer.toml`; a missing file is an
+/// empty allowlist (zero exceptions is the ideal state).
+fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
+    let path = root.join("analyzer.toml");
+    let src = match fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("analyzer.toml: {e}")),
+    };
+    let entries = config::parse_allowlist(&src)?;
+    for entry in &entries {
+        if !RULE_IDS.contains(&entry.rule.as_str()) {
+            return Err(format!(
+                "analyzer.toml:{}: unknown rule id `{}` (known: {})",
+                entry.line,
+                entry.rule,
+                RULE_IDS.join(", ")
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+fn stale_entry_finding(entry: &AllowEntry) -> Finding {
+    let item = match &entry.item {
+        Some(item) => format!("{} {} {item}", entry.rule, entry.path),
+        None => format!("{} {}", entry.rule, entry.path),
+    };
+    Finding {
+        rule: "ALLOW-STALE",
+        path: "analyzer.toml".to_owned(),
+        line: entry.line,
+        item,
+        message: format!(
+            "allowlist entry ({}, {}{}) matched no finding — the code it \
+             excused is gone",
+            entry.rule,
+            entry.path,
+            entry
+                .item
+                .as_deref()
+                .map(|i| format!(", item {i}"))
+                .unwrap_or_default()
+        ),
+        hint: "delete the stale [[allow]] entry so the allowlist only ever \
+               carries live, justified exceptions",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_detection() {
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(is_crate_root("crates/ksm/src/lib.rs"));
+        assert!(!is_crate_root("crates/ksm/src/algorithm.rs"));
+        assert!(!is_crate_root("crates/bench/src/bin/lib.rs"));
+        assert!(!is_crate_root("src/main.rs"));
+    }
+}

@@ -1,0 +1,87 @@
+//! CLI entry point for the workspace invariant linter.
+//!
+//! ```sh
+//! cargo run --release -p pageforge-analyzer            # from anywhere in the repo
+//! cargo run --release -p pageforge-analyzer -- --root /path/to/repo
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (or stale allowlist entries),
+//! `2` configuration/I-O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pageforge_analyzer::analyze_workspace;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("pageforge-analyzer: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "pageforge-analyzer — workspace invariant linter\n\n\
+                     USAGE: pageforge-analyzer [--root <workspace-root>]\n\n\
+                     Rules: DET-HASH, DET-TIME, PANIC-PATH, REG-METRIC, REG-TRACE,\n\
+                     HYG-CRATE — see ANALYSIS.md. Exceptions live in analyzer.toml\n\
+                     and must carry a written justification; stale entries fail the run."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pageforge-analyzer: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.map(Ok).unwrap_or_else(discover_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pageforge-analyzer: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match analyze_workspace(&root) {
+        Ok(report) => {
+            print!("{}", pageforge_analyzer::render(&report));
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("pageforge-analyzer: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the first directory that
+/// looks like the workspace root (has both `Cargo.toml` and `crates/`).
+fn discover_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no workspace root (Cargo.toml + crates/) above {}; pass --root",
+                    start.display()
+                ))
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! `HYG-CRATE` — crate-hygiene rule.
+//!
+//! Every library crate root must carry `#![forbid(unsafe_code)]` (the
+//! whole workspace is safe Rust; `forbid` cannot be overridden further
+//! down) and `#![deny(missing_docs)]` (every public item documented —
+//! the docs CI job builds with `-D warnings`, this makes the bar local
+//! and immediate).
+
+use crate::findings::Finding;
+use crate::lexer::Tok;
+
+/// Required inner attributes: (lint level, lint name).
+const REQUIRED: &[(&str, &str)] = &[("forbid", "unsafe_code"), ("deny", "missing_docs")];
+
+/// Runs `HYG-CRATE` over a crate root (`lib.rs`). Takes the *raw*
+/// token stream: crate attributes precede any test code anyway, and a
+/// stripped stream could in principle drop a `#![cfg_attr(test, ..)]`
+/// neighbour.
+pub fn hyg_crate(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for &(level, lint) in REQUIRED {
+        if !has_inner_attr(toks, level, lint) {
+            out.push(Finding {
+                rule: "HYG-CRATE",
+                path: path.to_owned(),
+                line: 1,
+                item: format!("{level}({lint})"),
+                message: format!("library crate root is missing `#![{level}({lint})]`"),
+                hint: "add the attribute at the top of lib.rs; every library \
+                       crate in the workspace carries both hygiene attributes",
+            });
+        }
+    }
+}
+
+/// Looks for `# ! [ <level> ( .. <lint> .. ) ]` anywhere in the stream.
+fn has_inner_attr(toks: &[Tok], level: &str, lint: &str) -> bool {
+    for i in 0..toks.len() {
+        if toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident(level))
+        {
+            // Scan to the closing `]`, accepting the lint name anywhere
+            // inside (covers `#![deny(missing_docs, rustdoc::foo)]`).
+            let mut j = i + 4;
+            let mut depth = 1usize;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                } else if toks[j].is_ident(lint) {
+                    return true;
+                }
+                j += 1;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        hyg_crate("crates/x/src/lib.rs", &lex(src), &mut out);
+        out.into_iter().map(|f| f.item).collect()
+    }
+
+    #[test]
+    fn both_attrs_present_is_clean() {
+        assert!(run("#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn each_missing_attr_is_reported() {
+        assert_eq!(run("#![forbid(unsafe_code)]"), ["deny(missing_docs)"]);
+        assert_eq!(run("#![deny(missing_docs)]"), ["forbid(unsafe_code)"]);
+        assert_eq!(run("").len(), 2);
+    }
+
+    #[test]
+    fn warn_does_not_satisfy_deny() {
+        assert_eq!(
+            run("#![forbid(unsafe_code)]\n#![warn(missing_docs)]"),
+            ["deny(missing_docs)"]
+        );
+    }
+
+    #[test]
+    fn outer_attr_does_not_satisfy_inner() {
+        assert_eq!(
+            run("#![forbid(unsafe_code)]\n#[deny(missing_docs)]\nmod m {}"),
+            ["deny(missing_docs)"]
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! `PANIC-PATH` — the panic-surface rule.
+//!
+//! The engine/driver hot path has a typed error story: `EngineError`
+//! plus the graceful-degradation path (stall retry → software
+//! fallback), added so a single corrupted Scan-Table entry degrades one
+//! candidate instead of aborting a 40-minute sweep. A stray `unwrap()`
+//! or slice index re-introduces the abort. This rule keeps the hot-path
+//! files panic-free by construction: `unwrap`/`expect`, the panicking
+//! macros, and bare slice indexing are all findings unless carried by a
+//! justified `analyzer.toml` entry.
+
+use crate::findings::Finding;
+use crate::lexer::{Tok, TokKind};
+
+/// The files on the per-candidate hot path (engine FSM, OS driver,
+/// Scan-Table SRAM model, memory controller). Measured in candidates
+/// per pass, everything else is cold.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/core/src/driver.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/scan_table.rs",
+    "crates/mem/src/controller.rs",
+];
+
+/// Whether `PANIC-PATH` applies to a workspace-relative path.
+pub fn in_hot_path(path: &str) -> bool {
+    HOT_PATHS.contains(&path)
+}
+
+/// Macros whose expansion is an unconditional panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Identifiers that may legally precede `[` without it being an index
+/// expression (slice patterns, array types, `return [..]`, ...).
+const KEYWORDS: &[&str] = &[
+    "as", "await", "box", "break", "const", "continue", "dyn", "else", "enum", "fn", "for", "if",
+    "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static",
+    "struct", "trait", "type", "union", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Runs `PANIC-PATH` over one file's test-stripped token stream.
+pub fn panic_path(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    if !in_hot_path(path) {
+        return;
+    }
+    let mut push = |line: u32, item: String, message: String| {
+        out.push(Finding {
+            rule: "PANIC-PATH",
+            path: path.to_owned(),
+            line,
+            item,
+            message,
+            hint: "return a typed error / take the graceful-degrade branch \
+                   (or .get()/.get_mut() for indexing); a panic here aborts \
+                   the whole sweep for one bad candidate",
+        });
+    };
+    for (i, t) in toks.iter().enumerate() {
+        // `.unwrap(` / `.expect(`
+        if t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let name = toks[i + 1].text.clone();
+            push(
+                toks[i + 1].line,
+                name.clone(),
+                format!("`.{name}()` on the hot path panics on the error/None arm"),
+            );
+            continue;
+        }
+        // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            push(
+                t.line,
+                format!("{}!", t.text),
+                format!("`{}!` on the hot path aborts the sweep", t.text),
+            );
+            continue;
+        }
+        // `expr[...]` indexing: `[` whose previous token ends an
+        // expression. Attributes (`#[`), macro brackets (`vec![`), array
+        // types/literals (after `:`/`=`/`(`/`&`/`,`), and slice patterns
+        // (after `let`/`in`/...) all have a non-expression predecessor.
+        if t.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let is_expr_end = match prev.kind {
+                TokKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Num => true,
+                TokKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+                _ => false,
+            };
+            if is_expr_end {
+                push(
+                    t.line,
+                    "index".to_owned(),
+                    "slice/array indexing on the hot path panics when out of bounds".to_owned(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_tests};
+
+    fn run(src: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        panic_path(
+            "crates/core/src/engine.rs",
+            &strip_tests(&lex(src)),
+            &mut out,
+        );
+        out.into_iter().map(|f| f.item).collect()
+    }
+
+    #[test]
+    fn unwrap_expect_and_macros_are_flagged() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"b\"); unreachable!(); }";
+        assert_eq!(run(src), ["unwrap", "expect", "panic!", "unreachable!"]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn indexing_is_flagged_but_lookalikes_are_not() {
+        assert_eq!(run("fn f() { let a = xs[i]; }"), ["index"]);
+        assert_eq!(run("fn f() { let b = t.0[i]; }"), ["index"]);
+        assert_eq!(run("fn f() { let c = g()[0]; }"), ["index"]);
+        // Attribute, vec! macro, array type, array literal, slice pattern.
+        let src = "#[derive(Debug)]\nstruct S;\nfn f(x: [u8; 8]) { \
+                   let v = vec![1]; let a = [0u8; 4]; let [p, q] = pair; }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn only_hot_path_files_are_scanned() {
+        let mut out = Vec::new();
+        panic_path(
+            "crates/obs/src/lib.rs",
+            &lex("fn f() { x.unwrap(); }"),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn should_panic_tests_are_exempt() {
+        let src = "#[test]\n#[should_panic]\nfn t() { x.unwrap(); }\nfn live() {}";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,413 @@
+//! `REG-METRIC` and `REG-TRACE` — registry-consistency rules.
+//!
+//! OBSERVABILITY.md carries two normative tables: the metric namespace
+//! (`### Metric namespace`) and the trace event schema (`### Trace
+//! event schema`). These rules cross-check them against the code in
+//! both directions:
+//!
+//! * a metric name registered in code but absent from the table is
+//!   **undocumented** (finding at the registration site);
+//! * a documented metric no code registers is **dead documentation**
+//!   (finding at the table row);
+//!
+//! and likewise for `(component, kind)` trace pairs. Either table
+//! parsing to empty is a hard error, so a doc refactor can never
+//! silently disable the rule.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::findings::Finding;
+use crate::lexer::{Tok, TokKind};
+
+/// Every metric name in the workspace starts with one of these
+/// namespace roots (matching the table's `prefix` column).
+pub const METRIC_PREFIXES: &[&str] = &["engine.", "pageforge.", "faults.", "ksm.", "mem.", "sim."];
+
+/// What the OBSERVABILITY.md tables document.
+#[derive(Debug, Default)]
+pub struct DocRegistry {
+    /// Documented metric name → line of its table row.
+    pub metrics: BTreeMap<String, u32>,
+    /// Documented `(component, kind)` trace pair → line of its row.
+    pub traces: BTreeMap<(String, String), u32>,
+}
+
+/// A metric-name or trace-pair occurrence in code.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Use {
+    /// The metric name, or `component/kind` for traces.
+    pub item: String,
+    /// Workspace-relative path of the occurrence.
+    pub path: String,
+    /// 1-based line of the occurrence.
+    pub line: u32,
+}
+
+/// Parses the two normative tables out of OBSERVABILITY.md.
+///
+/// # Errors
+///
+/// Returns a message if either table is missing or parses to empty —
+/// an empty registry would vacuously pass the dead-doc check and mark
+/// every code use undocumented, so it must be a loud failure instead.
+pub fn parse_observability(md: &str) -> Result<DocRegistry, String> {
+    let mut doc = DocRegistry::default();
+    let mut section = Section::None;
+    for (idx, raw) in md.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = raw.trim();
+        if line.starts_with("##") {
+            section = match line.trim_start_matches('#').trim() {
+                "Metric namespace" => Section::Metrics,
+                "Trace event schema" => Section::Traces,
+                _ => Section::None,
+            };
+            continue;
+        }
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('|').collect();
+        match section {
+            Section::Metrics if cells.len() >= 4 => {
+                let Some(prefix) = backticked(cells[1]).into_iter().next() else {
+                    continue; // header or separator row
+                };
+                let base = prefix.trim_end_matches('*').trim_end_matches('.');
+                for span in backticked(cells[3]) {
+                    if !span
+                        .chars()
+                        .all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_' | '.' | '{' | '}' | ','))
+                    {
+                        continue;
+                    }
+                    for name in expand_braces(&span) {
+                        doc.metrics.insert(format!("{base}.{name}"), lineno);
+                    }
+                }
+            }
+            Section::Traces if cells.len() >= 2 => {
+                let spans = backticked(cells[1]);
+                if spans.len() >= 2 {
+                    doc.traces
+                        .insert((spans[0].clone(), spans[1].clone()), lineno);
+                }
+            }
+            _ => {}
+        }
+    }
+    if doc.metrics.is_empty() {
+        return Err(
+            "OBSERVABILITY.md: `### Metric namespace` table missing or empty — \
+                    REG-METRIC cannot run"
+                .into(),
+        );
+    }
+    if doc.traces.is_empty() {
+        return Err(
+            "OBSERVABILITY.md: `### Trace event schema` table missing or empty — \
+                    REG-TRACE cannot run"
+                .into(),
+        );
+    }
+    Ok(doc)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    None,
+    Metrics,
+    Traces,
+}
+
+/// Extracts the `` `code` `` spans from a markdown cell, in order.
+fn backticked(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('`') else { break };
+        out.push(after[..end].to_owned());
+        rest = &after[end + 1..];
+    }
+    out
+}
+
+/// Expands `{a,b}` alternation groups (`{stable,unstable}_tree.{size,depth}`
+/// → 4 names). A brace without a closer is kept literally.
+fn expand_braces(s: &str) -> Vec<String> {
+    let Some(open) = s.find('{') else {
+        return vec![s.to_owned()];
+    };
+    let Some(close_rel) = s[open..].find('}') else {
+        return vec![s.to_owned()];
+    };
+    let close = open + close_rel;
+    let mut out = Vec::new();
+    for alt in s[open + 1..close].split(',') {
+        out.extend(expand_braces(&format!(
+            "{}{}{}",
+            &s[..open],
+            alt,
+            &s[close + 1..]
+        )));
+    }
+    out
+}
+
+/// Whether a string literal has the shape of a metric name: a known
+/// namespace root, at least one segment after it, and only
+/// `[a-z0-9_.]` characters.
+pub fn is_metric_literal(s: &str) -> bool {
+    METRIC_PREFIXES.iter().any(|p| s.starts_with(p))
+        && !s.ends_with('.')
+        && s.chars()
+            .all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_' | '.'))
+}
+
+/// Collects metric-name literals from one file's test-stripped tokens.
+pub fn collect_metric_uses(path: &str, toks: &[Tok], out: &mut Vec<Use>) {
+    for t in toks {
+        if t.kind == TokKind::Str && is_metric_literal(&t.text) {
+            out.push(Use {
+                item: t.text.clone(),
+                path: path.to_owned(),
+                line: t.line,
+            });
+        }
+    }
+}
+
+/// Collects `(component, kind)` pairs from `trace_event!(..)` call
+/// sites and `TraceEvent::new(..)` constructions: the first two string
+/// literals inside the call's parentheses. Sites with fewer than two
+/// literals (dynamic construction, e.g. `trace::parse_line`) are
+/// skipped — they replay existing kinds rather than minting new ones.
+pub fn collect_trace_uses(path: &str, toks: &[Tok], out: &mut Vec<Use>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let site = if toks[i].is_ident("trace_event")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            Some(i + 2)
+        } else if toks[i].is_ident("TraceEvent")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("new"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            Some(i + 4)
+        } else {
+            None
+        };
+        let Some(open) = site else {
+            i += 1;
+            continue;
+        };
+        let line = toks[i].line;
+        let mut depth = 1usize;
+        let mut j = open + 1;
+        let mut strs = Vec::new();
+        while j < toks.len() && depth > 0 {
+            if toks[j].is_punct('(') {
+                depth += 1;
+            } else if toks[j].is_punct(')') {
+                depth -= 1;
+            } else if toks[j].kind == TokKind::Str && strs.len() < 2 {
+                strs.push(toks[j].text.clone());
+            }
+            j += 1;
+        }
+        if strs.len() == 2 {
+            out.push(Use {
+                item: format!("{}/{}", strs[0], strs[1]),
+                path: path.to_owned(),
+                line,
+            });
+        }
+        i = j;
+    }
+}
+
+/// Cross-checks collected uses against the documented registry,
+/// producing `REG-METRIC`/`REG-TRACE` findings in both directions.
+pub fn check(
+    doc: &DocRegistry,
+    metric_uses: &[Use],
+    trace_uses: &[Use],
+    obs_path: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen_metrics: BTreeSet<&str> = BTreeSet::new();
+    let mut reported: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for u in metric_uses {
+        seen_metrics.insert(&u.item);
+        if !doc.metrics.contains_key(&u.item) && reported.insert((&u.path, &u.item)) {
+            out.push(Finding {
+                rule: "REG-METRIC",
+                path: u.path.clone(),
+                line: u.line,
+                item: u.item.clone(),
+                message: format!(
+                    "metric `{}` is registered in code but undocumented in \
+                     OBSERVABILITY.md's metric namespace table",
+                    u.item
+                ),
+                hint: "add it to the owning prefix row in OBSERVABILITY.md \
+                       (### Metric namespace) or rename to a documented metric",
+            });
+        }
+    }
+    for (name, &line) in &doc.metrics {
+        if !seen_metrics.contains(name.as_str()) {
+            out.push(Finding {
+                rule: "REG-METRIC",
+                path: obs_path.to_owned(),
+                line,
+                item: name.clone(),
+                message: format!("metric `{name}` is documented but no code registers it"),
+                hint: "delete the dead table entry, or restore the metric in code",
+            });
+        }
+    }
+    let mut seen_traces: BTreeSet<&str> = BTreeSet::new();
+    let mut reported: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for u in trace_uses {
+        seen_traces.insert(&u.item);
+        let documented = u
+            .item
+            .split_once('/')
+            .is_some_and(|(c, k)| doc.traces.contains_key(&(c.to_owned(), k.to_owned())));
+        if !documented && reported.insert((&u.path, &u.item)) {
+            out.push(Finding {
+                rule: "REG-TRACE",
+                path: u.path.clone(),
+                line: u.line,
+                item: u.item.clone(),
+                message: format!(
+                    "trace event `{}` is emitted but undocumented in \
+                     OBSERVABILITY.md's trace event schema",
+                    u.item
+                ),
+                hint: "add a `component / kind` row to OBSERVABILITY.md \
+                       (### Trace event schema) describing the fields",
+            });
+        }
+    }
+    for ((comp, kind), &line) in &doc.traces {
+        let item = format!("{comp}/{kind}");
+        if !seen_traces.contains(item.as_str()) {
+            out.push(Finding {
+                rule: "REG-TRACE",
+                path: obs_path.to_owned(),
+                line,
+                item: item.clone(),
+                message: format!("trace event `{item}` is documented but no code emits it"),
+                hint: "delete the dead schema row, or restore the emission site",
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_tests};
+
+    const DOC: &str = "\
+### Metric namespace
+
+| prefix | exported by | metrics |
+|--------|-------------|---------|
+| `engine.*` | `core` | `runs`, `{stable,unstable}_tree.{size,depth}` (gauges) |
+| `mem.dram.*` | `mem` | `reads` |
+
+### Trace event schema
+
+| component / kind | emitted | fields |
+|---|---|---|
+| `engine` / `batch` | per batch | `cycles` |
+";
+
+    #[test]
+    fn doc_tables_parse_with_brace_expansion() {
+        let doc = parse_observability(DOC).unwrap();
+        let names: Vec<&str> = doc.metrics.keys().map(String::as_str).collect();
+        assert_eq!(
+            names,
+            [
+                "engine.runs",
+                "engine.stable_tree.depth",
+                "engine.stable_tree.size",
+                "engine.unstable_tree.depth",
+                "engine.unstable_tree.size",
+                "mem.dram.reads",
+            ]
+        );
+        assert!(doc
+            .traces
+            .contains_key(&("engine".to_owned(), "batch".to_owned())));
+    }
+
+    #[test]
+    fn empty_tables_are_a_hard_error() {
+        assert!(parse_observability("# nothing here\n").is_err());
+        assert!(
+            parse_observability("### Metric namespace\n| `engine.*` | x | `runs` |\n").is_err()
+        );
+    }
+
+    #[test]
+    fn undocumented_and_dead_metrics_are_both_found() {
+        let doc = parse_observability(DOC).unwrap();
+        let src = r#"
+fn f(r: &mut Registry) {
+    r.counter("engine.runs");
+    r.counter("engine.bogus_new");
+    trace_event!(now, "engine", "batch", { cycles: c });
+}
+"#;
+        let toks = strip_tests(&lex(src));
+        let mut metrics = Vec::new();
+        let mut traces = Vec::new();
+        collect_metric_uses("crates/core/src/engine.rs", &toks, &mut metrics);
+        collect_trace_uses("crates/core/src/engine.rs", &toks, &mut traces);
+        let findings = check(&doc, &metrics, &traces, "OBSERVABILITY.md");
+        let undocumented: Vec<_> = findings
+            .iter()
+            .filter(|f| f.path.ends_with("engine.rs"))
+            .map(|f| f.item.as_str())
+            .collect();
+        assert_eq!(undocumented, ["engine.bogus_new"]);
+        let dead: Vec<_> = findings
+            .iter()
+            .filter(|f| f.path == "OBSERVABILITY.md")
+            .map(|f| f.item.as_str())
+            .collect();
+        // Everything documented but unused in this tiny source snippet.
+        assert!(dead.contains(&"engine.stable_tree.size"));
+        assert!(dead.contains(&"mem.dram.reads"));
+        assert!(!dead.contains(&"engine.runs"));
+        assert!(!dead.contains(&"engine/batch"));
+    }
+
+    #[test]
+    fn trace_event_with_dynamic_kind_is_skipped() {
+        let src = r#"fn f() { let e = TraceEvent::new(c, comp, kind, fields); }"#;
+        let mut traces = Vec::new();
+        collect_trace_uses("x.rs", &strip_tests(&lex(src)), &mut traces);
+        assert!(traces.is_empty());
+    }
+
+    #[test]
+    fn metric_literal_shape_rejects_prefix_only_and_odd_chars() {
+        assert!(is_metric_literal("engine.runs"));
+        assert!(is_metric_literal("mem.dram.row_hits"));
+        assert!(!is_metric_literal("engine."));
+        assert!(!is_metric_literal("engine.{}"));
+        assert!(!is_metric_literal("results/meta"));
+        assert!(!is_metric_literal("Engine.runs"));
+    }
+}

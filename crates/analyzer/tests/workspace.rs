@@ -1,0 +1,24 @@
+//! The self-test: the analyzer run against this repository itself must
+//! be clean. This is the same invocation CI's `analysis` job makes, so
+//! `cargo test` catches a violation (or a stale `analyzer.toml` entry —
+//! stale entries surface as `ALLOW-STALE` findings) before CI does.
+
+use std::path::PathBuf;
+
+use pageforge_analyzer::analyze_workspace;
+
+#[test]
+fn workspace_is_clean_and_allowlist_is_live() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyze_workspace(&root).expect("workspace analyses");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace violates its own invariants:\n{:#?}",
+        report.findings
+    );
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — enumeration is broken",
+        report.files_scanned
+    );
+}

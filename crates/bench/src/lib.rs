@@ -23,7 +23,8 @@
 //! | `ablation_scan_table` | §6.4 Scan-Table size ablation |
 //! | `ablation_inorder_core` | §4.3 in-order-core alternative |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod args;
 pub mod experiments;

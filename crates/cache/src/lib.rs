@@ -32,7 +32,8 @@
 //! assert_eq!(second.level, HitLevel::L1);    // now resident
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod hierarchy;

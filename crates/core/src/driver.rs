@@ -17,7 +17,7 @@
 //! right subtree and to learn content-correct insertion points without
 //! re-comparing pages in software.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pageforge_ecc::{EccHashKey, EccKeyConfig};
 use pageforge_faults::FaultInjector;
@@ -162,7 +162,7 @@ pub struct PageForge {
     unstable: PageTree,
     hints: Vec<(VmId, Gfn)>,
     cursor: usize,
-    prev_key: HashMap<(VmId, Gfn), EccHashKey>,
+    prev_key: BTreeMap<(VmId, Gfn), EccHashKey>,
     stats: PageForgeStats,
     /// Set when the per-batch error threshold trips: the rest of the
     /// current `scan_batch` goes straight to the software path.
@@ -180,7 +180,7 @@ impl PageForge {
             unstable: PageTree::new(TreeKind::Unstable),
             hints,
             cursor: 0,
-            prev_key: HashMap::new(),
+            prev_key: BTreeMap::new(),
             stats: PageForgeStats::default(),
             degrade_batch: false,
         }
@@ -322,7 +322,12 @@ impl PageForge {
                     errors: (self.stats.engine_errors - errors_before) as f64,
                 });
             }
-            let (vm, gfn) = self.hints[self.cursor];
+            let Some(&(vm, gfn)) = self.hints.get(self.cursor) else {
+                // Defensive: the cursor always stays in range (it wraps at
+                // the end of each pass); never merge on a corrupt cursor.
+                self.cursor = 0;
+                break;
+            };
             let (merged, t_after) = self.process_candidate(mem, fabric, vm, gfn, t);
             if merged {
                 report.merged += 1;
@@ -463,13 +468,18 @@ impl PageForge {
                 match mem.merge_into(target.ppn, ppn) {
                     Ok(()) => {
                         self.unstable.remove(hit);
-                        let stable_ref = PageRef {
-                            ppn: target.ppn,
-                            epoch: mem.frame_epoch(target.ppn).expect("merged frame exists"),
-                            vm: target.vm,
-                            gfn: target.gfn,
-                        };
-                        self.promote_to_stable(mem, stable_insert_point, stable_ref);
+                        // The epoch exists whenever the merge succeeded;
+                        // if the frame somehow vanished, skip the stable
+                        // promotion rather than panic.
+                        if let Some(epoch) = mem.frame_epoch(target.ppn) {
+                            let stable_ref = PageRef {
+                                ppn: target.ppn,
+                                epoch,
+                                vm: target.vm,
+                                gfn: target.gfn,
+                            };
+                            self.promote_to_stable(mem, stable_insert_point, stable_ref);
+                        }
                         self.stats.merged_unstable += 1;
                         true
                     }
@@ -480,16 +490,22 @@ impl PageForge {
                 }
             }
             HwSearch::NotFound(point) => {
-                let me = PageRef::capture(mem, vm, gfn).expect("translated above");
-                match point {
-                    Some((parent, side)) => {
-                        self.unstable.insert_at(Some(parent), side, me);
+                // Translated above; a `None` here means the mapping raced
+                // away mid-candidate — skip the insert instead of panicking.
+                match PageRef::capture(mem, vm, gfn) {
+                    Some(me) => {
+                        match point {
+                            Some((parent, side)) => {
+                                self.unstable.insert_at(Some(parent), side, me);
+                            }
+                            None => {
+                                self.unstable.insert_at(None, Side::Left, me);
+                            }
+                        }
+                        self.stats.inserted_unstable += 1;
                     }
-                    None => {
-                        self.unstable.insert_at(None, Side::Left, me);
-                    }
+                    None => self.stats.unmapped += 1,
                 }
-                self.stats.inserted_unstable += 1;
                 false
             }
         };
@@ -552,37 +568,43 @@ impl PageForge {
             }
         }
 
-        // Unstable tree: merge on equality, insert otherwise.
+        // Unstable tree: merge on equality, insert otherwise. Translated
+        // above; a `None` capture means the mapping raced away — skip.
         if !done {
-            let me = PageRef::capture(mem, vm, gfn).expect("translated above");
-            match self
-                .unstable
-                .search_or_insert(mem, &data, ppn, me, &mut work)
-            {
-                SearchInsert::FoundEqual(hit) => {
-                    let target = *self.unstable.node(hit);
-                    match mem.merge_into(target.ppn, ppn) {
-                        Ok(()) => {
-                            work.merges += 1;
-                            self.unstable.remove(hit);
-                            let stable_ref = PageRef {
-                                ppn: target.ppn,
-                                epoch: mem.frame_epoch(target.ppn).expect("merged frame exists"),
-                                vm: target.vm,
-                                gfn: target.gfn,
-                            };
-                            self.stable.insert(mem, &data, stable_ref, &mut work);
-                            self.stats.merged_unstable += 1;
-                            merged = true;
-                        }
-                        Err(_) => {
-                            self.stats.dropped_changed += 1;
+            if let Some(me) = PageRef::capture(mem, vm, gfn) {
+                match self
+                    .unstable
+                    .search_or_insert(mem, &data, ppn, me, &mut work)
+                {
+                    SearchInsert::FoundEqual(hit) => {
+                        let target = *self.unstable.node(hit);
+                        match mem.merge_into(target.ppn, ppn) {
+                            Ok(()) => {
+                                work.merges += 1;
+                                self.unstable.remove(hit);
+                                if let Some(epoch) = mem.frame_epoch(target.ppn) {
+                                    let stable_ref = PageRef {
+                                        ppn: target.ppn,
+                                        epoch,
+                                        vm: target.vm,
+                                        gfn: target.gfn,
+                                    };
+                                    self.stable.insert(mem, &data, stable_ref, &mut work);
+                                }
+                                self.stats.merged_unstable += 1;
+                                merged = true;
+                            }
+                            Err(_) => {
+                                self.stats.dropped_changed += 1;
+                            }
                         }
                     }
+                    SearchInsert::Inserted(_) => {
+                        self.stats.inserted_unstable += 1;
+                    }
                 }
-                SearchInsert::Inserted(_) => {
-                    self.stats.inserted_unstable += 1;
-                }
+            } else {
+                self.stats.unmapped += 1;
             }
         }
 
@@ -610,11 +632,12 @@ impl PageForge {
             }
             None => {
                 // No hint (raced stable-tree hit): fall back to a software
-                // walk. Rare; accounted as OS work, not hardware work.
-                let data = mem
-                    .frame_data(stable_ref.ppn)
-                    .expect("merged frame exists")
-                    .clone();
+                // walk. Rare; accounted as OS work, not hardware work. If
+                // the frame vanished (impossible after a successful merge),
+                // drop the promotion rather than panic.
+                let Some(data) = mem.frame_data(stable_ref.ppn).cloned() else {
+                    return;
+                };
                 let mut scratch = KsmWork::new();
                 self.stable.insert(mem, &data, stable_ref, &mut scratch);
             }
@@ -687,7 +710,7 @@ impl PageForge {
             let last_refill = slice.len() == count_subtree(tree, start_node);
 
             // Load the Scan Table.
-            let mut index_of: HashMap<NodeId, u8> = HashMap::new();
+            let mut index_of: BTreeMap<NodeId, u8> = BTreeMap::new();
             for (i, &id) in slice.iter().enumerate() {
                 index_of.insert(id, i as u8);
             }
@@ -760,21 +783,25 @@ impl PageForge {
                 // means the Scan Table was corrupted after the refill, so
                 // the duplicate report is untrusted.
                 let table_ppn = self.engine.table().other(info.ptr).map(|o| o.ppn);
-                let tree_ppn = (idx < slice.len()).then(|| {
-                    let id = slice[idx];
-                    match which {
+                let hit = slice.get(idx).map(|&id| {
+                    let ppn = match which {
                         TreeKind::Stable => self.stable.node(id).ppn,
                         TreeKind::Unstable => self.unstable.node(id).ppn,
-                    }
+                    };
+                    (id, ppn)
                 });
-                if tree_ppn.is_none() || table_ppn != tree_ppn {
-                    self.stats.cross_check_skips += 1;
-                    trace_event!(t, "driver", "degrade", {
-                        reason: 3.0, // cross-check rejected the hw report
-                    });
-                    return HwOutcome::Degrade(t);
+                match hit {
+                    Some((id, tree_ppn)) if table_ppn == Some(tree_ppn) => {
+                        return HwOutcome::Done(HwSearch::Found(id), t);
+                    }
+                    _ => {
+                        self.stats.cross_check_skips += 1;
+                        trace_event!(t, "driver", "degrade", {
+                            reason: 3.0, // cross-check rejected the hw report
+                        });
+                        return HwOutcome::Degrade(t);
+                    }
                 }
-                return HwOutcome::Done(HwSearch::Found(slice[idx]), t);
             }
             // A non-empty batch without a duplicate always parks Ptr on an
             // encoded continuation — unless a corrupted pointer walked off
@@ -784,12 +811,12 @@ impl PageForge {
                 trace_event!(t, "driver", "degrade", { reason: 3.0 });
                 return HwOutcome::Degrade(t);
             };
-            if entry >= slice.len() {
+            let Some(&next) = slice.get(entry) else {
                 self.stats.cross_check_skips += 1;
                 trace_event!(t, "driver", "degrade", { reason: 3.0 });
                 return HwOutcome::Degrade(t);
-            }
-            continue_from = Some((slice[entry], side));
+            };
+            continue_from = Some((next, side));
             // Loop: the child may be loaded next, or be absent (NotFound).
         }
     }
@@ -824,7 +851,7 @@ fn decode_invalid(ptr: u8, capacity: usize) -> Option<(usize, Side)> {
 
 fn child_index(
     tree: &PageTree,
-    index_of: &HashMap<NodeId, u8>,
+    index_of: &BTreeMap<NodeId, u8>,
     id: NodeId,
     side: Side,
     capacity: usize,

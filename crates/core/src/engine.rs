@@ -517,7 +517,9 @@ impl PageForgeEngine {
             // A scheduled key fault corrupts the snatched minikey — the
             // hash hint lies, exactly the case §3.3 says must stay safe.
             if let Some(f) = self.faults.as_mut() {
-                ecc.0[0] = EccCode(f.filter_minikey(now, ecc.0[0].0));
+                if let Some(word0) = ecc.0.first_mut() {
+                    *word0 = EccCode(f.filter_minikey(now, word0.0));
+                }
             }
             self.key.observe(line, ecc);
         }

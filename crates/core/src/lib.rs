@@ -41,7 +41,8 @@
 //! assert_eq!(mem.allocated_frames(), 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod driver;
 pub mod engine;

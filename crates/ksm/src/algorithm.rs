@@ -17,7 +17,7 @@
 //! optional *shadow* ECC key (PageForge's §3.3 scheme) is evaluated at every
 //! checksum decision to produce the Figure 8 comparison.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pageforge_ecc::{EccHashKey, EccKeyConfig};
 use pageforge_obs::trace_event;
@@ -147,8 +147,8 @@ pub struct Ksm {
     cursor: usize,
     /// The anchor frame all-zero pages merge into (`use_zero_pages`).
     zero_frame: Option<(pageforge_types::Ppn, u64)>,
-    prev_checksum: HashMap<(VmId, Gfn), u32>,
-    prev_ecc: HashMap<(VmId, Gfn), EccHashKey>,
+    prev_checksum: BTreeMap<(VmId, Gfn), u32>,
+    prev_ecc: BTreeMap<(VmId, Gfn), EccHashKey>,
     stats: KsmStats,
 }
 
@@ -163,8 +163,8 @@ impl Ksm {
             hints,
             cursor: 0,
             zero_frame: None,
-            prev_checksum: HashMap::new(),
-            prev_ecc: HashMap::new(),
+            prev_checksum: BTreeMap::new(),
+            prev_ecc: BTreeMap::new(),
             stats: KsmStats::default(),
         }
     }

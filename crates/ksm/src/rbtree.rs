@@ -20,7 +20,7 @@ use std::fmt;
 const NIL: u32 = 0;
 
 /// Handle to a live tree node. Never equal to the sentinel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u32);
 
 /// Which child slot of a parent a new node should be linked into.

@@ -9,7 +9,7 @@
 //! line arrives at the memory controller, then the incoming request is
 //! coalesced with the pending request".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pageforge_ecc::LineEcc;
 use pageforge_obs::{CounterId, GaugeId, Registry};
@@ -90,7 +90,9 @@ impl BandwidthMeter {
         if idx >= self.windows.len() {
             self.windows.resize(idx + 1, 0);
         }
-        self.windows[idx] += bytes;
+        if let Some(window) = self.windows.get_mut(idx) {
+            *window += bytes;
+        }
     }
 
     /// Bytes in each window.
@@ -145,7 +147,7 @@ pub struct EccEngine {
     pub miscorrected: u64,
     /// Outstanding injected faults: line → bit positions flipped within
     /// the line's 512 data bits (at most 2 tracked per line).
-    faults: HashMap<LineAddr, Vec<u16>>,
+    faults: BTreeMap<LineAddr, Vec<u16>>,
 }
 
 /// A read hit an uncorrectable (multi-bit) DRAM error: SECDED detected it
@@ -230,20 +232,25 @@ impl EccEngine {
         // each affected one.
         let true_ecc = LineEcc::encode(line);
         let mut per_word: [u64; 8] = [0; 8];
-        for (w, slot) in per_word.iter_mut().enumerate() {
-            *slot = u64::from_le_bytes(line[w * 8..w * 8 + 8].try_into().expect("8 bytes"));
+        for (slot, chunk) in per_word.iter_mut().zip(line.chunks_exact(8)) {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(chunk);
+            *slot = u64::from_le_bytes(bytes);
         }
         let mut corrupted = per_word;
         for &bit in bits {
-            let word = (bit / 64) as usize;
-            corrupted[word] ^= 1u64 << (bit % 64);
+            // Fault positions are within the line's 512 data bits, so the
+            // word index is always in range; ignore any that are not.
+            if let Some(word) = corrupted.get_mut((bit / 64) as usize) {
+                *word ^= 1u64 << (bit % 64);
+            }
         }
-        for w in 0..8 {
-            if corrupted[w] == per_word[w] {
+        for ((&cor, &raw), &ecc) in corrupted.iter().zip(&per_word).zip(&true_ecc.0) {
+            if cor == raw {
                 continue;
             }
-            match pageforge_ecc::Secded72::decode(corrupted[w], true_ecc.0[w]) {
-                pageforge_ecc::Decoded::CorrectedData { data, .. } if data == per_word[w] => {
+            match pageforge_ecc::Secded72::decode(cor, ecc) {
+                pageforge_ecc::Decoded::CorrectedData { data, .. } if data == raw => {
                     self.corrected += 1;
                 }
                 pageforge_ecc::Decoded::DoubleError => {
@@ -328,7 +335,7 @@ pub struct MemoryController {
     cfg: McConfig,
     dram: Dram,
     /// In-flight reads: line → ready cycle (for coalescing).
-    pending_reads: HashMap<LineAddr, Cycle>,
+    pending_reads: BTreeMap<LineAddr, Cycle>,
     metrics: Registry,
     ids: McMetricIds,
     meter: BandwidthMeter,
@@ -342,7 +349,7 @@ impl MemoryController {
         let ids = McMetricIds::register(&mut metrics);
         MemoryController {
             dram: Dram::new(cfg.dram),
-            pending_reads: HashMap::new(),
+            pending_reads: BTreeMap::new(),
             metrics,
             ids,
             meter: BandwidthMeter::new(cfg.meter_window),

@@ -29,7 +29,8 @@
 //! assert_eq!(again.ready_at, grant.ready_at);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod controller;
 pub mod dram;

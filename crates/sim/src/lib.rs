@@ -44,7 +44,8 @@
 //! println!("mean sojourn latency: {:.0} cycles", result.mean_sojourn());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod config;
 pub mod fabric;

@@ -36,7 +36,8 @@
 //! assert_eq!(mem.allocated_frames(), 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod generate;
 pub mod memory;

@@ -5,7 +5,7 @@
 //! physical frames; merging repoints several guest mappings at one shared,
 //! CoW-protected frame and frees the rest.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use pageforge_obs::{CounterId, Registry};
@@ -138,8 +138,8 @@ impl std::error::Error for MergeError {}
 /// (recycling freed frames LIFO) and all maps iterate in sorted order.
 #[derive(Debug, Clone)]
 pub struct HostMemory {
-    frames: HashMap<Ppn, Frame>,
-    guest: HashMap<(VmId, Gfn), Ppn>,
+    frames: BTreeMap<Ppn, Frame>,
+    guest: BTreeMap<(VmId, Gfn), Ppn>,
     free_list: Vec<Ppn>,
     next_ppn: u64,
     epoch_counter: u64,
@@ -171,8 +171,8 @@ impl Default for HostMemory {
         let mut metrics = Registry::new();
         let ids = MemMetricIds::register(&mut metrics);
         HostMemory {
-            frames: HashMap::new(),
-            guest: HashMap::new(),
+            frames: BTreeMap::new(),
+            guest: BTreeMap::new(),
             free_list: Vec::new(),
             next_ppn: 0,
             epoch_counter: 0,
@@ -397,19 +397,13 @@ impl HostMemory {
     }
 
     /// Iterates over all allocated frames in frame-number order.
-    /// (Sorted on the fly; intended for reporting and tests, not hot paths.)
     pub fn iter_frames(&self) -> impl Iterator<Item = (Ppn, &PageData, bool)> {
-        let mut entries: Vec<_> = self.frames.iter().collect();
-        entries.sort_by_key(|(&p, _)| p);
-        entries.into_iter().map(|(&p, f)| (p, &f.data, f.cow))
+        self.frames.iter().map(|(&p, f)| (p, &f.data, f.cow))
     }
 
     /// Iterates over all guest mappings in (VM, GFN) order.
-    /// (Sorted on the fly; intended for reporting and tests, not hot paths.)
     pub fn iter_mappings(&self) -> impl Iterator<Item = (VmId, Gfn, Ppn)> + '_ {
-        let mut entries: Vec<_> = self.guest.iter().collect();
-        entries.sort_by_key(|(&k, _)| k);
-        entries.into_iter().map(|(&(vm, gfn), &ppn)| (vm, gfn, ppn))
+        self.guest.iter().map(|(&(vm, gfn), &ppn)| (vm, gfn, ppn))
     }
 
     /// Snapshot of the merge statistics — a view assembled from the

@@ -25,7 +25,8 @@
 //! | [`arrival`] | §5.3 | [`ArrivalProcess`]: open-loop query generation |
 //! | [`pattern`] | §6.3, Table 4 | [`AccessPattern`]: per-query cache-line touches |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod apps;
 pub mod arrival;

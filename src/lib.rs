@@ -48,7 +48,8 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! binaries that regenerate every table and figure of the paper.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use pageforge_cache as cache;
 pub use pageforge_core as core;
