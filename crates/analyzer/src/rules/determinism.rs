@@ -101,6 +101,26 @@ pub fn det_time(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
                     i += 3;
                     continue;
                 }
+                // The sharded executor runs on std::thread, which is
+                // fine — but thread *identity* is scheduler-assigned, so
+                // letting it reach a result breaks the `--shards`
+                // byte-identity contract.
+                "thread" if path2(toks, i, "current") => {
+                    push(
+                        t.line,
+                        "thread::current",
+                        "exposes nondeterministic thread identity",
+                    );
+                    i += 3;
+                    continue;
+                }
+                "available_parallelism" => {
+                    push(
+                        t.line,
+                        "available_parallelism",
+                        "makes behaviour depend on the host's core count",
+                    );
+                }
                 _ => {}
             }
         }
@@ -160,6 +180,22 @@ mod tests {
             items,
             ["Instant::now", "SystemTime", "thread_rng", "env::var"]
         );
+    }
+
+    #[test]
+    fn thread_identity_and_core_count_are_flagged() {
+        let src = "let id = std::thread::current().id();\n\
+                   let n = std::thread::available_parallelism();";
+        let items: Vec<_> = run_time(src).into_iter().map(|f| f.item).collect();
+        assert_eq!(items, ["thread::current", "available_parallelism"]);
+    }
+
+    #[test]
+    fn plain_thread_spawn_is_not_flagged() {
+        // Worker pools themselves are fine; only identity reads are not.
+        let src = "std::thread::scope(|s| { s.spawn(|| {}); });\n\
+                   let h = std::thread::spawn(|| 1);";
+        assert!(run_time(src).is_empty());
     }
 
     #[test]

@@ -17,6 +17,11 @@ use crate::scheduler::ParallelConfig;
 ///   images); implies everything `--quick` implies;
 /// * `--jobs <N>` — worker threads for `run_all`'s experiment scheduler
 ///   (default 1; results are byte-identical at any level);
+/// * `--shards <N>` — worker threads *inside* each full-system
+///   simulation (the sharded executor's pool; default 1). Like `--jobs`,
+///   any value produces byte-identical `results/*.json`;
+/// * `--seeds <N>` — seed replicas for the `seed_sweep` experiment
+///   (default 1; the sweep itself needs at least 2);
 /// * `--only <a,b,...>` — run only the named experiments (`run_all`);
 /// * `--out <dir>` — directory for JSON results (default `results/`);
 /// * `--trace <file>` — write the unit trace streams as JSONL to this
@@ -36,6 +41,10 @@ pub struct BenchArgs {
     pub smoke: bool,
     /// Worker threads for the experiment scheduler.
     pub jobs: usize,
+    /// Worker threads inside each simulation (sharded executor pool).
+    pub shards: usize,
+    /// Seed replicas for the `seed_sweep` experiment.
+    pub seeds: usize,
     /// Restrict `run_all` to these experiment names (empty = all).
     pub only: Vec<String>,
     /// JSON output directory.
@@ -55,6 +64,8 @@ impl Default for BenchArgs {
             quick: false,
             smoke: false,
             jobs: 1,
+            shards: 1,
+            seeds: 1,
             only: Vec::new(),
             out_dir: PathBuf::from("results"),
             trace: None,
@@ -91,6 +102,16 @@ impl BenchArgs {
                     out.jobs = v.parse().expect("valid --jobs count");
                     assert!(out.jobs >= 1, "--jobs must be at least 1");
                 }
+                "--shards" => {
+                    let v = iter.next().expect("--shards requires a value");
+                    out.shards = v.parse().expect("valid --shards count");
+                    assert!(out.shards >= 1, "--shards must be at least 1");
+                }
+                "--seeds" => {
+                    let v = iter.next().expect("--seeds requires a value");
+                    out.seeds = v.parse().expect("valid --seeds count");
+                    assert!(out.seeds >= 1, "--seeds must be at least 1");
+                }
                 "--only" => {
                     let v = iter.next().expect("--only requires a value");
                     out.only
@@ -113,8 +134,8 @@ impl BenchArgs {
                 other => panic!(
                     "unknown argument `{other}`; \
                      usage: [--seed N] [--quick] [--smoke] [--jobs N] \
-                     [--only a,b] [--out DIR] [--trace FILE] [--faults FILE] \
-                     [--print-config]"
+                     [--shards N] [--seeds N] [--only a,b] [--out DIR] \
+                     [--trace FILE] [--faults FILE] [--print-config]"
                 ),
             }
         }
@@ -168,6 +189,8 @@ mod tests {
         assert!(!a.quick);
         assert!(!a.smoke);
         assert_eq!(a.jobs, 1);
+        assert_eq!(a.shards, 1);
+        assert_eq!(a.seeds, 1);
         assert!(a.only.is_empty());
         assert_eq!(a.scale(), Scale::Full);
     }
@@ -182,6 +205,10 @@ mod tests {
                 "--smoke",
                 "--jobs",
                 "4",
+                "--shards",
+                "2",
+                "--seeds",
+                "5",
                 "--only",
                 "fig7,fig8",
                 "--out",
@@ -194,6 +221,8 @@ mod tests {
         assert!(a.quick);
         assert!(a.smoke);
         assert_eq!(a.jobs, 4);
+        assert_eq!(a.shards, 2);
+        assert_eq!(a.seeds, 5);
         assert_eq!(a.only, vec!["fig7".to_string(), "fig8".to_string()]);
         assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
         // Smoke wins over quick.
@@ -241,5 +270,17 @@ mod tests {
     #[should_panic(expected = "--jobs must be at least 1")]
     fn zero_jobs_panics() {
         BenchArgs::from_args(["--jobs", "0"].iter().map(|s| s.to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "--shards must be at least 1")]
+    fn zero_shards_panics() {
+        BenchArgs::from_args(["--shards", "0"].iter().map(|s| s.to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "--seeds must be at least 1")]
+    fn zero_seeds_panics() {
+        BenchArgs::from_args(["--seeds", "0"].iter().map(|s| s.to_string()));
     }
 }

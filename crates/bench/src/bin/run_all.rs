@@ -13,11 +13,18 @@
 //! renders it into REPORT.md.
 
 use pageforge_bench::args::print_table2;
-use pageforge_bench::{suite, trace_report, BenchArgs};
+use pageforge_bench::{suite, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     print_table2();
+
+    if args.trace.is_some() && !pageforge_obs::trace::compiled_in() {
+        eprintln!(
+            "warning: --trace given but tracing is compiled out; \
+             rebuild with `--features trace` to capture events"
+        );
+    }
 
     let outcome = match suite::run_suite(&args) {
         Ok(o) => o,
@@ -30,20 +37,23 @@ fn main() {
     outcome.timing.table().print();
     outcome.timing.write(&args.out_dir);
 
-    if let Some(trace_path) = &args.trace {
-        if !pageforge_obs::trace::compiled_in() {
+    if let (Some(trace_path), Some(summary)) = (&args.trace, &outcome.trace) {
+        println!(
+            "Trace for {} unit(s) ({} events) streamed to {}.",
+            summary.units,
+            summary.events,
+            trace_path.display()
+        );
+        // Streaming collectors flush instead of evicting; a nonzero drop
+        // count means the spool pipeline lost events.
+        if summary.dropped != 0 {
             eprintln!(
-                "warning: --trace given but tracing is compiled out; \
-                 rebuild with `--features trace` to capture events"
-            );
-        }
-        match trace_report::write_trace_jsonl(trace_path, &outcome.traces) {
-            Ok(()) => println!(
-                "Trace for {} unit(s) written to {}.",
-                outcome.traces.len(),
+                "error: trace collectors dropped {} event(s); the spooled \
+                 trace at {} is incomplete",
+                summary.dropped,
                 trace_path.display()
-            ),
-            Err(e) => eprintln!("warning: could not write trace: {e}"),
+            );
+            std::process::exit(1);
         }
     }
 

@@ -1,0 +1,58 @@
+//! Compares two observability snapshot JSONs metric-by-metric.
+//!
+//! ```text
+//! snapshot_diff <before.json> <after.json> [--threshold F]
+//! ```
+//!
+//! Prints every added, removed, and changed metric with its relative
+//! delta, then exits nonzero when the movement exceeds the threshold
+//! (default 0.0 — any difference at all is a regression). Metrics that
+//! appear or vanish always count as regressions, whatever the threshold:
+//! a schema change is never "within tolerance".
+
+use std::path::Path;
+
+use pageforge_bench::snapshot_diff::diff;
+use pageforge_obs::Snapshot;
+use pageforge_types::json::{self, FromJson};
+
+fn load(path: &str) -> Snapshot {
+    let raw = std::fs::read_to_string(Path::new(path))
+        .unwrap_or_else(|e| panic!("could not read {path}: {e}"));
+    let value = json::parse(&raw).unwrap_or_else(|e| panic!("{path}: invalid JSON: {e:?}"));
+    Snapshot::from_json(&value).unwrap_or_else(|| panic!("{path}: not a snapshot object"))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold = 0.0_f64;
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = iter.next().expect("--threshold requires a value");
+                threshold = v.parse().expect("valid --threshold fraction");
+                assert!(threshold >= 0.0, "--threshold must be non-negative");
+            }
+            other if !other.starts_with("--") => paths.push(other),
+            other => panic!(
+                "unknown argument `{other}`; \
+                 usage: snapshot_diff <before.json> <after.json> [--threshold F]"
+            ),
+        }
+    }
+    assert!(
+        paths.len() == 2,
+        "usage: snapshot_diff <before.json> <after.json> [--threshold F]"
+    );
+
+    let before = load(paths[0]);
+    let after = load(paths[1]);
+    let d = diff(&before, &after);
+    print!("{}", d.render());
+    if d.exceeds(threshold) {
+        eprintln!("regression: metric movement exceeds threshold {threshold}");
+        std::process::exit(1);
+    }
+}

@@ -18,6 +18,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::report::{pct, ratio, Table};
+use crate::scheduler::ShardTiming;
 
 /// The applications of Table 3, in the paper's order.
 pub const APPS: [&str; 5] = ["img_dnn", "masstree", "moses", "silo", "sphinx"];
@@ -356,7 +357,20 @@ pub fn suite_modes() -> [DedupMode; 3] {
 
 /// Runs one (app, mode) cell of the latency suite.
 pub fn run_suite_cell(app: &str, mode: DedupMode, seed: u64, scale: Scale) -> SimResult {
-    System::new(sim_config(app, mode, seed, scale)).run()
+    run_suite_cell_sharded(app, mode, seed, scale, 1)
+}
+
+/// Runs one cell on the sharded executor with `shards` worker threads
+/// (`--shards`). `shards == 1` is the reference schedule; every level
+/// returns a bit-identical [`SimResult`].
+pub fn run_suite_cell_sharded(
+    app: &str,
+    mode: DedupMode,
+    seed: u64,
+    scale: Scale,
+    shards: usize,
+) -> SimResult {
+    System::with_shards(sim_config(app, mode, seed, scale), shards).run()
 }
 
 /// Runs one cell with a fault plan installed. Only PageForge cells have an
@@ -366,13 +380,14 @@ pub fn run_suite_cell_faulted(
     mode: DedupMode,
     seed: u64,
     scale: Scale,
+    shards: usize,
     plan: &FaultPlan,
 ) -> SimResult {
     let mut cfg = sim_config(app, mode, seed, scale);
     if matches!(cfg.dedup, DedupMode::PageForge(_)) {
         cfg.faults = Some(plan.clone());
     }
-    System::new(cfg).run()
+    System::with_shards(cfg, shards).run()
 }
 
 /// Runs Baseline/KSM/PageForge for one app. The triple shares the seed so
@@ -429,6 +444,157 @@ pub fn write_suite_cache(
     if let Err(e) = std::fs::create_dir_all(out_dir).and_then(|_| std::fs::write(path, body)) {
         eprintln!("warning: could not cache simulations: {e}");
     }
+}
+
+// ---------------------------------------------------------------------
+// Shard scaling and seed sweeps
+// ---------------------------------------------------------------------
+
+/// The `shard_scaling` experiment: the heaviest latency-suite cell
+/// (silo under PageForge) run under four executor configurations —
+/// the legacy exhaustive-refill-probe executor, then the sharded
+/// executor at 1, 2, and 4 worker threads. Every configuration must
+/// produce a bit-identical [`SimResult`] (the run panics otherwise),
+/// so the returned [`Table`] is deterministic; the wall-clock seconds
+/// go into the separate [`ShardTiming`] rows, which land in
+/// `meta/timing.json` outside the `results/*.json` determinism glob.
+pub fn shard_scaling(seed: u64, scale: Scale) -> (Table, Vec<ShardTiming>) {
+    // (label, exhaustive_refill_probe, shards). Run order matters: the
+    // first row is the reference executor the speedup is quoted against.
+    let configs: [(&str, bool, usize); 4] = [
+        ("legacy executor (exhaustive refill probe)", true, 1),
+        ("sharded executor", false, 1),
+        ("sharded executor", false, 2),
+        ("sharded executor", false, 4),
+    ];
+    let app = "silo";
+    let mut table = Table::new(
+        "Shard scaling: executor configurations, byte-identity check (silo, PageForge)",
+        &[
+            "Configuration",
+            "Shards",
+            "Mean sojourn (cycles)",
+            "Merges",
+            "Identical",
+        ],
+    );
+    // Wall-clock on a shared machine is noisy; run every configuration
+    // twice and keep the faster repetition (the standard minimum-of-N
+    // estimator). Every repetition's result must match the reference
+    // byte-for-byte, so the extra runs double as determinism coverage.
+    const REPS: usize = 2;
+    let mut timing = Vec::new();
+    let mut reference: Option<String> = None;
+    for (label, exhaustive, shards) in configs {
+        let mut secs = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..REPS {
+            let mut cfg = sim_config(
+                app,
+                DedupMode::PageForge(SimConfig::scaled_pageforge()),
+                seed,
+                scale,
+            );
+            if let DedupMode::PageForge(pf) = &mut cfg.dedup {
+                pf.exhaustive_refill_probe = exhaustive;
+            }
+            let start = std::time::Instant::now();
+            let rep = System::with_shards(cfg, shards).run();
+            secs = secs.min(start.elapsed().as_secs_f64());
+            let encoded = rep.to_json().to_string_compact();
+            match &reference {
+                None => reference = Some(encoded),
+                Some(want) => assert!(
+                    *want == encoded,
+                    "shard_scaling: `{label}` at {shards} shard(s) diverged \
+                     from the reference executor's result"
+                ),
+            }
+            result = Some(rep);
+        }
+        let result = result.expect("at least one repetition ran");
+        table.row(vec![
+            label.to_owned(),
+            shards.to_string(),
+            format!("{:.1}", result.mean_sojourn()),
+            result.mem_stats.merges.to_string(),
+            "yes".to_owned(),
+        ]);
+        timing.push(ShardTiming {
+            label: label.to_owned(),
+            shards,
+            secs,
+        });
+    }
+    (table, timing)
+}
+
+/// One seed replica of the `seed_sweep` experiment: the headline paper
+/// metrics of the silo triple, with latencies normalized to that seed's
+/// own Baseline (the form Figures 9–10 report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedReplicate {
+    /// Seed this replica ran under.
+    pub seed: u64,
+    /// KSM mean sojourn latency, × Baseline.
+    pub ksm_mean: f64,
+    /// PageForge mean sojourn latency, × Baseline.
+    pub pf_mean: f64,
+    /// KSM p95 sojourn latency, × Baseline.
+    pub ksm_p95: f64,
+    /// PageForge p95 sojourn latency, × Baseline.
+    pub pf_p95: f64,
+    /// PageForge memory savings fraction, in `[0, 1)`.
+    pub savings: f64,
+}
+
+/// Runs one seed replica for [`seed_sweep_table`]. Replicas cap the
+/// scale at `--quick` — the sweep multiplies the suite's heaviest cell
+/// by the seed count, and seed-to-seed spread is what is being measured,
+/// not absolute magnitude.
+pub fn seed_sweep_cell(seed: u64, scale: Scale) -> SeedReplicate {
+    let [mut base, mut ksm, mut pf] = run_triple("silo", seed, scale.at_most_quick());
+    let base_mean = base.mean_sojourn();
+    let base_p95 = base.p95_sojourn();
+    SeedReplicate {
+        seed,
+        ksm_mean: ksm.mean_sojourn() / base_mean,
+        pf_mean: pf.mean_sojourn() / base_mean,
+        ksm_p95: ksm.p95_sojourn() / base_p95,
+        pf_p95: pf.p95_sojourn() / base_p95,
+        savings: pf.mem_stats.savings_fraction(),
+    }
+}
+
+/// Folds seed replicas into the `seed_sweep` table: mean ± min/max per
+/// metric, the spread column EXPERIMENTS.md quotes next to each
+/// paper-vs-measured number.
+pub fn seed_sweep_table(reps: &[SeedReplicate]) -> Table {
+    let mut t = Table::new(
+        &format!("Seed sweep: silo across {} seeds (× Baseline)", reps.len()),
+        &["Metric", "Mean", "Min", "Max"],
+    );
+    type Pick = fn(&SeedReplicate) -> f64;
+    let metrics: [(&str, Pick); 5] = [
+        ("KSM mean sojourn", |r| r.ksm_mean),
+        ("PageForge mean sojourn", |r| r.pf_mean),
+        ("KSM p95 sojourn", |r| r.ksm_p95),
+        ("PageForge p95 sojourn", |r| r.pf_p95),
+        ("PageForge memory savings", |r| r.savings),
+    ];
+    for (name, pick) in metrics {
+        let mut stats = RunningStats::new();
+        for r in reps {
+            stats.push(pick(r));
+        }
+        t.row(vec![
+            name.to_owned(),
+            format!("{:.4}", stats.mean()),
+            format!("{:.4}", stats.min()),
+            format!("{:.4}", stats.max()),
+        ]);
+    }
+    t
 }
 
 /// Figure 9: mean sojourn latency normalized to Baseline.

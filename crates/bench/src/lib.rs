@@ -30,6 +30,7 @@ pub mod args;
 pub mod experiments;
 pub mod report;
 pub mod scheduler;
+pub mod snapshot_diff;
 pub mod suite;
 pub mod trace_report;
 

@@ -89,8 +89,14 @@ pub struct UnitResult<T> {
     /// Trace events the unit emitted. Always empty unless the `trace`
     /// cargo feature is enabled (each worker installs a per-unit
     /// [`Collector`], so events stay in deterministic submission order
-    /// at any `--jobs` level).
+    /// at any `--jobs` level) — and also empty under
+    /// [`run_units_spooled`], where events stream to per-unit spool
+    /// files instead of accumulating in memory.
     pub events: Vec<TraceEvent>,
+    /// Events the unit's collector evicted because its ring filled.
+    /// Always 0 for spooled (streaming) runs — that is the point of the
+    /// chunked writer — and asserted to be 0 by `run_all --trace`.
+    pub dropped: u64,
 }
 
 /// A unit panicked; the run was aborted.
@@ -114,6 +120,11 @@ impl std::fmt::Display for SchedulerError {
 
 impl std::error::Error for SchedulerError {}
 
+/// Builds one unit's trace [`Collector`] from its submission index. The
+/// default (`None`) is an in-memory ring ([`Collector::new`]); spooled
+/// runs hand each unit a streaming collector writing to its own file.
+type CollectorFactory<'a> = Option<&'a (dyn Fn(usize) -> Collector + Sync)>;
+
 /// Runs `units` on `jobs` worker threads and returns their results **in
 /// submission order**, or the first (by submission order) failure.
 ///
@@ -123,13 +134,74 @@ pub fn run_units<T: Send>(
     jobs: usize,
     units: Vec<Unit<T>>,
 ) -> Result<Vec<UnitResult<T>>, SchedulerError> {
+    run_units_with(jobs, units, None)
+}
+
+/// Like [`run_units`], but each unit streams its trace events to a
+/// per-unit spool file under `spool_dir` (`unit_<index>.jsonl`, compact
+/// JSONL) instead of buffering them in memory. Streaming collectors
+/// flush to their sink when full, so nothing is ever dropped — the
+/// chunked-writer replacement for the old 2^16-event drop-oldest ring.
+///
+/// Units that emit no events create no spool file (and with the `trace`
+/// feature compiled out no file is ever created). Use
+/// [`crate::trace_report::assemble_spooled_trace`] to fold the spools
+/// into the final single-stream JSONL in submission order.
+pub fn run_units_spooled<T: Send>(
+    jobs: usize,
+    units: Vec<Unit<T>>,
+    spool_dir: &Path,
+) -> Result<Vec<UnitResult<T>>, SchedulerError> {
+    std::fs::create_dir_all(spool_dir).expect("create trace spool directory");
+    let mk = |idx: usize| {
+        let path = spool_path(spool_dir, idx);
+        let mut writer: Option<std::io::BufWriter<std::fs::File>> = None;
+        Collector::with_sink(
+            SPOOL_CHUNK_EVENTS,
+            Box::new(move |events: Vec<TraceEvent>| {
+                use pageforge_types::json::ToJson as _;
+                use std::io::Write as _;
+                let w = writer.get_or_insert_with(|| {
+                    std::io::BufWriter::new(
+                        std::fs::File::create(&path).expect("create trace spool file"),
+                    )
+                });
+                for event in &events {
+                    writeln!(w, "{}", event.to_json().to_string_compact())
+                        .expect("write trace spool file");
+                }
+            }),
+        )
+    };
+    run_units_with(jobs, units, Some(&mk))
+}
+
+/// Events buffered per streaming collector before a chunk is flushed to
+/// its spool file.
+const SPOOL_CHUNK_EVENTS: usize = 4096;
+
+/// Spool-file path for the unit at submission index `idx`.
+pub fn spool_path(spool_dir: &Path, idx: usize) -> std::path::PathBuf {
+    spool_dir.join(format!("unit_{idx:05}.jsonl"))
+}
+
+fn run_units_with<T: Send>(
+    jobs: usize,
+    units: Vec<Unit<T>>,
+    mk_collector: CollectorFactory<'_>,
+) -> Result<Vec<UnitResult<T>>, SchedulerError> {
+    let collector_for = |idx: usize| match mk_collector {
+        Some(mk) => mk(idx),
+        None => Collector::new(),
+    };
     let n = units.len();
     if jobs <= 1 || n <= 1 {
         return units
             .into_iter()
-            .map(|u| {
+            .enumerate()
+            .map(|(idx, u)| {
                 let started = Instant::now();
-                let (value, events) = run_traced(u.run);
+                let (value, events, dropped) = run_traced(collector_for(idx), u.run);
                 let value = value.map_err(|message| SchedulerError {
                     label: u.label.clone(),
                     message,
@@ -140,6 +212,7 @@ pub fn run_units<T: Send>(
                     value,
                     secs: started.elapsed().as_secs_f64(),
                     events,
+                    dropped,
                 })
             })
             .collect();
@@ -161,6 +234,7 @@ pub fn run_units<T: Send>(
             let slots = &slots;
             let cursor = &cursor;
             let aborted = &aborted;
+            let collector_for = &collector_for;
             scope.spawn(move || loop {
                 if aborted.load(Ordering::Relaxed) {
                     break;
@@ -177,7 +251,7 @@ pub fn run_units<T: Send>(
                 let experiment = unit.experiment;
                 let label = unit.label;
                 let started = Instant::now();
-                let (value, events) = run_traced(unit.run);
+                let (value, events, dropped) = run_traced(collector_for(idx), unit.run);
                 let outcome = match value {
                     Ok(value) => Ok(UnitResult {
                         experiment,
@@ -185,6 +259,7 @@ pub fn run_units<T: Send>(
                         value,
                         secs: started.elapsed().as_secs_f64(),
                         events,
+                        dropped,
                     }),
                     Err(message) => {
                         aborted.store(true, Ordering::Relaxed);
@@ -225,16 +300,22 @@ pub fn run_units<T: Send>(
     })
 }
 
-/// Runs one unit with a fresh per-unit trace [`Collector`] installed on
-/// the current thread, returning its output and the events it emitted.
-/// Without the `trace` feature the install/drain calls are no-ops and the
-/// event list is always empty.
-fn run_traced<T>(f: Box<dyn FnOnce() -> T + Send>) -> (Result<T, String>, Vec<TraceEvent>) {
-    trace::install(Collector::new());
+/// Runs one unit with `collector` installed as the current thread's
+/// trace sink, returning its output, the events still buffered when it
+/// finished, and the collector's drop count. A streaming collector
+/// flushes its tail to the sink during the drain, so its event list
+/// comes back empty; dropping the collector afterwards closes the sink.
+/// Without the `trace` feature every call here is a no-op and the event
+/// list is always empty.
+fn run_traced<T>(
+    collector: Collector,
+    f: Box<dyn FnOnce() -> T + Send>,
+) -> (Result<T, String>, Vec<TraceEvent>, u64) {
+    trace::install(collector);
     let value = run_caught(f);
     let events = trace::drain();
-    trace::uninstall();
-    (value, events)
+    let dropped = trace::uninstall().map_or(0, |c| c.dropped());
+    (value, events, dropped)
 }
 
 /// Runs the closure, translating a panic into its message.
@@ -261,6 +342,20 @@ pub struct ExperimentTiming {
     pub units: usize,
 }
 
+/// One timed configuration of the `shard_scaling` experiment: the same
+/// simulation cell under a named executor/thread-count combination.
+/// Wall-clock lives here (under `results/meta/`) and in REPORT.md, never
+/// in the byte-identical result tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardTiming {
+    /// Configuration label (e.g. `"sharded executor"`).
+    pub label: String,
+    /// `--shards` level the cell ran at.
+    pub shards: usize,
+    /// Wall-clock seconds for the cell.
+    pub secs: f64,
+}
+
 /// Timing record for a whole scheduled run. Written by `run_all` to
 /// `<out_dir>/meta/timing.json` — *outside* the `results/*.json` globs,
 /// because timing legitimately differs between runs while the result
@@ -275,6 +370,10 @@ pub struct RunTiming {
     pub wall_secs: f64,
     /// Per-experiment busy time, in first-submission order.
     pub experiments: Vec<ExperimentTiming>,
+    /// Per-configuration wall-clock of the `shard_scaling` experiment,
+    /// in run order (first row is the reference executor). Empty when
+    /// the experiment was not part of the run.
+    pub shard_scaling: Vec<ShardTiming>,
 }
 
 impl RunTiming {
@@ -299,6 +398,7 @@ impl RunTiming {
             units: results.len(),
             wall_secs,
             experiments,
+            shard_scaling: Vec::new(),
         }
     }
 
@@ -376,6 +476,26 @@ impl FromJson for ExperimentTiming {
     }
 }
 
+impl ToJson for ShardTiming {
+    fn to_json(&self) -> Value {
+        obj([
+            ("label", self.label.to_json()),
+            ("shards", self.shards.to_json()),
+            ("secs", self.secs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ShardTiming {
+    fn from_json(value: &Value) -> Option<Self> {
+        Some(ShardTiming {
+            label: String::from_json(value.get("label")?)?,
+            shards: usize::from_json(value.get("shards")?)?,
+            secs: f64::from_json(value.get("secs")?)?,
+        })
+    }
+}
+
 impl ToJson for RunTiming {
     fn to_json(&self) -> Value {
         obj([
@@ -383,6 +503,7 @@ impl ToJson for RunTiming {
             ("units", self.units.to_json()),
             ("wall_secs", self.wall_secs.to_json()),
             ("experiments", self.experiments.to_json()),
+            ("shard_scaling", self.shard_scaling.to_json()),
         ])
     }
 }
@@ -394,6 +515,11 @@ impl FromJson for RunTiming {
             units: usize::from_json(value.get("units")?)?,
             wall_secs: f64::from_json(value.get("wall_secs")?)?,
             experiments: Vec::from_json(value.get("experiments")?)?,
+            // Absent in records written before the sharded executor.
+            shard_scaling: value
+                .get("shard_scaling")
+                .and_then(Vec::from_json)
+                .unwrap_or_default(),
         })
     }
 }
@@ -450,6 +576,7 @@ mod tests {
                 value: (),
                 secs: 1.0,
                 events: vec![],
+                dropped: 0,
             },
             UnitResult {
                 experiment: "fig8".into(),
@@ -457,6 +584,7 @@ mod tests {
                 value: (),
                 secs: 2.0,
                 events: vec![],
+                dropped: 0,
             },
             UnitResult {
                 experiment: "fig7".into(),
@@ -464,6 +592,7 @@ mod tests {
                 value: (),
                 secs: 0.5,
                 events: vec![],
+                dropped: 0,
             },
         ];
         let t = RunTiming::from_results(4, 2.0, &results);
@@ -486,6 +615,11 @@ mod tests {
                 name: "fig7".into(),
                 secs: 0.75,
                 units: 2,
+            }],
+            shard_scaling: vec![ShardTiming {
+                label: "sharded executor".into(),
+                shards: 2,
+                secs: 0.4,
             }],
         };
         let back = RunTiming::from_json(&json::parse(&t.to_json().to_string_pretty()).unwrap());

@@ -15,9 +15,12 @@ use pageforge_sim::SimResult;
 use pageforge_types::stats::RunningStats;
 use pageforge_vm::AppProfile;
 
-use crate::experiments::{self, HashKeyOutcome, MemorySavings};
+use crate::experiments::{self, HashKeyOutcome, MemorySavings, SeedReplicate};
 use crate::report::Table;
-use crate::scheduler::{run_units, RunTiming, SchedulerError, Unit};
+use crate::scheduler::{
+    run_units, run_units_spooled, RunTiming, SchedulerError, ShardTiming, Unit,
+};
+use crate::trace_report;
 use crate::BenchArgs;
 
 /// Every experiment name `--only` accepts, in paper order.
@@ -36,6 +39,8 @@ pub const EXPERIMENTS: &[&str] = &[
     "comparison_uksm",
     "sweep_scan_rate",
     "extension_heterogeneous",
+    "shard_scaling",
+    "seed_sweep",
 ];
 
 /// What one work unit produces.
@@ -50,6 +55,11 @@ pub enum UnitOutput {
     Sim(Box<SimResult>),
     /// One app's Table 5 Scan-Table cycle distribution.
     Engine(String, RunningStats),
+    /// The shard-scaling experiment: its deterministic table plus the
+    /// wall-clock rows destined for `meta/timing.json`.
+    ShardScaling(Table, Vec<ShardTiming>),
+    /// One seed replica of the `seed_sweep` experiment.
+    SeedRep(SeedReplicate),
 }
 
 /// The reassembled evaluation: named tables (file stem, table) in paper
@@ -59,9 +69,25 @@ pub struct SuiteOutcome {
     pub tables: Vec<(String, Table)>,
     /// Per-experiment wall-clock accounting.
     pub timing: RunTiming,
-    /// Per-unit trace streams `(unit label, events)` in submission
-    /// order. Empty unless the crate was built with `--features trace`.
-    pub traces: Vec<(String, Vec<pageforge_obs::TraceEvent>)>,
+    /// Accounting for the spooled trace stream; `None` unless `--trace`
+    /// was given. (Events only exist when the crate was built with
+    /// `--features trace`; without it the stream holds markers only.)
+    pub trace: Option<TraceSummary>,
+}
+
+/// Accounting for a `--trace` run: each unit streamed its events to a
+/// per-unit spool file mid-run, and the spools were folded into the
+/// final JSONL in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Units scheduled (each contributes one `bench/unit_start` marker).
+    pub units: usize,
+    /// Unit trace events assembled into the stream (markers excluded).
+    pub events: u64,
+    /// Events dropped across all unit collectors, summed. Streaming
+    /// collectors flush instead of dropping, so this must be 0 —
+    /// `run_all` exits nonzero otherwise.
+    pub dropped: u64,
 }
 
 /// Runs the selected experiments on `args.jobs` workers and reassembles
@@ -106,7 +132,16 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
 
     // Build the unit list, heaviest experiments first so the pool stays
     // busy. Assembly below keys on the experiment name, not position.
+    let shards = args.shards;
     let mut units: Vec<Unit<UnitOutput>> = Vec::new();
+    if want("shard_scaling") {
+        // Four back-to-back full-system simulations in one unit — the
+        // heaviest single unit of the suite, so it goes first.
+        units.push(Unit::new("shard_scaling", "shard_scaling", move || {
+            let (table, rows) = experiments::shard_scaling(seed, scale);
+            UnitOutput::ShardScaling(table, rows)
+        }));
+    }
     if want("latency") && cached_suite.is_none() {
         for app in experiments::APPS {
             for mode in experiments::suite_modes() {
@@ -114,11 +149,30 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
                 let plan = fault_plan.clone();
                 units.push(Unit::new("latency", label, move || {
                     UnitOutput::Sim(Box::new(match &plan {
-                        Some(p) => experiments::run_suite_cell_faulted(app, mode, seed, scale, p),
-                        None => experiments::run_suite_cell(app, mode, seed, scale),
+                        Some(p) => {
+                            experiments::run_suite_cell_faulted(app, mode, seed, scale, shards, p)
+                        }
+                        None => experiments::run_suite_cell_sharded(app, mode, seed, scale, shards),
                     }))
                 }));
             }
+        }
+    }
+    if args.seeds < 2 && args.only.iter().any(|o| o == "seed_sweep") {
+        panic!("--only seed_sweep needs --seeds N with N >= 2 to have anything to sweep");
+    }
+    if want("seed_sweep") && args.seeds >= 2 {
+        for i in 0..args.seeds {
+            // Replica 0 is the run's own seed; the rest are derived.
+            let rep_seed = if i == 0 {
+                seed
+            } else {
+                pageforge_types::derive_seed(seed, &format!("seed_sweep/{i}"))
+            };
+            let label = format!("seed_sweep/{rep_seed:#x}");
+            units.push(Unit::new("seed_sweep", label, move || {
+                UnitOutput::SeedRep(experiments::seed_sweep_cell(rep_seed, scale))
+            }));
         }
     }
     let profiles = AppProfile::tailbench_suite_scaled(scale.pages_per_vm());
@@ -199,9 +253,21 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
         Box::new(experiments::ablation_inorder_core),
     );
 
+    // With `--trace`, units stream their events to per-unit spool files
+    // mid-run (nothing buffers or drops); the spools are folded into the
+    // final JSONL after the pool drains.
+    let spool_dir = args
+        .trace
+        .as_ref()
+        .map(|path| std::path::PathBuf::from(format!("{}.spool.d", path.display())));
     let started = std::time::Instant::now();
-    let results = run_units(args.jobs, units)?;
-    let timing = RunTiming::from_results(args.jobs, started.elapsed().as_secs_f64(), &results);
+    let results = match &spool_dir {
+        Some(dir) => run_units_spooled(args.jobs, units, dir)?,
+        None => run_units(args.jobs, units)?,
+    };
+    let mut timing = RunTiming::from_results(args.jobs, started.elapsed().as_secs_f64(), &results);
+    let dropped: u64 = results.iter().map(|r| r.dropped).sum();
+    let labels: Vec<String> = results.iter().map(|r| r.label.clone()).collect();
 
     // Reassemble in paper order, keyed by experiment name.
     let mut savings = Vec::new();
@@ -209,19 +275,23 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
     let mut sims = Vec::new();
     let mut engine = Vec::new();
     let mut singles: Vec<(String, Table)> = Vec::new();
-    let mut traces = Vec::new();
+    let mut shard_rows: Vec<ShardTiming> = Vec::new();
+    let mut seed_reps: Vec<SeedReplicate> = Vec::new();
     for r in results {
-        if !r.events.is_empty() {
-            traces.push((r.label.clone(), r.events));
-        }
         match r.value {
             UnitOutput::Table(t) => singles.push((r.experiment, t)),
             UnitOutput::Savings(s) => savings.push(s),
             UnitOutput::HashKeys(h) => hash_keys.push(h),
             UnitOutput::Sim(s) => sims.push(*s),
             UnitOutput::Engine(name, stats) => engine.push((name, stats)),
+            UnitOutput::ShardScaling(t, rows) => {
+                singles.push((r.experiment, t));
+                shard_rows = rows;
+            }
+            UnitOutput::SeedRep(rep) => seed_reps.push(rep),
         }
     }
+    timing.shard_scaling = shard_rows;
     let single_table = |singles: &mut Vec<(String, Table)>, name: &str| -> Option<Table> {
         let pos = singles.iter().position(|(n, _)| n == name)?;
         Some(singles.remove(pos).1)
@@ -301,10 +371,29 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
             push(&mut tables, name, t);
         }
     }
+    if !seed_reps.is_empty() {
+        push(
+            &mut tables,
+            "seed_sweep",
+            experiments::seed_sweep_table(&seed_reps),
+        );
+    }
+    let trace = match (&args.trace, &spool_dir) {
+        (Some(path), Some(dir)) => {
+            let events = trace_report::assemble_spooled_trace(path, dir, &labels)
+                .unwrap_or_else(|e| panic!("--trace: could not assemble {}: {e}", path.display()));
+            Some(TraceSummary {
+                units: labels.len(),
+                events,
+                dropped,
+            })
+        }
+        _ => None,
+    };
     Ok(SuiteOutcome {
         tables,
         timing,
-        traces,
+        trace,
     })
 }
 

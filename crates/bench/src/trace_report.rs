@@ -204,6 +204,55 @@ pub fn write_trace_jsonl(
     Ok(())
 }
 
+/// Folds the per-unit spool files written by
+/// [`crate::scheduler::run_units_spooled`] into the final single-stream
+/// JSONL at `path`, in submission order, with the same `bench/unit_start`
+/// markers as [`write_trace_jsonl`]. The spool files (and `spool_dir`
+/// itself, when emptied) are removed afterwards. Returns the total
+/// number of unit events assembled (markers excluded).
+pub fn assemble_spooled_trace(
+    path: &Path,
+    spool_dir: &Path,
+    labels: &[String],
+) -> std::io::Result<u64> {
+    use std::io::Write as _;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut total: u64 = 0;
+    for (index, label) in labels.iter().enumerate() {
+        let spool = crate::scheduler::spool_path(spool_dir, index);
+        // Units that emitted nothing created no spool file.
+        let raw = match std::fs::read_to_string(&spool) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let events = raw.lines().filter(|l| !l.trim().is_empty()).count();
+        let marker = pageforge_obs::TraceEvent::new(
+            0,
+            "bench",
+            "unit_start",
+            vec![("index", index as f64), ("events", events as f64)],
+        );
+        writeln!(file, "{}", marker.to_json().to_string_compact())?;
+        eprintln!("  trace: unit {index} = {label} ({events} events)");
+        for line in raw.lines().filter(|l| !l.trim().is_empty()) {
+            writeln!(file, "{line}")?;
+        }
+        total += events as u64;
+        if !raw.is_empty() {
+            std::fs::remove_file(&spool)?;
+        }
+    }
+    // Best-effort: the directory may hold unrelated files if reused.
+    let _ = std::fs::remove_dir(spool_dir);
+    Ok(total)
+}
+
 impl ToJson for AttributionRow {
     fn to_json(&self) -> Value {
         let mut members = vec![
@@ -340,6 +389,43 @@ mod tests {
         // 2 markers + 1 event, all parseable.
         assert_eq!(attr.unparsed_lines, 0);
         assert_eq!(attr.total_events, 3);
+        let markers = attr
+            .rows
+            .iter()
+            .find(|r| r.component == "bench" && r.kind == "unit_start")
+            .unwrap();
+        assert_eq!(markers.events, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spool_assembly_matches_jsonl_writer_shape() {
+        let dir = std::env::temp_dir().join("pageforge-spool-assembly-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spool_dir = dir.join("trace.jsonl.spool.d");
+        std::fs::create_dir_all(&spool_dir).unwrap();
+        // Unit 0 spooled two events; unit 1 emitted nothing (no file).
+        std::fs::write(
+            crate::scheduler::spool_path(&spool_dir, 0),
+            [
+                TraceEvent::new(5, "engine", "batch", vec![("cycles", 10.0)]),
+                TraceEvent::new(9, "dram", "command", vec![("latency", 80.0)]),
+            ]
+            .iter()
+            .map(|e| e.to_json().to_string_compact() + "\n")
+            .collect::<String>(),
+        )
+        .unwrap();
+        let path = dir.join("trace.jsonl");
+        let labels = vec!["fig7/img_dnn".to_owned(), "fig7/silo".to_owned()];
+        let total = assemble_spooled_trace(&path, &spool_dir, &labels).unwrap();
+        assert_eq!(total, 2);
+        // Spool files are consumed and the directory removed.
+        assert!(!spool_dir.exists());
+        let attr = TraceAttribution::fold_file(&path).unwrap();
+        assert_eq!(attr.unparsed_lines, 0);
+        // 2 markers + 2 events.
+        assert_eq!(attr.total_events, 4);
         let markers = attr
             .rows
             .iter()

@@ -74,6 +74,35 @@ impl MemorySystem {
     /// it in one controller; we use controller 0).
     pub const PAGEFORGE_HOME: usize = 0;
 
+    /// Number of controllers (the natural shard-domain count of the
+    /// Figure 5 layout).
+    pub fn controllers(&self) -> usize {
+        self.cfg.controllers
+    }
+
+    /// Tags each controller with its owning execution domain
+    /// (`domains[i]` for controller `i`). Structural metadata for the
+    /// sharded simulator; never consulted by the timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains.len()` differs from the controller count.
+    pub fn assign_domains(&mut self, domains: &[usize]) {
+        assert_eq!(
+            domains.len(),
+            self.mcs.len(),
+            "one domain tag per controller"
+        );
+        for (mc, &d) in self.mcs.iter_mut().zip(domains) {
+            mc.set_domain(d);
+        }
+    }
+
+    /// The execution domain owning the controller that services `addr`.
+    pub fn domain_of(&self, addr: LineAddr) -> usize {
+        self.mcs[self.route(addr)].domain()
+    }
+
     /// Reads one line through the owning controller.
     pub fn read_line(&mut self, addr: LineAddr, now: Cycle, source: MemSource) -> ReadGrant {
         let mc = self.route(addr);

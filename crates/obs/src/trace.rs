@@ -148,11 +148,31 @@ mod imp {
     ///
     /// With the `trace` feature disabled this type is zero-sized and
     /// every method is a no-op.
-    #[derive(Debug, Clone, Default, PartialEq)]
+    ///
+    /// A collector may optionally **stream**: constructed with
+    /// [`Collector::with_sink`], a full buffer is *flushed* to the sink
+    /// callback (in emission order) instead of evicting the oldest
+    /// event, so `dropped()` stays 0 no matter how long the run is.
+    /// This is how `run_all` traces full-scale experiments without
+    /// ring-buffer truncation: the scheduler hands each unit a sink
+    /// that appends to a per-unit spool file.
+    #[derive(Default)]
     pub struct Collector {
         events: VecDeque<TraceEvent>,
         capacity: usize,
         dropped: u64,
+        sink: Option<Box<dyn FnMut(Vec<TraceEvent>) + Send>>,
+    }
+
+    impl std::fmt::Debug for Collector {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Collector")
+                .field("events", &self.events.len())
+                .field("capacity", &self.capacity)
+                .field("dropped", &self.dropped)
+                .field("streaming", &self.sink.is_some())
+                .finish()
+        }
     }
 
     impl Collector {
@@ -168,16 +188,45 @@ mod imp {
                 events: VecDeque::with_capacity(capacity.min(1024)),
                 capacity: capacity.max(1),
                 dropped: 0,
+                sink: None,
             }
         }
 
-        /// Records an event, evicting the oldest if the ring is full.
+        /// Creates a *streaming* collector: when `capacity` events are
+        /// buffered, they are handed to `sink` (oldest first) and the
+        /// buffer restarts empty — nothing is ever dropped. Call
+        /// [`flush`](Self::flush) (or [`take`](Self::take)) at the end
+        /// of the run to push out the final partial chunk.
+        pub fn with_sink(capacity: usize, sink: Box<dyn FnMut(Vec<TraceEvent>) + Send>) -> Self {
+            let mut c = Collector::with_capacity(capacity);
+            c.sink = Some(sink);
+            c
+        }
+
+        /// Records an event. A full ring either flushes to the sink
+        /// (streaming collectors; nothing lost) or evicts the oldest
+        /// event and ticks `dropped`.
         pub fn emit(&mut self, event: TraceEvent) {
             if self.events.len() == self.capacity {
-                self.events.pop_front();
-                self.dropped += 1;
+                if self.sink.is_some() {
+                    self.flush();
+                } else {
+                    self.events.pop_front();
+                    self.dropped += 1;
+                }
             }
             self.events.push_back(event);
+        }
+
+        /// Pushes all buffered events to the sink, if one is attached
+        /// (no-op otherwise). Buffered events remain in place on a
+        /// non-streaming collector so `take` still returns them.
+        pub fn flush(&mut self) {
+            if let Some(sink) = self.sink.as_mut() {
+                if !self.events.is_empty() {
+                    sink(self.events.drain(..).collect());
+                }
+            }
         }
 
         /// Number of buffered events.
@@ -195,8 +244,15 @@ mod imp {
             self.dropped
         }
 
-        /// Removes and returns all buffered events, oldest first.
+        /// Removes and returns all buffered events, oldest first. On a
+        /// streaming collector the chunks already handed to the sink are
+        /// gone from the buffer by construction; the final partial chunk
+        /// is flushed to the sink too, and the result is empty.
         pub fn take(&mut self) -> Vec<TraceEvent> {
+            if self.sink.is_some() {
+                self.flush();
+                return Vec::new();
+            }
             self.events.drain(..).collect()
         }
     }
@@ -277,9 +333,19 @@ mod imp {
             Collector
         }
 
+        /// No-op constructor (feature disabled); the sink is dropped
+        /// unused.
+        pub fn with_sink(_capacity: usize, _sink: Box<dyn FnMut(Vec<TraceEvent>) + Send>) -> Self {
+            Collector
+        }
+
         /// No-op (feature disabled); the event is discarded.
         #[inline(always)]
         pub fn emit(&mut self, _event: TraceEvent) {}
+
+        /// No-op (feature disabled).
+        #[inline(always)]
+        pub fn flush(&mut self) {}
 
         /// Always 0 (feature disabled).
         pub fn len(&self) -> usize {
@@ -430,6 +496,27 @@ mod tests {
             let kept = c.take();
             assert_eq!(kept[0].cycle, 3);
             assert_eq!(kept[1].cycle, 4);
+        }
+
+        #[test]
+        fn streaming_sink_loses_nothing() {
+            use std::sync::{Arc, Mutex};
+            let chunks: Arc<Mutex<Vec<Vec<TraceEvent>>>> = Arc::default();
+            let out = Arc::clone(&chunks);
+            let mut c =
+                Collector::with_sink(3, Box::new(move |events| out.lock().unwrap().push(events)));
+            for i in 0..8u64 {
+                c.emit(TraceEvent::new(i, "t", "k", vec![]));
+            }
+            assert_eq!(c.dropped(), 0, "streaming collectors never drop");
+            assert!(c.take().is_empty(), "take flushes the tail to the sink");
+            assert_eq!(c.dropped(), 0);
+            let chunks = chunks.lock().unwrap();
+            // 8 events at capacity 3: flushes of 3, 3, then the tail of 2.
+            let sizes: Vec<usize> = chunks.iter().map(Vec::len).collect();
+            assert_eq!(sizes, [3, 3, 2]);
+            let cycles: Vec<u64> = chunks.iter().flatten().map(|e| e.cycle).collect();
+            assert_eq!(cycles, (0..8).collect::<Vec<_>>(), "order preserved");
         }
     }
 

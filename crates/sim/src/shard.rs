@@ -1,0 +1,349 @@
+//! Domain-sharded execution of the simulator (Figure 5's layout).
+//!
+//! The paper places one PageForge engine **per memory controller**
+//! precisely because the merge workload partitions along controller
+//! domains. This module carries that structure into the simulator's
+//! execution model:
+//!
+//! * a [`DomainPlan`] statically assigns every core, PageForge module,
+//!   and memory controller to a *domain* (2 in the Figure 5 config, 4
+//!   when `ablation_modules` instantiates 4 engine modules);
+//! * [`DomainQueues`] replaces the single global event heap with one
+//!   heap per domain, merged at pop time in the canonical
+//!   `(cycle, sequence)` order — the exact total order of the old
+//!   single-heap loop, so results stay byte-identical by construction;
+//! * the run is structured into fixed-length **epochs**
+//!   ([`EPOCH_CYCLES`]): at every epoch boundary the per-domain
+//!   [`ShardTally`] staging buffers (cross-domain line counts, Scan
+//!   Table slice handoffs) are folded into the global [`ShardMetrics`]
+//!   in ascending domain order — the canonical exchange the determinism
+//!   contract requires;
+//! * [`ordered_map`] is the worker pool for the phases that are *pure*
+//!   per item — today, per-VM image content synthesis (see
+//!   `AppProfile::generate_vm_page_contents`): items are claimed from a
+//!   shared cursor, computed on `threads` workers, and the outputs are
+//!   re-emitted in submission order, so worker count never affects any
+//!   byte of output.
+//!
+//! What is intentionally **not** parallel: retirement of coupled events.
+//! Every demand access can probe the shared inclusive L3 (snoopy MESI
+//! walks every peer), and the controllers are line-interleaved
+//! (`addr % controllers`), so consecutive accesses from one domain land
+//! in every other domain's controller. Under the byte-identity contract
+//! this coupling forces cross-domain events to retire in the canonical
+//! order; domains advance independently only between exchanges. DESIGN.md
+//! §8 documents the argument and what a relaxed (non-bit-exact) mode
+//! would look like.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pageforge_types::Cycle;
+
+/// Fixed epoch length of the barrier clock, in cycles.
+///
+/// Chosen so a full-scale run (440M cycles) has a few hundred barrier
+/// crossings — frequent enough that staged cross-domain tallies stay
+/// small, rare enough to cost nothing. The value is part of the
+/// deterministic configuration: changing it changes `sim.shard.epochs`
+/// (but never `results/*.json`).
+pub const EPOCH_CYCLES: Cycle = 1_000_000;
+
+/// Static assignment of cores, PageForge modules, and memory
+/// controllers to execution domains.
+///
+/// The domain count is fixed by the machine configuration (the larger
+/// of controller count and engine-module count), **not** by the
+/// `--shards` thread count: threads are an execution resource, domains
+/// are model structure, and output depends on neither.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainPlan {
+    domains: usize,
+    core_domain: Vec<usize>,
+    module_domain: Vec<usize>,
+    controller_domain: Vec<usize>,
+}
+
+impl DomainPlan {
+    /// Builds the plan for `cores` cores, `controllers` memory
+    /// controllers, and `modules` PageForge modules.
+    ///
+    /// Controllers and modules map 1:1 onto domains (modulo the domain
+    /// count); cores are dealt round-robin, mirroring how the paper
+    /// splits the hint list across engines.
+    pub fn new(cores: usize, controllers: usize, modules: usize) -> Self {
+        let domains = controllers.max(modules).max(1);
+        DomainPlan {
+            domains,
+            core_domain: (0..cores).map(|c| c % domains).collect(),
+            module_domain: (0..modules.max(1)).map(|m| m % domains).collect(),
+            controller_domain: (0..controllers.max(1)).map(|c| c % domains).collect(),
+        }
+    }
+
+    /// Number of domains.
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// Domain owning core `c`.
+    pub fn core(&self, c: usize) -> usize {
+        self.core_domain[c % self.core_domain.len().max(1)]
+    }
+
+    /// Domain owning PageForge module `m`.
+    pub fn module(&self, m: usize) -> usize {
+        self.module_domain[m % self.module_domain.len()]
+    }
+
+    /// Domain owning memory controller `c`.
+    pub fn controller(&self, c: usize) -> usize {
+        self.controller_domain[c % self.controller_domain.len()]
+    }
+}
+
+/// Per-domain event heaps merged in canonical `(cycle, sequence)` order.
+///
+/// Sequence numbers are globally unique and monotonically assigned, so
+/// the merged pop order is a *total* order identical to a single
+/// global heap — the equivalence that keeps sharded runs byte-identical
+/// to the legacy single-threaded loop at any shard count.
+#[derive(Debug)]
+pub struct DomainQueues<E> {
+    heaps: Vec<BinaryHeap<Reverse<(Cycle, u64, E)>>>,
+    len: usize,
+}
+
+impl<E: Ord + Copy> DomainQueues<E> {
+    /// Creates queues for `domains` domains.
+    pub fn new(domains: usize) -> Self {
+        DomainQueues {
+            heaps: (0..domains.max(1)).map(|_| BinaryHeap::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of queued events across all domains.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no events are queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues an event on its owning domain.
+    pub fn push(&mut self, domain: usize, at: Cycle, seq: u64, event: E) {
+        let d = domain % self.heaps.len();
+        self.heaps[d].push(Reverse((at, seq, event)));
+        self.len += 1;
+    }
+
+    /// Removes and returns the globally next event in `(cycle, seq)`
+    /// order, with the domain it was owned by.
+    pub fn pop(&mut self) -> Option<(usize, Cycle, u64, E)> {
+        let mut best: Option<(usize, (Cycle, u64, E))> = None;
+        for (d, heap) in self.heaps.iter().enumerate() {
+            if let Some(Reverse(head)) = heap.peek() {
+                match &best {
+                    Some((_, b)) if *b <= *head => {}
+                    _ => best = Some((d, *head)),
+                }
+            }
+        }
+        let (domain, _) = best?;
+        let Reverse((t, seq, event)) = self.heaps[domain].pop()?;
+        self.len -= 1;
+        Some((domain, t, seq, event))
+    }
+}
+
+/// Cross-domain traffic staged by one domain during an epoch, exchanged
+/// at the barrier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardTally {
+    /// Demand/engine lines this domain sent to a controller owned by
+    /// another domain (line interleaving makes this the common case).
+    pub xdomain_lines: u64,
+    /// Lines that stayed within the issuing domain's own controller.
+    pub local_lines: u64,
+    /// Scan Table slices the driver handed to the engine (refills) —
+    /// the §4.2 slice handoff, re-published at epoch boundaries.
+    pub table_handoffs: u64,
+}
+
+impl ShardTally {
+    /// Folds `other` into `self`.
+    pub fn absorb(&mut self, other: &ShardTally) {
+        self.xdomain_lines += other.xdomain_lines;
+        self.local_lines += other.local_lines;
+        self.table_handoffs += other.table_handoffs;
+    }
+
+    /// `true` when nothing was staged.
+    pub fn is_zero(&self) -> bool {
+        *self == ShardTally::default()
+    }
+}
+
+/// Totals accumulated across all barrier exchanges, exported as the
+/// `sim.shard.*` metrics (see OBSERVABILITY.md).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Epoch boundaries crossed (barrier count).
+    pub epochs: u64,
+    /// Barrier exchanges that actually carried staged traffic.
+    pub exchanges: u64,
+    /// Total cross-domain lines (see [`ShardTally::xdomain_lines`]).
+    pub xdomain_lines: u64,
+    /// Total domain-local lines.
+    pub local_lines: u64,
+    /// Total Scan Table slice handoffs.
+    pub table_handoffs: u64,
+}
+
+impl ShardMetrics {
+    /// Folds every domain's staged tally into the totals **in ascending
+    /// domain order** (the canonical exchange order) and clears the
+    /// stage.
+    pub fn exchange(&mut self, stage: &mut [ShardTally]) {
+        let mut carried = false;
+        for tally in stage.iter_mut() {
+            if !tally.is_zero() {
+                carried = true;
+            }
+            self.xdomain_lines += tally.xdomain_lines;
+            self.local_lines += tally.local_lines;
+            self.table_handoffs += tally.table_handoffs;
+            *tally = ShardTally::default();
+        }
+        if carried {
+            self.exchanges += 1;
+        }
+    }
+}
+
+/// Runs `f` over `0..items` on up to `threads` workers and returns the
+/// outputs **in item order**.
+///
+/// Items are claimed from a shared atomic cursor (the same take-once
+/// shape as the experiment scheduler) and each output lands in its
+/// item's slot, so the result is independent of worker count and
+/// scheduling. `f` must be a pure function of the item index. A worker
+/// panic propagates out of the enclosing scope.
+pub fn ordered_map<R, F>(threads: usize, items: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || items <= 1 {
+        return (0..items).map(f).collect();
+    }
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..items).map(|_| std::sync::Mutex::new(None)).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items) {
+            let slots = &slots;
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let idx = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= slots.len() {
+                    break;
+                }
+                *slots[idx].lock().expect("shard map slot lock") = Some(f(idx));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("shard map slot lock")
+                .expect("every item is computed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_partitions_by_controller_and_module() {
+        // Figure 5: 10 cores, 2 controllers, 1 module -> 2 domains.
+        let p = DomainPlan::new(10, 2, 1);
+        assert_eq!(p.domains(), 2);
+        assert_eq!(p.core(0), 0);
+        assert_eq!(p.core(1), 1);
+        assert_eq!(p.core(9), 1);
+        assert_eq!(p.controller(0), 0);
+        assert_eq!(p.controller(1), 1);
+        assert_eq!(p.module(0), 0);
+
+        // ablation_modules: 4 engine modules widen the plan to 4 domains.
+        let p4 = DomainPlan::new(10, 2, 4);
+        assert_eq!(p4.domains(), 4);
+        assert_eq!(p4.module(3), 3);
+        assert_eq!(p4.controller(1), 1);
+    }
+
+    #[test]
+    fn queues_preserve_global_cycle_seq_order() {
+        // Interleave pushes across 3 domains; pops must come back in
+        // exactly (cycle, seq) order — the single-heap total order.
+        let mut q: DomainQueues<u8> = DomainQueues::new(3);
+        let mut reference = Vec::new();
+        let mut seq = 0u64;
+        for (domain, at, ev) in [
+            (0, 50, 1u8),
+            (1, 10, 2),
+            (2, 10, 3),
+            (1, 90, 4),
+            (0, 10, 5),
+            (2, 50, 6),
+        ] {
+            seq += 1;
+            q.push(domain, at, seq, ev);
+            reference.push((at, seq, ev));
+        }
+        reference.sort_unstable();
+        let mut popped = Vec::new();
+        while let Some((_, t, s, e)) = q.pop() {
+            popped.push((t, s, e));
+        }
+        assert_eq!(popped, reference);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn exchange_folds_in_domain_order_and_clears() {
+        let mut m = ShardMetrics::default();
+        let mut stage = vec![ShardTally::default(); 2];
+        stage[0].xdomain_lines = 3;
+        stage[1].local_lines = 5;
+        stage[1].table_handoffs = 2;
+        m.exchange(&mut stage);
+        assert_eq!(m.xdomain_lines, 3);
+        assert_eq!(m.local_lines, 5);
+        assert_eq!(m.table_handoffs, 2);
+        assert_eq!(m.exchanges, 1);
+        assert!(stage.iter().all(ShardTally::is_zero));
+        // An empty exchange counts no traffic.
+        m.exchange(&mut stage);
+        assert_eq!(m.exchanges, 1);
+    }
+
+    #[test]
+    fn ordered_map_is_thread_count_invariant() {
+        let f = |i: usize| (i * i) as u64;
+        let seq = ordered_map(1, 20, f);
+        for threads in [2, 4, 7] {
+            assert_eq!(ordered_map(threads, 20, f), seq);
+        }
+        assert_eq!(seq[19], 361);
+        assert!(ordered_map(4, 0, f).is_empty());
+    }
+}

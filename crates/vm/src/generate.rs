@@ -205,19 +205,26 @@ impl AppProfile {
         }
     }
 
-    fn generate_vm_pages(
+    /// Synthesizes one VM's page contents in mapping order — a **pure**
+    /// function of `(profile, vm, seed)`, touching no shared state.
+    ///
+    /// [`generate_vm_pages`](Self::generate_image_for_vm) is exactly
+    /// "synthesize, then map sequentially", so the sharded simulator can
+    /// fan this call out across worker threads (one VM per task) and
+    /// replay the mapping in VM order with byte-identical frame
+    /// assignment and content.
+    pub fn generate_vm_page_contents(
         &self,
-        mem: &mut HostMemory,
         vm: VmId,
         seed: u64,
-        out: &mut Vec<GeneratedPage>,
-    ) {
+    ) -> Vec<(Gfn, PageData, PageCategory)> {
         let n_unmergeable = (self.pages_per_vm as f64 * self.unmergeable_frac) as usize;
         let n_zero = (self.pages_per_vm as f64 * self.zero_frac) as usize;
         let n_mergeable = self.pages_per_vm - n_unmergeable - n_zero;
         let n_full_span = (n_mergeable as f64 * self.full_span_frac) as usize;
         let vm_raw = vm.0;
 
+        let mut out = Vec::with_capacity(self.pages_per_vm);
         let mut gfn_raw = 0u64;
         // Mergeable non-zero pages: group `g` has identical content in
         // every VM (full span) or in a pair of VMs (content keyed by the
@@ -230,36 +237,59 @@ impl AppProfile {
                 // Shared by VM pairs: (0,1), (2,3), ...
                 hash3(seed, 2, (g as u64) << 32 | u64::from(vm_raw / 2))
             };
-            let data = synthetic_library_page(content_seed);
-            mem.map_new_page(vm, Gfn(gfn_raw), data);
-            out.push(GeneratedPage {
-                vm,
-                gfn: Gfn(gfn_raw),
-                category: PageCategory::MergeableNonZero,
-            });
+            out.push((
+                Gfn(gfn_raw),
+                synthetic_library_page(content_seed),
+                PageCategory::MergeableNonZero,
+            ));
             gfn_raw += 1;
         }
         // Zero pages.
         for _ in 0..n_zero {
-            mem.map_new_page(vm, Gfn(gfn_raw), PageData::zeroed());
-            out.push(GeneratedPage {
-                vm,
-                gfn: Gfn(gfn_raw),
-                category: PageCategory::MergeableZero,
-            });
+            out.push((
+                Gfn(gfn_raw),
+                PageData::zeroed(),
+                PageCategory::MergeableZero,
+            ));
             gfn_raw += 1;
         }
         // Unmergeable pages: unique random content per (vm, gfn).
         for u in 0..n_unmergeable {
             let content_seed = hash3(seed, 3, (u64::from(vm_raw) << 32) | u as u64);
-            let data = random_page(content_seed);
-            mem.map_new_page(vm, Gfn(gfn_raw), data);
-            out.push(GeneratedPage {
-                vm,
-                gfn: Gfn(gfn_raw),
-                category: PageCategory::Unmergeable,
-            });
+            out.push((
+                Gfn(gfn_raw),
+                random_page(content_seed),
+                PageCategory::Unmergeable,
+            ));
             gfn_raw += 1;
+        }
+        out
+    }
+
+    fn generate_vm_pages(
+        &self,
+        mem: &mut HostMemory,
+        vm: VmId,
+        seed: u64,
+        out: &mut Vec<GeneratedPage>,
+    ) {
+        self.map_vm_page_contents(mem, vm, self.generate_vm_page_contents(vm, seed), out);
+    }
+
+    /// Maps pre-synthesized page contents into `mem` in order, recording
+    /// the layout. Split from the synthesis step so content generation
+    /// can run on shard workers while frame allocation stays sequential
+    /// (frame numbers are handed out in mapping order).
+    pub fn map_vm_page_contents(
+        &self,
+        mem: &mut HostMemory,
+        vm: VmId,
+        contents: Vec<(Gfn, PageData, PageCategory)>,
+        out: &mut Vec<GeneratedPage>,
+    ) {
+        for (gfn, data, category) in contents {
+            mem.map_new_page(vm, gfn, data);
+            out.push(GeneratedPage { vm, gfn, category });
         }
     }
 }

@@ -18,10 +18,7 @@ fn pageforge_traffic_is_tagged_and_cache_aware() {
     let mut caches = SystemCaches::new(HierarchyConfig::micro50(2));
     let mut mem = MemorySystem::new(MemorySystemConfig::micro50());
     caches.access(0, LineAddr(64), false); // core 0 caches line 64
-    let mut fabric = SimFabric {
-        caches: &mut caches,
-        mem: &mut mem,
-    };
+    let mut fabric = SimFabric::new(&mut caches, &mut mem, 0);
     let hit = fabric.read_line(LineAddr(64), 100);
     assert!(hit.on_chip);
     let miss = fabric.read_line(LineAddr(9999), 100);
