@@ -1,0 +1,52 @@
+//! Throwaway microbenchmark of the per-access hot-path components.
+
+use pageforge_cache::{HierarchyConfig, SystemCaches};
+use pageforge_mem::{MemSource, MemorySystem, MemorySystemConfig};
+use pageforge_types::LineAddr;
+use pageforge_workloads::{AccessPattern, AppSpec};
+use std::time::Instant;
+
+fn main() {
+    let spec = AppSpec::by_name("silo").unwrap();
+    let n = 20_000_000u64;
+
+    let mut p = AccessPattern::new(&spec, 42);
+    let t0 = Instant::now();
+    let mut acc = 0usize;
+    for _ in 0..n {
+        let t = p.next_touch();
+        acc = acc.wrapping_add(t.page_index + t.line);
+    }
+    println!(
+        "next_touch: {:.1} ns/op ({acc})",
+        t0.elapsed().as_nanos() as f64 / n as f64
+    );
+
+    let mut caches = SystemCaches::new(HierarchyConfig::micro50(10));
+    let mut p = AccessPattern::new(&spec, 42);
+    let t0 = Instant::now();
+    let mut lat = 0u64;
+    for i in 0..n {
+        let t = p.next_touch();
+        let addr = LineAddr((t.page_index as u64) * 64 + t.line as u64);
+        let a = caches.access((i % 10) as usize, addr, t.is_write);
+        lat = lat.wrapping_add(a.latency);
+    }
+    println!(
+        "next_touch+access: {:.1} ns/op (lat {lat})",
+        t0.elapsed().as_nanos() as f64 / n as f64
+    );
+
+    let mut mems = MemorySystem::new(MemorySystemConfig::micro50());
+    let t0 = Instant::now();
+    let m = 2_000_000u64;
+    let mut lat = 0u64;
+    for i in 0..m {
+        let g = mems.read_line(LineAddr(i * 7 % 100_000), i * 20, MemSource::Demand);
+        lat = lat.wrapping_add(g.ready_at);
+    }
+    println!(
+        "read_line: {:.1} ns/op (lat {lat})",
+        t0.elapsed().as_nanos() as f64 / m as f64
+    );
+}

@@ -1,0 +1,44 @@
+//! Throwaway profiling harness: times construction vs run for one cell.
+
+use pageforge_bench::experiments::sim_config;
+use pageforge_bench::experiments::Scale;
+use pageforge_sim::{DedupMode, SimConfig, System};
+use std::time::Instant;
+
+fn main() {
+    let seed = 0xC0FFEE;
+    for (name, mode) in [
+        ("baseline", DedupMode::None),
+        ("ksm", DedupMode::Ksm(SimConfig::scaled_ksm())),
+        (
+            "pageforge",
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+        ),
+    ] {
+        let cfg = sim_config("silo", mode, seed, Scale::Full);
+        let t0 = Instant::now();
+        let sys = System::with_shards(cfg, 1);
+        let t1 = Instant::now();
+        let (r, snap) = sys.run_observed();
+        let t2 = Instant::now();
+        println!(
+            "{name}: construct {:.2}s run {:.2}s (queries {})",
+            (t1 - t0).as_secs_f64(),
+            (t2 - t1).as_secs_f64(),
+            r.queries_completed
+        );
+        for m in [
+            "mem.dram.reads",
+            "mem.controller.reads",
+            "mem.controller.coalesced_reads",
+            "ksm.work.hash_ops",
+            "ksm.work.comparisons",
+            "engine.comparisons",
+            "engine.lines_fetched",
+        ] {
+            if let Some(v) = snap.counter(m) {
+                println!("  {m} = {v}");
+            }
+        }
+    }
+}

@@ -30,6 +30,12 @@ use crate::scheduler::ParallelConfig;
 /// * `--faults <file>` — JSON fault plan applied to the PageForge engine
 ///   in the latency suite (`run_all`). A non-empty plan bypasses the
 ///   suite cache; an empty plan is a no-op by construction;
+/// * `--snapshot <file>` — after the suite, run one KSM and one PageForge
+///   probe cell at this run's scale/seed/shards and write their unioned
+///   observability snapshot (metric names prefixed `ksm/`, `pageforge/`)
+///   to this path. Snapshots are part of the determinism contract, so CI
+///   diffs two of these from different `--jobs`/`--shards` levels with
+///   `snapshot_diff --threshold 0`;
 /// * `--print-config` — print the Table 2 configuration and exit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
@@ -53,6 +59,8 @@ pub struct BenchArgs {
     pub trace: Option<PathBuf>,
     /// Fault-plan JSON path (`run_all`).
     pub faults: Option<PathBuf>,
+    /// Unioned probe-cell snapshot path (`run_all`).
+    pub snapshot: Option<PathBuf>,
     /// Print the architecture configuration and exit.
     pub print_config: bool,
 }
@@ -70,6 +78,7 @@ impl Default for BenchArgs {
             out_dir: PathBuf::from("results"),
             trace: None,
             faults: None,
+            snapshot: None,
             print_config: false,
         }
     }
@@ -130,12 +139,18 @@ impl BenchArgs {
                         iter.next().expect("--faults requires a value"),
                     ));
                 }
+                "--snapshot" => {
+                    out.snapshot = Some(PathBuf::from(
+                        iter.next().expect("--snapshot requires a value"),
+                    ));
+                }
                 "--print-config" => out.print_config = true,
                 other => panic!(
                     "unknown argument `{other}`; \
                      usage: [--seed N] [--quick] [--smoke] [--jobs N] \
                      [--shards N] [--seeds N] [--only a,b] [--out DIR] \
-                     [--trace FILE] [--faults FILE] [--print-config]"
+                     [--trace FILE] [--faults FILE] [--snapshot FILE] \
+                     [--print-config]"
                 ),
             }
         }
@@ -246,6 +261,17 @@ mod tests {
         let a = BenchArgs::from_args(["--faults", "/tmp/plan.json"].iter().map(|s| s.to_string()));
         assert_eq!(a.faults, Some(PathBuf::from("/tmp/plan.json")));
         assert_eq!(BenchArgs::default().faults, None);
+    }
+
+    #[test]
+    fn snapshot_path_parses() {
+        let a = BenchArgs::from_args(
+            ["--snapshot", "/tmp/snap.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.snapshot, Some(PathBuf::from("/tmp/snap.json")));
+        assert_eq!(BenchArgs::default().snapshot, None);
     }
 
     #[test]

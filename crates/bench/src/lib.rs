@@ -32,6 +32,7 @@ pub mod report;
 pub mod scheduler;
 pub mod snapshot_diff;
 pub mod suite;
+pub mod timing_gate;
 pub mod trace_report;
 
 pub use args::BenchArgs;

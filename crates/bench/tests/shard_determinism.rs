@@ -9,8 +9,10 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use pageforge_bench::{suite, BenchArgs};
+use pageforge_bench::snapshot_diff::diff;
+use pageforge_bench::{experiments, suite, BenchArgs};
 use pageforge_faults::FaultPlan;
+use pageforge_ksm::KsmConfig;
 use pageforge_sim::{DedupMode, SimConfig, System};
 use pageforge_types::json::ToJson;
 
@@ -92,6 +94,100 @@ fn faulted_results_are_byte_identical_across_shard_levels() {
     let four = run_latency(4, Some(&plan_path), "f4");
     assert_identical(&one, &four, "faulted shards 1 vs 4");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The digest cache elides *host* compute only: with the cache disabled
+/// (`KsmConfig::digest_cache = false`, the full-recompute cross-check
+/// mode) every `SimResult` byte and every snapshot metric except the
+/// cache's own `ksm.digest.*` accounting must come out identical, at any
+/// `--shards` level, through a workload whose churn model exercises
+/// in-place dirty writes and CoW breaks.
+#[test]
+fn digest_cache_off_is_byte_identical_modulo_its_own_counters() {
+    let run = |cache: bool, shards: usize| {
+        let ksm_cfg = KsmConfig {
+            digest_cache: cache,
+            ..SimConfig::scaled_ksm()
+        };
+        let cfg = SimConfig::smoke("silo", DedupMode::Ksm(ksm_cfg), 11);
+        let (result, snapshot) = System::with_shards(cfg, shards).run_observed();
+        (result.to_json().to_string_compact(), snapshot)
+    };
+    let (r_on, s_on) = run(true, 1);
+    let d_self = diff(&s_on, &run(true, 1).1);
+    assert!(d_self.is_empty(), "reference run is not reproducible");
+    // The cache must actually be in play, or this test proves nothing.
+    assert!(
+        d_self.unchanged > 0
+            && s_on
+                .to_json()
+                .to_string_compact()
+                .contains("\"ksm.digest.hits\""),
+        "snapshot must carry digest-cache accounting"
+    );
+    for (cache, shards) in [(false, 1), (false, 4), (true, 4)] {
+        let what = format!("cache={cache} shards={shards}");
+        let (r, s) = run(cache, shards);
+        assert_eq!(r_on, r, "{what}: SimResult bytes differ");
+        let d = diff(&s_on, &s);
+        assert!(
+            d.added.is_empty() && d.removed.is_empty(),
+            "{what}: snapshot schema changed: {d:?}"
+        );
+        if cache {
+            // Cache-on legs differ from the reference only by shard
+            // count, and OBSERVABILITY.md pins ksm.digest.* as
+            // shard-invariant (the CI snapshot gate diffs shard levels
+            // at --threshold 0) — so *nothing* may move here.
+            assert!(
+                d.changed.is_empty(),
+                "{what}: shard-invariant metrics moved: {:?}",
+                d.changed
+            );
+        } else {
+            for delta in &d.changed {
+                assert!(
+                    delta.name.starts_with("ksm.digest."),
+                    "{what}: metric `{}` moved ({} -> {}); only ksm.digest.* may",
+                    delta.name,
+                    delta.before,
+                    delta.after
+                );
+            }
+        }
+    }
+}
+
+/// Same contract under a non-empty fault plan: toggling the digest cache
+/// may not move a byte of any cell's `SimResult`, faulted PageForge cells
+/// included, at any shard level.
+#[test]
+fn digest_cache_off_is_byte_identical_under_a_fault_plan() {
+    let plan = FaultPlan::generate(7, 5_000_000, 24, 1, 10_000);
+    assert!(!plan.is_empty(), "the generated plan must actually fault");
+    let scale = BenchArgs {
+        smoke: true,
+        ..BenchArgs::default()
+    }
+    .scale();
+    let run = |cache: bool, shards: usize| {
+        let ksm_cfg = KsmConfig {
+            digest_cache: cache,
+            ..SimConfig::scaled_ksm()
+        };
+        let modes = [
+            DedupMode::Ksm(ksm_cfg),
+            DedupMode::PageForge(SimConfig::scaled_pageforge()),
+        ];
+        modes.map(|mode| {
+            experiments::run_suite_cell_faulted("masstree", mode, 11, scale, shards, &plan)
+                .to_json()
+                .to_string_compact()
+        })
+    };
+    let reference = run(true, 1);
+    assert_eq!(reference, run(false, 1), "cache off moved faulted bytes");
+    assert_eq!(reference, run(false, 4), "cache off + shards 4 moved bytes");
 }
 
 #[test]

@@ -120,10 +120,19 @@ struct Way {
 }
 
 /// One set-associative cache. Tags only — data lives in `HostMemory`.
+///
+/// Ways are stored in one flat arena (`num_sets × ways` slots) rather than
+/// per-set `Vec`s: a set is the contiguous slice
+/// `ways[set × cfg.ways ..][.. occupancy[set]]`, which keeps lookups on a
+/// single allocation and makes the hierarchy's snoop scans cache-friendly
+/// on the host.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// Flat way storage: slot `set * cfg.ways + i` holds way `i` of `set`.
+    ways: Vec<Way>,
+    /// Live ways per set (the occupied prefix of the set's slice).
+    occupancy: Vec<u8>,
     num_sets: usize,
     use_counter: u64,
     stats: CacheStats,
@@ -131,11 +140,27 @@ pub struct SetAssocCache {
 
 impl SetAssocCache {
     /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.ways` exceeds the `u8` occupancy counters.
     pub fn new(cfg: CacheConfig) -> Self {
+        assert!(
+            cfg.ways <= u8::MAX as usize,
+            "set occupancy is tracked in u8 counters"
+        );
         let num_sets = cfg.num_sets();
         SetAssocCache {
             cfg,
-            sets: vec![Vec::with_capacity(cfg.ways); num_sets],
+            ways: vec![
+                Way {
+                    tag: 0,
+                    state: LineState::Shared,
+                    last_used: 0,
+                };
+                num_sets * cfg.ways
+            ],
+            occupancy: vec![0; num_sets],
             num_sets,
             use_counter: 0,
             stats: CacheStats::default(),
@@ -161,26 +186,43 @@ impl SetAssocCache {
         (addr.0 % self.num_sets as u64) as usize
     }
 
+    /// The occupied ways of `addr`'s set.
+    fn set_ways(&self, set: usize) -> &[Way] {
+        let base = set * self.cfg.ways;
+        &self.ways[base..base + self.occupancy[set] as usize]
+    }
+
+    fn set_ways_mut(&mut self, set: usize) -> &mut [Way] {
+        let base = set * self.cfg.ways;
+        &mut self.ways[base..base + self.occupancy[set] as usize]
+    }
+
     /// Looks up `addr`, updating LRU and hit/miss counters.
     /// Returns the line's state on a hit.
     pub fn lookup(&mut self, addr: LineAddr) -> Option<LineState> {
         let set = self.set_index(addr);
         self.use_counter += 1;
         let counter = self.use_counter;
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.tag == addr.0) {
-            way.last_used = counter;
+        let hit = self
+            .set_ways_mut(set)
+            .iter_mut()
+            .find(|w| w.tag == addr.0)
+            .map(|way| {
+                way.last_used = counter;
+                way.state
+            });
+        if hit.is_some() {
             self.stats.hits += 1;
-            Some(way.state)
         } else {
             self.stats.misses += 1;
-            None
         }
+        hit
     }
 
     /// Checks presence without touching LRU or counters (snoop path).
     pub fn peek(&self, addr: LineAddr) -> Option<LineState> {
         let set = self.set_index(addr);
-        self.sets[set]
+        self.set_ways(set)
             .iter()
             .find(|w| w.tag == addr.0)
             .map(|w| w.state)
@@ -189,7 +231,7 @@ impl SetAssocCache {
     /// Sets the state of a resident line. No-op if absent.
     pub fn set_state(&mut self, addr: LineAddr, state: LineState) {
         let set = self.set_index(addr);
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.tag == addr.0) {
+        if let Some(way) = self.set_ways_mut(set).iter_mut().find(|w| w.tag == addr.0) {
             way.state = state;
         }
     }
@@ -200,40 +242,59 @@ impl SetAssocCache {
         let set = self.set_index(addr);
         self.use_counter += 1;
         let counter = self.use_counter;
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.tag == addr.0) {
+        if let Some(way) = self.set_ways_mut(set).iter_mut().find(|w| w.tag == addr.0) {
             // Already resident: refresh (upgrade) in place.
             way.state = state;
             way.last_used = counter;
             return None;
         }
+        let base = set * self.cfg.ways;
+        let len = self.occupancy[set] as usize;
         let mut victim = None;
-        if self.sets[set].len() == self.cfg.ways {
-            let lru = self.sets[set]
+        let slot = if len == self.cfg.ways {
+            let lru = self
+                .set_ways(set)
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, w)| w.last_used)
                 .map(|(i, _)| i)
                 .expect("set is full");
-            let evicted = self.sets[set].swap_remove(lru);
+            let evicted = self.ways[base + lru];
             self.stats.evictions += 1;
             if evicted.state.is_dirty() {
                 self.stats.writebacks += 1;
             }
             victim = Some((LineAddr(evicted.tag), evicted.state));
-        }
-        self.sets[set].push(Way {
+            // Mirror the old per-set `swap_remove(lru); push(new)`: the
+            // tail way moves into the victim's slot and the new line lands
+            // at the tail, preserving slot order exactly.
+            if lru != len - 1 {
+                self.ways[base + lru] = self.ways[base + len - 1];
+            }
+            base + len - 1
+        } else {
+            self.occupancy[set] += 1;
+            base + len
+        };
+        self.ways[slot] = Way {
             tag: addr.0,
             state,
             last_used: counter,
-        });
+        };
         victim
     }
 
     /// Invalidates `addr`, returning its state if it was resident.
     pub fn invalidate(&mut self, addr: LineAddr) -> Option<LineState> {
         let set = self.set_index(addr);
-        if let Some(pos) = self.sets[set].iter().position(|w| w.tag == addr.0) {
-            let way = self.sets[set].swap_remove(pos);
+        if let Some(pos) = self.set_ways(set).iter().position(|w| w.tag == addr.0) {
+            let base = set * self.cfg.ways;
+            let len = self.occupancy[set] as usize;
+            let way = self.ways[base + pos];
+            if pos != len - 1 {
+                self.ways[base + pos] = self.ways[base + len - 1];
+            }
+            self.occupancy[set] -= 1;
             self.stats.invalidations += 1;
             Some(way.state)
         } else {
@@ -243,7 +304,7 @@ impl SetAssocCache {
 
     /// Number of resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.occupancy.iter().map(|&n| n as usize).sum()
     }
 }
 

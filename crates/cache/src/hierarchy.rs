@@ -73,6 +73,14 @@ pub struct SystemCaches {
     l1: Vec<SetAssocCache>,
     l2: Vec<SetAssocCache>,
     l3: SetAssocCache,
+    /// Conservative per-line holder filter: bit `c` is set whenever core
+    /// `c`'s private caches *may* hold the line (always set on fill, only
+    /// cleared when a scan proves absence). Bus snoops consult it to skip
+    /// scanning cores that provably cannot hold the line — the common case
+    /// for a VM's private pages, which only its own core ever touches.
+    /// Purely an optimization: every hit/miss/state outcome is identical
+    /// with or without the filter.
+    holders: Vec<u64>,
 }
 
 impl SystemCaches {
@@ -80,14 +88,38 @@ impl SystemCaches {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.cores` is zero.
+    /// Panics if `cfg.cores` is zero or exceeds the 64-bit holder filter.
     pub fn new(cfg: HierarchyConfig) -> Self {
         assert!(cfg.cores > 0, "at least one core required");
+        assert!(cfg.cores <= 64, "holder filter packs cores into a u64");
         SystemCaches {
             l1: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
             l2: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l2)).collect(),
             l3: SetAssocCache::new(cfg.l3),
             cfg,
+            holders: Vec::new(),
+        }
+    }
+
+    /// The may-hold mask of `addr` (0 when never filled).
+    fn holder_mask(&self, addr: LineAddr) -> u64 {
+        self.holders.get(addr.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Marks `core` as a possible private holder of `addr`.
+    fn note_holder(&mut self, core: usize, addr: LineAddr) {
+        let idx = addr.0 as usize;
+        if idx >= self.holders.len() {
+            self.holders.resize(idx + 1, 0);
+        }
+        self.holders[idx] |= 1 << core;
+    }
+
+    /// Clears the may-hold bits in `mask` for `addr` (after a scan or
+    /// invalidation proved those cores no longer hold the line).
+    fn clear_holders(&mut self, addr: LineAddr, mask: u64) {
+        if let Some(m) = self.holders.get_mut(addr.0 as usize) {
+            *m &= !mask;
         }
     }
 
@@ -191,22 +223,31 @@ impl SystemCaches {
     /// allocated anywhere — the PageForge module has no cache.
     pub fn probe_from_mc(&mut self, addr: LineAddr) -> Option<Cycle> {
         let mut latency = self.cfg.bus_latency;
-        // Snoopy bus: every private cache is checked.
+        // Snoopy bus: every private cache that may hold the line is
+        // checked (the holder filter excludes only provable absences).
+        let mask = self.holder_mask(addr);
         let mut found = false;
+        let mut still_held = 0u64;
         for core in 0..self.cfg.cores {
+            if mask & (1 << core) == 0 {
+                continue;
+            }
             if let Some(state) = self.l1[core].peek(addr) {
                 if state == LineState::Modified {
                     self.l1[core].set_state(addr, LineState::Shared);
                     self.l2[core].set_state(addr, LineState::Shared);
                 }
                 found = true;
+                still_held |= 1 << core;
             } else if let Some(state) = self.l2[core].peek(addr) {
                 if state == LineState::Modified {
                     self.l2[core].set_state(addr, LineState::Shared);
                 }
                 found = true;
+                still_held |= 1 << core;
             }
         }
+        self.clear_holders(addr, mask & !still_held);
         if found {
             latency += self.cfg.peer_transfer_latency;
             return Some(latency);
@@ -220,6 +261,7 @@ impl SystemCaches {
     }
 
     fn fill_private(&mut self, core: usize, addr: LineAddr, state: LineState, levels: u8) {
+        self.note_holder(core, addr);
         if levels >= 2 {
             if let Some((victim, vstate)) = self.l2[core].fill(addr, state) {
                 if vstate.is_dirty() {
@@ -236,11 +278,17 @@ impl SystemCaches {
     }
 
     /// Snoops peer caches; on a write, invalidates their copies. Returns
-    /// whether any peer held the line.
+    /// whether any peer held the line. Only cores whose holder bit is set
+    /// are scanned — the filter guarantees the rest cannot hold the line.
     fn snoop(&mut self, requester: usize, addr: LineAddr, write: bool) -> bool {
+        let peer_mask = self.holder_mask(addr) & !(1u64 << requester);
+        if peer_mask == 0 {
+            return false;
+        }
         let mut found = false;
+        let mut still_held = 0u64;
         for core in 0..self.cfg.cores {
-            if core == requester {
+            if peer_mask & (1 << core) == 0 {
                 continue;
             }
             let in_l1 = self.l1[core].peek(addr).is_some();
@@ -259,33 +307,51 @@ impl SystemCaches {
                     }
                     self.l1[core].set_state(addr, LineState::Shared);
                     self.l2[core].set_state(addr, LineState::Shared);
+                    still_held |= 1 << core;
                 }
             }
         }
+        self.clear_holders(addr, peer_mask & !still_held);
         found
     }
 
     fn any_peer_holds(&self, requester: usize, addr: LineAddr) -> bool {
+        let peer_mask = self.holder_mask(addr) & !(1u64 << requester);
+        if peer_mask == 0 {
+            return false;
+        }
         (0..self.cfg.cores).any(|core| {
-            core != requester
+            peer_mask & (1 << core) != 0
                 && (self.l1[core].peek(addr).is_some() || self.l2[core].peek(addr).is_some())
         })
     }
 
     fn invalidate_peers(&mut self, requester: usize, addr: LineAddr) {
+        let peer_mask = self.holder_mask(addr) & !(1u64 << requester);
+        if peer_mask == 0 {
+            return;
+        }
         for core in 0..self.cfg.cores {
-            if core != requester {
+            if peer_mask & (1 << core) != 0 {
                 self.l1[core].invalidate(addr);
                 self.l2[core].invalidate(addr);
             }
         }
+        self.clear_holders(addr, peer_mask);
     }
 
     fn back_invalidate(&mut self, addr: LineAddr) {
-        for core in 0..self.cfg.cores {
-            self.l1[core].invalidate(addr);
-            self.l2[core].invalidate(addr);
+        let mask = self.holder_mask(addr);
+        if mask == 0 {
+            return;
         }
+        for core in 0..self.cfg.cores {
+            if mask & (1 << core) != 0 {
+                self.l1[core].invalidate(addr);
+                self.l2[core].invalidate(addr);
+            }
+        }
+        self.clear_holders(addr, mask);
     }
 
     /// Stats of one core's L1.

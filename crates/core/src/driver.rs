@@ -176,6 +176,11 @@ pub struct PageForge {
     /// Set when the per-batch error threshold trips: the rest of the
     /// current `scan_batch` goes straight to the software path.
     degrade_batch: bool,
+    /// Refill scratch: the current BFS slice. Reused across refills so the
+    /// hot search loop allocates nothing in steady state.
+    scratch_slice: Vec<NodeId>,
+    /// Refill scratch: stale nodes found in the slice.
+    scratch_stale: Vec<NodeId>,
 }
 
 impl PageForge {
@@ -192,6 +197,8 @@ impl PageForge {
             prev_key: BTreeMap::new(),
             stats: PageForgeStats::default(),
             degrade_batch: false,
+            scratch_slice: Vec::new(),
+            scratch_stale: Vec::new(),
         }
     }
 
@@ -669,6 +676,27 @@ impl PageForge {
         cand_ppn: Ppn,
         now: Cycle,
     ) -> HwOutcome {
+        // Lend the driver's scratch buffers to the search loop so refills
+        // reuse their capacity instead of allocating per refill.
+        let mut slice = std::mem::take(&mut self.scratch_slice);
+        let mut stale = std::mem::take(&mut self.scratch_stale);
+        let out = self.hw_search_with(which, mem, fabric, cand_ppn, now, &mut slice, &mut stale);
+        self.scratch_slice = slice;
+        self.scratch_stale = stale;
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn hw_search_with(
+        &mut self,
+        which: TreeKind,
+        mem: &HostMemory,
+        fabric: &mut impl MemoryFabric,
+        cand_ppn: Ppn,
+        now: Cycle,
+        slice: &mut Vec<NodeId>,
+        stale: &mut Vec<NodeId>,
+    ) -> HwOutcome {
         let capacity = self.engine.table().capacity();
         let mut t = now;
         let mut first_batch = true;
@@ -698,14 +726,16 @@ impl PageForge {
             };
 
             // Collect a breadth-first slice, pruning stale nodes.
-            let slice = tree.raw().bfs_from(start_node, capacity);
-            let stale: Vec<NodeId> = slice
-                .iter()
-                .copied()
-                .filter(|&id| !tree.node_is_valid(mem, tree.node(id)))
-                .collect();
+            tree.raw().bfs_from_into(start_node, capacity, slice);
+            stale.clear();
+            stale.extend(
+                slice
+                    .iter()
+                    .copied()
+                    .filter(|&id| !tree.node_is_valid(mem, tree.node(id))),
+            );
             if !stale.is_empty() {
-                for id in stale {
+                for &id in stale.iter() {
                     tree.prune(id);
                 }
                 // Pruning may rotate ancestors; restart from the root.
@@ -722,24 +752,15 @@ impl PageForge {
                 subtree_fits(tree, start_node, slice.len())
             };
 
-            // Load the Scan Table.
-            let mut index_of: BTreeMap<NodeId, u8> = BTreeMap::new();
-            for (i, &id) in slice.iter().enumerate() {
-                index_of.insert(id, i as u8);
-            }
-            let entries: Vec<(Ppn, u8, u8)> = slice
-                .iter()
-                .enumerate()
-                .map(|(i, &id)| {
-                    let node = tree.node(id);
-                    let less = child_index(tree, &index_of, id, Side::Left, capacity, i);
-                    let more = child_index(tree, &index_of, id, Side::Right, capacity, i);
-                    (node.ppn, less, more)
-                })
-                .collect();
+            // Load the Scan Table straight from the slice. Sibling lookups
+            // are linear scans of the slice — at Scan Table sizes (≤ 32
+            // entries) that beats building a tree map per refill.
             self.engine.clear_others();
-            for (i, &(ppn, less, more)) in entries.iter().enumerate() {
-                self.engine.insert_ppn(i as u8, ppn, less, more);
+            for (i, &id) in slice.iter().enumerate() {
+                let node = tree.node(id);
+                let less = child_index(tree, slice, id, Side::Left, capacity, i);
+                let more = child_index(tree, slice, id, Side::Right, capacity, i);
+                self.engine.insert_ppn(i as u8, node.ppn, less, more);
             }
             if first_batch {
                 self.engine.insert_pfe(cand_ppn, last_refill, 0);
@@ -750,7 +771,7 @@ impl PageForge {
             self.stats.refills += 1;
             self.stats.os_cycles += self.cfg.os_refill_cycles;
             trace_event!(t, "driver", "refill", {
-                entries: entries.len() as f64,
+                entries: slice.len() as f64,
                 last_refill: if last_refill { 1.0 } else { 0.0 },
             });
 
@@ -864,7 +885,7 @@ fn decode_invalid(ptr: u8, capacity: usize) -> Option<(usize, Side)> {
 
 fn child_index(
     tree: &PageTree,
-    index_of: &BTreeMap<NodeId, u8>,
+    slice: &[NodeId],
     id: NodeId,
     side: Side,
     capacity: usize,
@@ -874,8 +895,8 @@ fn child_index(
         Side::Left => tree.raw().left(id),
         Side::Right => tree.raw().right(id),
     };
-    match child.and_then(|c| index_of.get(&c)) {
-        Some(&i) => i,
+    match child.and_then(|c| slice.iter().position(|&n| n == c)) {
+        Some(i) => i as u8,
         None => encode_invalid(my_index, side, capacity),
     }
 }

@@ -372,10 +372,9 @@ impl PageForgeEngine {
         let mut now = start;
         let mut comparisons = 0u64;
         let cand_ppn = self.table.pfe().ppn;
-        let cand: PageData = mem
+        let cand: &PageData = mem
             .frame_data(cand_ppn)
-            .ok_or(EngineError::MissingCandidateFrame(cand_ppn))?
-            .clone();
+            .ok_or(EngineError::MissingCandidateFrame(cand_ppn))?;
 
         loop {
             let ptr = self.table.pfe().ptr;
@@ -416,7 +415,7 @@ impl PageForgeEngine {
                     .and_then(|f| f.view_line(now, cand.line(line)));
                 // Snatch the candidate's ECC code as it passes through the
                 // controller (§3.3.2).
-                self.observe_candidate_line(&cand, line, now);
+                self.observe_candidate_line(cand, line, now);
                 let cmp = match &view {
                     // Detected-uncorrectable: the data is untrusted, so the
                     // comparator takes a deterministic safe direction — it
@@ -468,7 +467,7 @@ impl PageForgeEngine {
             for line in self.key.missing() {
                 let done = self.fetch(fabric, cand_ppn, line, now);
                 now = done;
-                self.observe_candidate_line(&cand, line, now);
+                self.observe_candidate_line(cand, line, now);
             }
         }
         if self.key.is_complete() && !self.table.pfe().hash_ready {

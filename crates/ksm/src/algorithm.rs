@@ -23,7 +23,7 @@ use pageforge_ecc::{EccHashKey, EccKeyConfig};
 use pageforge_obs::trace_event;
 use pageforge_obs::Registry;
 use pageforge_types::{Gfn, VmId};
-use pageforge_vm::HostMemory;
+use pageforge_vm::{DigestCache, DigestCacheStats, HostMemory};
 
 use crate::cost::{CostModel, KsmCycles, KsmWork};
 use crate::jhash::{page_checksum, KSM_HASH_BYTES};
@@ -54,6 +54,13 @@ pub struct KsmConfig {
     /// (plus MSHR pressure, which the paper notes and the simulator
     /// charges as uncached-read stalls).
     pub cache_bypass: bool,
+    /// Host-side digest memoization: reuse a candidate's jhash checksum
+    /// (and shadow ECC key) while the frame's `(epoch, version)` stamp is
+    /// unchanged. Modeled work (`hash_ops`, `hash_bytes`, cache touches)
+    /// is charged identically either way, so every simulated result is
+    /// byte-identical with this on or off — off exists as the
+    /// determinism cross-check and recovers pre-cache wall-time.
+    pub digest_cache: bool,
 }
 
 impl Default for KsmConfig {
@@ -65,6 +72,7 @@ impl Default for KsmConfig {
             shadow_ecc: None,
             use_zero_pages: false,
             cache_bypass: false,
+            digest_cache: true,
         }
     }
 }
@@ -149,6 +157,10 @@ pub struct Ksm {
     zero_frame: Option<(pageforge_types::Ppn, u64)>,
     prev_checksum: BTreeMap<(VmId, Gfn), u32>,
     prev_ecc: BTreeMap<(VmId, Gfn), EccHashKey>,
+    /// Host-side memo of `(jhash checksum, shadow ECC key)` per frame,
+    /// tagged by the frame's `(epoch, version)` stamp. See
+    /// [`KsmConfig::digest_cache`].
+    digests: DigestCache<(u32, Option<EccHashKey>)>,
     stats: KsmStats,
 }
 
@@ -156,6 +168,7 @@ impl Ksm {
     /// Creates a daemon scanning the given hint list (the pages each VM
     /// registered with `madvise(MADV_MERGEABLE)`).
     pub fn new(cfg: KsmConfig, hints: Vec<(VmId, Gfn)>) -> Self {
+        let digests = DigestCache::new(cfg.digest_cache);
         Ksm {
             cfg,
             stable: PageTree::new(TreeKind::Stable),
@@ -165,6 +178,7 @@ impl Ksm {
             zero_frame: None,
             prev_checksum: BTreeMap::new(),
             prev_ecc: BTreeMap::new(),
+            digests,
             stats: KsmStats::default(),
         }
     }
@@ -177,6 +191,12 @@ impl Ksm {
     /// Cumulative statistics.
     pub fn stats(&self) -> &KsmStats {
         &self.stats
+    }
+
+    /// Digest-cache hit/miss/invalidation counters (all zero when
+    /// [`KsmConfig::digest_cache`] is off).
+    pub fn digest_stats(&self) -> DigestCacheStats {
+        self.digests.stats()
     }
 
     /// Projects the cumulative statistics into a metric registry under
@@ -212,6 +232,12 @@ impl Ksm {
             ("ksm.cycles.compare", s.cycles.compare),
             ("ksm.cycles.hash", s.cycles.hash),
             ("ksm.cycles.other", s.cycles.other),
+            ("ksm.digest.hits", self.digests.stats().hits),
+            ("ksm.digest.misses", self.digests.stats().misses),
+            (
+                "ksm.digest.invalidations",
+                self.digests.stats().invalidations,
+            ),
             ("ksm.stable_tree.rotations", self.stable.rotations()),
             ("ksm.unstable_tree.rotations", self.unstable.rotations()),
         ] {
@@ -410,8 +436,17 @@ impl Ksm {
             // kernel does.
         }
 
-        // 2. Checksum check (lines 11–12).
-        let new_hash = page_checksum(&candidate);
+        // 2. Checksum check (lines 11–12). The digest pair is memoized by
+        // the frame's `(epoch, version)` stamp; the modeled hash work is
+        // charged unconditionally — a memo hit only skips host-side
+        // arithmetic, so simulated cost and results never depend on it.
+        let shadow_ecc = self.cfg.shadow_ecc.as_ref();
+        let (new_hash, new_key) = self.digests.get_or_compute(mem, ppn, || {
+            (
+                page_checksum(&candidate),
+                shadow_ecc.map(|ecc_cfg| ecc_cfg.page_key(&candidate)),
+            )
+        });
         work.hash_ops += 1;
         work.hash_bytes += KSM_HASH_BYTES as u64;
         work.touched.push((ppn, (KSM_HASH_BYTES / 64) as u32));
@@ -425,8 +460,7 @@ impl Ksm {
 
         // Shadow ECC key for the same decision (Figure 8). Costs nothing:
         // the hardware produces it as a by-product of comparison traffic.
-        if let Some(ecc_cfg) = &self.cfg.shadow_ecc {
-            let new_key = ecc_cfg.page_key(&candidate);
+        if let Some(new_key) = new_key {
             let prev_key = self.prev_ecc.insert((vm, gfn), new_key);
             if prev_key == Some(new_key) {
                 self.stats.ecc_matches += 1;
@@ -707,6 +741,46 @@ mod tests {
         let mut ksm = Ksm::new(KsmConfig::default(), vec![]);
         let r = ksm.scan_batch(&mut mem, 100);
         assert_eq!(r, BatchReport::default());
+    }
+
+    #[test]
+    fn digest_cache_hits_on_unchanged_pages_and_invalidates_on_writes() {
+        let (mut mem, hints) = identical_vms(1, 9);
+        let mut ksm = Ksm::new(KsmConfig::default(), hints);
+        ksm.scan_batch(&mut mem, 1); // pass 1: miss, digest stored
+        ksm.scan_batch(&mut mem, 1); // pass 2: unchanged → hit
+        assert_eq!(ksm.digest_stats().hits, 1);
+        assert_eq!(ksm.digest_stats().misses, 1);
+        mem.guest_write(VmId(0), Gfn(0), 0, &[0xAA]);
+        ksm.scan_batch(&mut mem, 1); // pass 3: version bumped → refill
+        assert_eq!(ksm.digest_stats().invalidations, 1);
+        assert_eq!(ksm.digest_stats().misses, 2);
+    }
+
+    #[test]
+    fn digest_cache_off_matches_on_exactly() {
+        // Same workload with churn (in-place writes + CoW breaks): every
+        // stat except the digest counters must be identical.
+        let run = |digest_cache: bool| {
+            let (mut mem, hints) = identical_vms(4, 5);
+            let cfg = KsmConfig {
+                digest_cache,
+                shadow_ecc: Some(EccKeyConfig::default()),
+                ..KsmConfig::default()
+            };
+            let mut ksm = Ksm::new(cfg, hints);
+            ksm.run_to_steady_state(&mut mem, 4);
+            mem.guest_write(VmId(2), Gfn(0), 50, &[1]); // CoW break
+            mem.guest_write(VmId(3), Gfn(0), 60, &[2]); // CoW break
+            ksm.run_to_steady_state(&mut mem, 4);
+            mem.guest_write(VmId(2), Gfn(0), 50, &[3]); // in-place dirty
+            ksm.run_to_steady_state(&mut mem, 4);
+            (ksm.stats().clone(), mem.allocated_frames())
+        };
+        let (on, frames_on) = run(true);
+        let (off, frames_off) = run(false);
+        assert_eq!(on, off);
+        assert_eq!(frames_on, frames_off);
     }
 
     #[test]

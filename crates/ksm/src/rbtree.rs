@@ -522,23 +522,34 @@ impl<T> RbTree<T> {
     /// levels of the tree in breadth-first order").
     pub fn bfs_from(&self, start: NodeId, max_nodes: usize) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(max_nodes);
-        let mut queue = std::collections::VecDeque::new();
-        if self.contains(start) {
-            queue.push_back(start);
-        }
-        while let Some(n) = queue.pop_front() {
-            if out.len() >= max_nodes {
-                break;
-            }
-            out.push(n);
-            if let Some(l) = self.left(n) {
-                queue.push_back(l);
-            }
-            if let Some(r) = self.right(n) {
-                queue.push_back(r);
-            }
-        }
+        self.bfs_from_into(start, max_nodes, &mut out);
         out
+    }
+
+    /// [`bfs_from`](Self::bfs_from) into a caller-owned buffer, clearing
+    /// it first. The Scan Table loader refills thousands of times per
+    /// scan round; reusing one buffer keeps that loop allocation-free.
+    /// The output doubles as the BFS work queue — visited nodes are never
+    /// removed, so the prefix *is* the traversal.
+    pub fn bfs_from_into(&self, start: NodeId, max_nodes: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        if self.contains(start) && max_nodes > 0 {
+            out.push(start);
+        }
+        let mut i = 0;
+        while let Some(&n) = out.get(i) {
+            if out.len() < max_nodes {
+                if let Some(l) = self.left(n) {
+                    out.push(l);
+                }
+            }
+            if out.len() < max_nodes {
+                if let Some(r) = self.right(n) {
+                    out.push(r);
+                }
+            }
+            i += 1;
+        }
     }
 
     /// Verifies the red-black invariants and link consistency.

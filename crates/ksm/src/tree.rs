@@ -241,14 +241,15 @@ impl PageTree {
                 }
                 let node_data = mem.frame_data(node.ppn).expect("valid node frame exists");
                 // Charge the byte-by-byte comparison: both pages stream
-                // through the core's caches up to the diverging byte.
-                let bytes = probe.bytes_examined(node_data);
+                // through the core's caches up to the diverging byte. One
+                // fused pass yields the ordering and the byte count.
+                let (ordering, bytes) = probe.cmp_and_bytes_examined(node_data);
                 let lines = (bytes as u32).div_ceil(64);
                 work.comparisons += 1;
                 work.cmp_bytes += bytes as u64;
                 work.touched.push((node.ppn, lines));
                 work.touched.push((probe_ppn, lines));
-                match probe.content_cmp(node_data) {
+                match ordering {
                     std::cmp::Ordering::Less => {
                         parent = Some(id);
                         side = Side::Left;

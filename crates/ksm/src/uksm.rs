@@ -93,6 +93,7 @@ impl Uksm {
             shadow_ecc: None,
             use_zero_pages: false,
             cache_bypass: false,
+            digest_cache: true,
         };
         Uksm {
             quota: cfg.initial_quota,

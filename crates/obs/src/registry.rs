@@ -353,6 +353,44 @@ impl Snapshot {
             _ => None,
         }
     }
+
+    /// A copy with every metric renamed to `"{prefix}/{name}"` — the
+    /// snapshot analogue of [`Registry::absorb_prefixed`], for unioning
+    /// snapshots of independent systems into one diffable artifact.
+    #[must_use]
+    pub fn prefixed(&self, prefix: &str) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(name, v)| (format!("{prefix}/{name}"), *v))
+                .collect(),
+        }
+    }
+
+    /// Unions snapshots into one, re-sorted by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when two inputs carry the same metric name — callers must
+    /// disambiguate with [`Snapshot::prefixed`] first; silently keeping
+    /// one of two colliding values would corrupt the diff artifact.
+    #[must_use]
+    pub fn union(snapshots: impl IntoIterator<Item = Snapshot>) -> Snapshot {
+        let mut entries: Vec<(String, SnapshotValue)> = snapshots
+            .into_iter()
+            .flat_map(|s| s.entries.into_iter())
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for pair in entries.windows(2) {
+            assert!(
+                pair[0].0 != pair[1].0,
+                "snapshot union: duplicate metric `{}`; prefix the inputs",
+                pair[0].0
+            );
+        }
+        Snapshot { entries }
+    }
 }
 
 impl ToJson for HistogramSummary {
@@ -420,6 +458,31 @@ impl FromJson for Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prefixed_union_merges_disjoint_snapshots() {
+        let mut a = Registry::new();
+        let ca = a.counter("hits");
+        a.add(ca, 3);
+        let mut b = Registry::new();
+        let cb = b.counter("hits");
+        b.add(cb, 9);
+        let merged = Snapshot::union([
+            a.snapshot().prefixed("ksm"),
+            b.snapshot().prefixed("pageforge"),
+        ]);
+        assert_eq!(merged.counter("ksm/hits"), Some(3));
+        assert_eq!(merged.counter("pageforge/hits"), Some(9));
+        assert_eq!(merged.entries().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric")]
+    fn union_rejects_colliding_names() {
+        let mut a = Registry::new();
+        a.counter("hits");
+        let _ = Snapshot::union([a.snapshot(), a.snapshot()]);
+    }
 
     #[test]
     fn counters_gauges_histograms_roundtrip() {

@@ -89,6 +89,30 @@ struct CoreState {
     recorder: LatencyRecorder,
 }
 
+/// Precomputed page-region bounds for [`System::map_touch`]: the hot loop
+/// resolves every touch through these integers instead of re-deriving them
+/// from the profile's float fractions on each access.
+#[derive(Debug, Clone, Copy)]
+struct TouchRegions {
+    /// Total pages in the VM's image.
+    pages: u64,
+    /// Pages in the mergeable (shared library/OS) region, clamped ≥ 1.
+    mergeable: u64,
+    /// Pages in the unmergeable (private) region, clamped ≥ 1.
+    private: u64,
+}
+
+impl TouchRegions {
+    fn for_profile(profile: &pageforge_vm::AppProfile) -> Self {
+        let pages = profile.pages_per_vm as u64;
+        TouchRegions {
+            pages,
+            mergeable: ((pages as f64 * (1.0 - profile.unmergeable_frac)) as u64).max(1),
+            private: ((pages as f64 * profile.unmergeable_frac) as u64).max(1),
+        }
+    }
+}
+
 enum DedupState {
     None,
     Ksm(Box<Ksm>),
@@ -102,6 +126,8 @@ pub struct System {
     cfg: SimConfig,
     mem: HostMemory,
     images: Vec<MemoryImage>,
+    /// Per-core page-region bounds, precomputed from the profiles.
+    regions: Vec<TouchRegions>,
     caches: SystemCaches,
     mems: MemorySystem,
     cores: Vec<CoreState>,
@@ -254,6 +280,10 @@ impl System {
             .collect();
         mems.assign_domains(&controller_domains);
 
+        let regions = (0..cfg.cores)
+            .map(|c| TouchRegions::for_profile(cfg.profile_for(c)))
+            .collect();
+
         let mut system = System {
             caches: SystemCaches::new(cfg.hierarchy),
             mems,
@@ -276,6 +306,7 @@ impl System {
             queries_completed: 0,
             mem,
             images,
+            regions,
             cfg,
         };
         system.arm_initial_events();
@@ -551,18 +582,15 @@ impl System {
     /// which is why the paper's L3 miss rates barely move when those pages
     /// merge (Table 4).
     fn map_touch(&self, core: usize, page_index: usize) -> Gfn {
-        let profile = self.cfg.profile_for(core);
-        let pages = profile.pages_per_vm as u64;
+        let r = &self.regions[core];
         if page_index % 16 == 15 {
             // Shared-region access: the mergeable pages sit at the front
             // of the generated image.
-            let mergeable = (pages as f64 * (1.0 - profile.unmergeable_frac)) as u64;
-            Gfn((page_index as u64 / 16) % mergeable.max(1))
+            Gfn((page_index as u64 / 16) % r.mergeable)
         } else {
             // Private access: confined to the unmergeable region, which is
             // generated at the end of the image (hottest-last mapping).
-            let private = ((pages as f64 * profile.unmergeable_frac) as u64).max(1);
-            Gfn(pages - 1 - (page_index as u64 % private))
+            Gfn(r.pages - 1 - (page_index as u64 % r.private))
         }
     }
 

@@ -137,10 +137,27 @@ impl PageData {
     /// Number of *bytes* examined by a byte-by-byte comparison (KSM's
     /// `memcmp`), i.e. the first diverging byte + 1, or the whole page.
     pub fn bytes_examined(&self, other: &PageData) -> usize {
-        match self.0.iter().zip(other.0.iter()).position(|(a, b)| a != b) {
-            Some(i) => i + 1,
-            None => PAGE_SIZE,
+        self.cmp_and_bytes_examined(other).1
+    }
+
+    /// Lexicographic comparison *and* the number of bytes examined to
+    /// decide it, in one pass — the KSM tree walk needs both at every
+    /// node visit, and a separate `content_cmp` + `bytes_examined` pair
+    /// would stream each page twice.
+    ///
+    /// Scans 64-bit words (big-endian loads order the same way a byte
+    /// `memcmp` does) and resolves the diverging byte inside the first
+    /// mismatching word.
+    pub fn cmp_and_bytes_examined(&self, other: &PageData) -> (Ordering, usize) {
+        for base in (0..PAGE_SIZE).step_by(8) {
+            let a = u64::from_be_bytes(self.0[base..base + 8].try_into().expect("8 bytes"));
+            let b = u64::from_be_bytes(other.0[base..base + 8].try_into().expect("8 bytes"));
+            if a != b {
+                let byte = base + ((a ^ b).leading_zeros() / 8) as usize;
+                return (a.cmp(&b), byte + 1);
+            }
         }
+        (Ordering::Equal, PAGE_SIZE)
     }
 
     /// Reads the 64-bit little-endian word `word` of line `line`.
@@ -259,6 +276,29 @@ mod tests {
         let mut b = PageData::zeroed();
         b.as_bytes_mut()[100] = 1;
         assert_eq!(a.bytes_examined(&b), 101);
+    }
+
+    #[test]
+    fn cmp_and_bytes_examined_agrees_with_separate_calls() {
+        // Divergence at every offset within a word, both directions, plus
+        // the equal case: the fused word-at-a-time scan must match the
+        // reference byte-by-byte pair exactly.
+        for offset in [0usize, 1, 7, 8, 63, 64, 100, 4095] {
+            for (av, bv) in [(1u8, 2u8), (2, 1)] {
+                let mut a = PageData::from_fn(|i| (i % 251) as u8);
+                let mut b = a.clone();
+                a.as_bytes_mut()[offset] = av;
+                b.as_bytes_mut()[offset] = bv;
+                let (ord, bytes) = a.cmp_and_bytes_examined(&b);
+                assert_eq!(ord, a.content_cmp(&b), "offset {offset}");
+                assert_eq!(bytes, offset + 1, "offset {offset}");
+            }
+        }
+        let p = PageData::from_fn(|i| i as u8);
+        assert_eq!(
+            p.cmp_and_bytes_examined(&p.clone()),
+            (Ordering::Equal, PAGE_SIZE)
+        );
     }
 
     #[test]

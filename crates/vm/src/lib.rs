@@ -39,9 +39,11 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod digest;
 pub mod generate;
 pub mod memory;
 
+pub use digest::{DigestCache, DigestCacheStats};
 pub use generate::{
     AppProfile, CategoryCounts, ChurnEvent, ChurnModel, GeneratedPage, MemoryImage, PageCategory,
 };

@@ -5,7 +5,6 @@
 //! physical frames; merging repoints several guest mappings at one shared,
 //! CoW-protected frame and frees the rest.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use pageforge_obs::{CounterId, Registry};
@@ -20,6 +19,10 @@ struct Frame {
     /// Allocation epoch: frame numbers are recycled, so holders of a `Ppn`
     /// (e.g. KSM tree nodes) compare epochs to detect staleness.
     epoch: u64,
+    /// Content version: bumped on every in-place mutation (unlike `epoch`,
+    /// which only changes across reallocations). `(Ppn, epoch, version)`
+    /// uniquely identifies page *contents*, so digest caches key on it.
+    version: u64,
     /// Reverse mappings: every (VM, guest frame) currently mapping here.
     rmap: Vec<(VmId, Gfn)>,
 }
@@ -135,14 +138,29 @@ impl std::error::Error for MergeError {}
 /// copy-on-write, and page merging.
 ///
 /// Deterministic by construction: frame numbers are handed out sequentially
-/// (recycling freed frames LIFO) and all maps iterate in sorted order.
+/// (recycling freed frames LIFO) and all iteration runs in sorted order.
+///
+/// Frame numbers and guest frame numbers are dense small integers, so both
+/// tables are flat arenas indexed by value: `translate`, `is_cow`, and
+/// `frame_data` — the per-access hot path of the simulator's query loop —
+/// are O(1) slice lookups rather than tree walks. The arenas grow on
+/// demand and keep `None` holes for freed entries, preserving the exact
+/// iteration orders (ascending `Ppn`, ascending `(VmId, Gfn)`) that the
+/// byte-identity contract depends on.
 #[derive(Debug, Clone)]
 pub struct HostMemory {
-    frames: BTreeMap<Ppn, Frame>,
-    guest: BTreeMap<(VmId, Gfn), Ppn>,
+    /// Frame arena indexed by `Ppn`; `None` marks a freed (recyclable) slot.
+    frames: Vec<Option<Frame>>,
+    /// Live entries in `frames`.
+    live_frames: usize,
+    /// Guest page tables: `guest[vm][gfn]` holds the mapped frame.
+    guest: Vec<Vec<Option<Ppn>>>,
+    /// Live mappings across all of `guest`.
+    mapped_pages: usize,
     free_list: Vec<Ppn>,
     next_ppn: u64,
     epoch_counter: u64,
+    version_counter: u64,
     metrics: Registry,
     ids: MemMetricIds,
 }
@@ -171,11 +189,14 @@ impl Default for HostMemory {
         let mut metrics = Registry::new();
         let ids = MemMetricIds::register(&mut metrics);
         HostMemory {
-            frames: BTreeMap::new(),
-            guest: BTreeMap::new(),
+            frames: Vec::new(),
+            live_frames: 0,
+            guest: Vec::new(),
+            mapped_pages: 0,
             free_list: Vec::new(),
             next_ppn: 0,
             epoch_counter: 0,
+            version_counter: 0,
             metrics,
             ids,
         }
@@ -197,6 +218,63 @@ impl HostMemory {
         p
     }
 
+    fn frame(&self, ppn: Ppn) -> Option<&Frame> {
+        self.frames.get(ppn.0 as usize)?.as_ref()
+    }
+
+    fn frame_mut(&mut self, ppn: Ppn) -> Option<&mut Frame> {
+        self.frames.get_mut(ppn.0 as usize)?.as_mut()
+    }
+
+    /// Installs `frame` at `ppn`, growing the arena as needed.
+    fn insert_frame(&mut self, ppn: Ppn, frame: Frame) {
+        let idx = ppn.0 as usize;
+        if idx >= self.frames.len() {
+            self.frames.resize_with(idx + 1, || None);
+        }
+        debug_assert!(self.frames[idx].is_none(), "frame {ppn} double-allocated");
+        self.frames[idx] = Some(frame);
+        self.live_frames += 1;
+    }
+
+    fn remove_frame(&mut self, ppn: Ppn) -> Option<Frame> {
+        let slot = self.frames.get_mut(ppn.0 as usize)?;
+        let frame = slot.take()?;
+        self.live_frames -= 1;
+        Some(frame)
+    }
+
+    fn mapping(&self, vm: VmId, gfn: Gfn) -> Option<Ppn> {
+        *self.guest.get(vm.0 as usize)?.get(gfn.0 as usize)?
+    }
+
+    /// Points `(vm, gfn)` at `ppn`, growing the page table as needed.
+    /// Counts the mapping only when the slot was previously empty.
+    fn set_mapping(&mut self, vm: VmId, gfn: Gfn, ppn: Ppn) {
+        let v = vm.0 as usize;
+        if v >= self.guest.len() {
+            self.guest.resize_with(v + 1, Vec::new);
+        }
+        let table = &mut self.guest[v];
+        let g = gfn.0 as usize;
+        if g >= table.len() {
+            table.resize(g + 1, None);
+        }
+        if table[g].replace(ppn).is_none() {
+            self.mapped_pages += 1;
+        }
+    }
+
+    fn clear_mapping(&mut self, vm: VmId, gfn: Gfn) -> Option<Ppn> {
+        let ppn = self
+            .guest
+            .get_mut(vm.0 as usize)?
+            .get_mut(gfn.0 as usize)?
+            .take()?;
+        self.mapped_pages -= 1;
+        Some(ppn)
+    }
+
     /// Allocates a fresh frame holding `data` and maps it at `(vm, gfn)`.
     ///
     /// # Panics
@@ -204,48 +282,57 @@ impl HostMemory {
     /// Panics if `(vm, gfn)` is already mapped; unmap first.
     pub fn map_new_page(&mut self, vm: VmId, gfn: Gfn, data: PageData) -> Ppn {
         assert!(
-            !self.guest.contains_key(&(vm, gfn)),
+            self.mapping(vm, gfn).is_none(),
             "({vm}, {gfn}) is already mapped"
         );
         let ppn = self.alloc_ppn();
         self.epoch_counter += 1;
-        self.frames.insert(
+        self.version_counter += 1;
+        self.insert_frame(
             ppn,
             Frame {
                 data,
                 cow: false,
                 epoch: self.epoch_counter,
+                version: self.version_counter,
                 rmap: vec![(vm, gfn)],
             },
         );
-        self.guest.insert((vm, gfn), ppn);
+        self.set_mapping(vm, gfn, ppn);
         ppn
     }
 
     /// The allocation epoch of a frame: recycled frame numbers get a new
     /// epoch, so `(Ppn, epoch)` pairs uniquely identify an allocation.
     pub fn frame_epoch(&self, ppn: Ppn) -> Option<u64> {
-        self.frames.get(&ppn).map(|f| f.epoch)
+        self.frame(ppn).map(|f| f.epoch)
+    }
+
+    /// The content version of a frame: unlike the epoch, this also changes
+    /// on every in-place write, so `(epoch, version)` staleness checks let
+    /// digest caches skip rehashing unchanged pages.
+    pub fn frame_version(&self, ppn: Ppn) -> Option<u64> {
+        self.frame(ppn).map(|f| f.version)
     }
 
     /// Translates a guest page to its host frame.
     pub fn translate(&self, vm: VmId, gfn: Gfn) -> Option<Ppn> {
-        self.guest.get(&(vm, gfn)).copied()
+        self.mapping(vm, gfn)
     }
 
     /// The contents of a frame, if it exists.
     pub fn frame_data(&self, ppn: Ppn) -> Option<&PageData> {
-        self.frames.get(&ppn).map(|f| &f.data)
+        self.frame(ppn).map(|f| &f.data)
     }
 
     /// Number of guest pages mapping a frame (0 if it does not exist).
     pub fn refcount(&self, ppn: Ppn) -> usize {
-        self.frames.get(&ppn).map_or(0, |f| f.rmap.len())
+        self.frame(ppn).map_or(0, |f| f.rmap.len())
     }
 
     /// Whether a frame is CoW-protected.
     pub fn is_cow(&self, ppn: Ppn) -> bool {
-        self.frames.get(&ppn).is_some_and(|f| f.cow)
+        self.frame(ppn).is_some_and(|f| f.cow)
     }
 
     /// Marks a frame CoW-protected (write-protects all its mappings).
@@ -254,8 +341,7 @@ impl HostMemory {
     ///
     /// Panics if the frame does not exist.
     pub fn cow_protect(&mut self, ppn: Ppn) {
-        self.frames
-            .get_mut(&ppn)
+        self.frame_mut(ppn)
             .unwrap_or_else(|| panic!("cow_protect: frame {ppn} does not exist"))
             .cow = true;
     }
@@ -279,7 +365,7 @@ impl HostMemory {
         let ppn = self
             .translate(vm, gfn)
             .unwrap_or_else(|| panic!("guest_write: ({vm}, {gfn}) is not mapped"));
-        let frame = self.frames.get_mut(&ppn).expect("mapped frame exists");
+        let frame = self.frame_mut(ppn).expect("mapped frame exists");
         assert!(
             offset + bytes.len() <= pageforge_types::PAGE_SIZE,
             "write overruns the page"
@@ -293,32 +379,37 @@ impl HostMemory {
             copy.as_bytes_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
             frame.rmap.retain(|&m| m != (vm, gfn));
             let orphaned = frame.rmap.is_empty();
-            self.guest.remove(&(vm, gfn));
+            self.clear_mapping(vm, gfn);
             self.metrics.inc(self.ids.cow_breaks);
             // Allocate the copy *before* freeing an orphaned frame so the
             // writer never receives the frame number it just left.
             let new_ppn = self.alloc_ppn();
             if orphaned {
-                self.frames.remove(&ppn);
+                self.remove_frame(ppn);
                 self.free_list.push(ppn);
             }
             self.epoch_counter += 1;
-            self.frames.insert(
+            self.version_counter += 1;
+            self.insert_frame(
                 new_ppn,
                 Frame {
                     data: copy,
                     cow: false,
                     epoch: self.epoch_counter,
+                    version: self.version_counter,
                     rmap: vec![(vm, gfn)],
                 },
             );
-            self.guest.insert((vm, gfn), new_ppn);
+            self.set_mapping(vm, gfn, new_ppn);
             WriteOutcome::CowBroken {
                 new_frame: new_ppn,
                 old_frame: ppn,
             }
         } else {
             frame.data.as_bytes_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
+            self.version_counter += 1;
+            let stamp = self.version_counter;
+            self.frame_mut(ppn).expect("mapped frame exists").version = stamp;
             WriteOutcome::InPlace(ppn)
         }
     }
@@ -340,25 +431,25 @@ impl HostMemory {
         if keep == drop {
             return Err(MergeError::SameFrame(keep));
         }
-        if !self.frames.contains_key(&keep) {
+        if self.frame(keep).is_none() {
             return Err(MergeError::NoSuchFrame(keep));
         }
-        if !self.frames.contains_key(&drop) {
+        if self.frame(drop).is_none() {
             return Err(MergeError::NoSuchFrame(drop));
         }
         let equal = {
-            let a = &self.frames[&keep].data;
-            let b = &self.frames[&drop].data;
+            let a = &self.frame(keep).expect("checked above").data;
+            let b = &self.frame(drop).expect("checked above").data;
             a == b
         };
         if !equal {
             return Err(MergeError::ContentMismatch);
         }
-        let dropped = self.frames.remove(&drop).expect("checked above");
+        let dropped = self.remove_frame(drop).expect("checked above");
         for &(vm, gfn) in &dropped.rmap {
-            self.guest.insert((vm, gfn), keep);
+            self.set_mapping(vm, gfn, keep);
         }
-        let kept = self.frames.get_mut(&keep).expect("checked above");
+        let kept = self.frame_mut(keep).expect("checked above");
         kept.rmap.extend(dropped.rmap);
         kept.cow = true;
         self.free_list.push(drop);
@@ -370,11 +461,11 @@ impl HostMemory {
     /// Unmaps `(vm, gfn)`, freeing the frame if this was the last mapping.
     /// Returns the frame it was mapped to, if any.
     pub fn unmap(&mut self, vm: VmId, gfn: Gfn) -> Option<Ppn> {
-        let ppn = self.guest.remove(&(vm, gfn))?;
-        let frame = self.frames.get_mut(&ppn).expect("mapped frame exists");
+        let ppn = self.clear_mapping(vm, gfn)?;
+        let frame = self.frame_mut(ppn).expect("mapped frame exists");
         frame.rmap.retain(|&m| m != (vm, gfn));
         if frame.rmap.is_empty() {
-            self.frames.remove(&ppn);
+            self.remove_frame(ppn);
             self.free_list.push(ppn);
         }
         Some(ppn)
@@ -382,28 +473,35 @@ impl HostMemory {
 
     /// Number of frames currently allocated (the footprint *with* merging).
     pub fn allocated_frames(&self) -> usize {
-        self.frames.len()
+        self.live_frames
     }
 
     /// Number of guest pages currently mapped (the footprint *without*
     /// merging).
     pub fn mapped_guest_pages(&self) -> usize {
-        self.guest.len()
+        self.mapped_pages
     }
 
     /// All guest mappings of a frame.
     pub fn reverse_map(&self, ppn: Ppn) -> &[(VmId, Gfn)] {
-        self.frames.get(&ppn).map_or(&[], |f| &f.rmap)
+        self.frame(ppn).map_or(&[], |f| &f.rmap)
     }
 
     /// Iterates over all allocated frames in frame-number order.
     pub fn iter_frames(&self) -> impl Iterator<Item = (Ppn, &PageData, bool)> {
-        self.frames.iter().map(|(&p, f)| (p, &f.data, f.cow))
+        self.frames
+            .iter()
+            .enumerate()
+            .filter_map(|(p, slot)| slot.as_ref().map(|f| (Ppn(p as u64), &f.data, f.cow)))
     }
 
     /// Iterates over all guest mappings in (VM, GFN) order.
     pub fn iter_mappings(&self) -> impl Iterator<Item = (VmId, Gfn, Ppn)> + '_ {
-        self.guest.iter().map(|(&(vm, gfn), &ppn)| (vm, gfn, ppn))
+        self.guest.iter().enumerate().flat_map(|(vm, table)| {
+            table.iter().enumerate().filter_map(move |(gfn, slot)| {
+                slot.map(|ppn| (VmId(vm as u32), Gfn(gfn as u64), ppn))
+            })
+        })
     }
 
     /// Snapshot of the merge statistics — a view assembled from the
@@ -440,21 +538,22 @@ impl HostMemory {
     /// 3. no frame has an empty rmap;
     /// 4. frames shared by >1 mapping are CoW-protected *only if* marked.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (&(vm, gfn), &ppn) in &self.guest {
+        for (vm, gfn, ppn) in self.iter_mappings() {
             let frame = self
-                .frames
-                .get(&ppn)
+                .frame(ppn)
                 .ok_or_else(|| format!("mapping ({vm},{gfn})→{ppn} points at missing frame"))?;
             if !frame.rmap.contains(&(vm, gfn)) {
                 return Err(format!("frame {ppn} rmap is missing ({vm},{gfn})"));
             }
         }
-        for (&ppn, frame) in &self.frames {
+        for (idx, slot) in self.frames.iter().enumerate() {
+            let Some(frame) = slot else { continue };
+            let ppn = Ppn(idx as u64);
             if frame.rmap.is_empty() {
                 return Err(format!("frame {ppn} has an empty rmap"));
             }
             for &(vm, gfn) in &frame.rmap {
-                if self.guest.get(&(vm, gfn)) != Some(&ppn) {
+                if self.mapping(vm, gfn) != Some(ppn) {
                     return Err(format!("rmap entry ({vm},{gfn}) of {ppn} is stale"));
                 }
             }
