@@ -24,10 +24,12 @@ use crate::lexer::{Tok, TokKind};
 pub const RESULT_CRATES: &[&str] = &[
     "crates/bench/",
     "crates/core/",
+    "crates/fleet/",
     "crates/ksm/",
     "crates/mem/",
     "crates/sim/",
     "crates/vm/",
+    "crates/workloads/",
 ];
 
 /// Whether `DET-HASH` applies to a workspace-relative path.

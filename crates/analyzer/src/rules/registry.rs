@@ -21,7 +21,15 @@ use crate::lexer::{Tok, TokKind};
 
 /// Every metric name in the workspace starts with one of these
 /// namespace roots (matching the table's `prefix` column).
-pub const METRIC_PREFIXES: &[&str] = &["engine.", "pageforge.", "faults.", "ksm.", "mem.", "sim."];
+pub const METRIC_PREFIXES: &[&str] = &[
+    "engine.",
+    "pageforge.",
+    "faults.",
+    "fleet.",
+    "ksm.",
+    "mem.",
+    "sim.",
+];
 
 /// What the OBSERVABILITY.md tables document.
 #[derive(Debug, Default)]

@@ -23,6 +23,8 @@ use crate::scheduler::ParallelConfig;
 /// * `--seeds <N>` — seed replicas for the `seed_sweep` experiment
 ///   (default 1; the sweep itself needs at least 2);
 /// * `--only <a,b,...>` — run only the named experiments (`run_all`);
+/// * `--fleet` — shorthand for `--only fleet`: the multi-host
+///   serverless-churn experiment family (composable with `--only`);
 /// * `--out <dir>` — directory for JSON results (default `results/`);
 /// * `--trace <file>` — write the unit trace streams as JSONL to this
 ///   path (`run_all`; produces events only when built with `--features
@@ -30,10 +32,10 @@ use crate::scheduler::ParallelConfig;
 /// * `--faults <file>` — JSON fault plan applied to the PageForge engine
 ///   in the latency suite (`run_all`). A non-empty plan bypasses the
 ///   suite cache; an empty plan is a no-op by construction;
-/// * `--snapshot <file>` — after the suite, run one KSM and one PageForge
-///   probe cell at this run's scale/seed/shards and write their unioned
-///   observability snapshot (metric names prefixed `ksm/`, `pageforge/`)
-///   to this path. Snapshots are part of the determinism contract, so CI
+/// * `--snapshot <file>` — after the suite, run one KSM, one PageForge,
+///   and one fleet probe cell at this run's scale/seed/shards and write
+///   their unioned observability snapshot (metric names prefixed `ksm/`,
+///   `pageforge/`, `fleet/`) to this path. Snapshots are part of the determinism contract, so CI
 ///   diffs two of these from different `--jobs`/`--shards` levels with
 ///   `snapshot_diff --threshold 0`;
 /// * `--print-config` — print the Table 2 configuration and exit.
@@ -126,6 +128,7 @@ impl BenchArgs {
                     out.only
                         .extend(v.split(',').filter(|s| !s.is_empty()).map(str::to_owned));
                 }
+                "--fleet" => out.only.push("fleet".to_owned()),
                 "--out" => {
                     out.out_dir = PathBuf::from(iter.next().expect("--out requires a value"));
                 }
@@ -148,9 +151,9 @@ impl BenchArgs {
                 other => panic!(
                     "unknown argument `{other}`; \
                      usage: [--seed N] [--quick] [--smoke] [--jobs N] \
-                     [--shards N] [--seeds N] [--only a,b] [--out DIR] \
-                     [--trace FILE] [--faults FILE] [--snapshot FILE] \
-                     [--print-config]"
+                     [--shards N] [--seeds N] [--only a,b] [--fleet] \
+                     [--out DIR] [--trace FILE] [--faults FILE] \
+                     [--snapshot FILE] [--print-config]"
                 ),
             }
         }
@@ -243,6 +246,18 @@ mod tests {
         // Smoke wins over quick.
         assert_eq!(a.scale(), Scale::Smoke);
         assert_eq!(a.parallel().jobs, 4);
+    }
+
+    #[test]
+    fn fleet_flag_is_only_sugar() {
+        let a = BenchArgs::from_args(["--fleet".to_string()]);
+        assert_eq!(a.only, vec!["fleet".to_string()]);
+        let b = BenchArgs::from_args(
+            ["--only", "latency", "--fleet"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(b.only, vec!["latency".to_string(), "fleet".to_string()]);
     }
 
     #[test]

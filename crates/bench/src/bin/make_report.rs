@@ -34,6 +34,7 @@ const ORDER: &[&str] = &[
     "extension_heterogeneous",
     "shard_scaling",
     "seed_sweep",
+    "fleet_serverless",
     "fault_campaign",
 ];
 

@@ -14,6 +14,7 @@
 
 use pageforge_bench::args::print_table2;
 use pageforge_bench::{experiments, suite, BenchArgs};
+use pageforge_fleet::ControlPlane;
 use pageforge_obs::Snapshot;
 use pageforge_sim::{DedupMode, SimConfig, System};
 use pageforge_types::json::ToJson;
@@ -60,20 +61,24 @@ fn main() {
         }
     }
 
-    // `--snapshot`: run one KSM and one PageForge probe cell at this
-    // run's scale/seed/shards and write their unioned observability
-    // snapshot. Snapshots are part of the determinism contract —
-    // byte-identical at every `--jobs`/`--shards` level — so CI diffs
-    // two of these from different parallelism levels with
+    // `--snapshot`: run one KSM, one PageForge, and one fleet probe
+    // cell at this run's scale/seed/shards and write their unioned
+    // observability snapshot. Snapshots are part of the determinism
+    // contract — byte-identical at every `--jobs`/`--shards` level — so
+    // CI diffs two of these from different parallelism levels with
     // `snapshot_diff --threshold 0`.
     if let Some(path) = &args.snapshot {
         let probe = |mode: DedupMode| {
             let cfg = experiments::sim_config("silo", mode, args.seed, args.scale());
             System::with_shards(cfg, args.shards).run_observed().1
         };
+        let fleet_probe = ControlPlane::new(args.scale().fleet_config(args.seed))
+            .run(args.shards)
+            .1;
         let snap = Snapshot::union([
             probe(DedupMode::Ksm(SimConfig::scaled_ksm())).prefixed("ksm"),
             probe(DedupMode::PageForge(SimConfig::scaled_pageforge())).prefixed("pageforge"),
+            fleet_probe.prefixed("fleet"),
         ]);
         std::fs::write(path, snap.to_json().to_string_pretty())
             .unwrap_or_else(|e| panic!("--snapshot: could not write {}: {e}", path.display()));

@@ -8,6 +8,7 @@ use pageforge_core::fabric::FlatFabric;
 use pageforge_core::{EngineConfig, PageForge, PageForgeConfig, PowerModel};
 use pageforge_ecc::EccKeyConfig;
 use pageforge_faults::FaultPlan;
+use pageforge_fleet::{ControlPlane, FleetConfig, FleetResult};
 use pageforge_ksm::{Ksm, KsmConfig};
 use pageforge_sim::{DedupMode, SimConfig, SimResult, System};
 use pageforge_types::json::{self, FromJson, ToJson, Value};
@@ -108,6 +109,26 @@ impl Scale {
         match self {
             Scale::Full | Scale::Quick => Scale::Quick,
             Scale::Smoke => Scale::Smoke,
+        }
+    }
+
+    /// Function densities (target concurrent micro-VMs per host) the
+    /// fleet experiment sweeps. At full scale every density yields well
+    /// over the 1,000-arrival floor of the acceptance criteria.
+    pub fn fleet_densities(self) -> [u32; 3] {
+        match self {
+            Scale::Full => [4, 8, 16],
+            Scale::Quick | Scale::Smoke => [2, 4, 8],
+        }
+    }
+
+    /// The base fleet configuration at this scale (before density/hints
+    /// are applied).
+    pub fn fleet_config(self, seed: u64) -> FleetConfig {
+        match self {
+            Scale::Full => FleetConfig::full(seed),
+            Scale::Quick => FleetConfig::quick(seed),
+            Scale::Smoke => FleetConfig::smoke(seed),
         }
     }
 }
@@ -592,6 +613,104 @@ pub fn seed_sweep_table(reps: &[SeedReplicate]) -> Table {
             format!("{:.4}", stats.mean()),
             format!("{:.4}", stats.min()),
             format!("{:.4}", stats.max()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fleet: serverless churn
+// ---------------------------------------------------------------------
+
+/// One fleet experiment cell: a full multi-host run at one (function
+/// density, hint policy) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCell {
+    /// Target concurrent micro-VMs per host.
+    pub density: u32,
+    /// Whether hosts scanned only user-hinted (ground-truth mergeable)
+    /// pages.
+    pub hinted: bool,
+    /// The run's outcome.
+    pub result: FleetResult,
+}
+
+/// Builds the configuration for one fleet cell. Each cell derives its
+/// own seed from the run seed and the cell label, so cells are
+/// independent of scheduling order.
+pub fn fleet_cell_config(
+    density: u32,
+    hinted: bool,
+    seed: u64,
+    scale: Scale,
+    plan: Option<&FaultPlan>,
+) -> FleetConfig {
+    let hints_tag = if hinted { "hinted" } else { "all" };
+    let label = format!("fleet d{density} {hints_tag}");
+    let mut cfg = scale.fleet_config(pageforge_types::derive_seed(seed, &label));
+    cfg.label = label;
+    cfg.density = density as f64;
+    cfg.user_hints = hinted;
+    cfg.faults = plan.cloned();
+    cfg
+}
+
+/// Runs one fleet cell on up to `shards` worker threads. Byte-identical
+/// at any `--jobs`/`--shards` level.
+pub fn fleet_cell(
+    density: u32,
+    hinted: bool,
+    seed: u64,
+    scale: Scale,
+    shards: usize,
+    plan: Option<&FaultPlan>,
+) -> FleetCell {
+    let cfg = fleet_cell_config(density, hinted, seed, scale, plan);
+    let (result, _snapshot) = ControlPlane::new(cfg).run(shards);
+    FleetCell {
+        density,
+        hinted,
+        result,
+    }
+}
+
+/// Folds fleet cells into the `fleet_serverless` table: dedup yield vs.
+/// function density, migration cost, and per-host queue pressure, one
+/// row per (density, hint policy) cell.
+pub fn fleet_table(cells: &[FleetCell]) -> Table {
+    let hosts = cells.first().map_or(0, |c| c.result.hosts);
+    let mut t = Table::new(
+        &format!("Fleet: serverless churn across {hosts} hosts — dedup yield vs. function density"),
+        &[
+            "Density",
+            "Hints",
+            "Arrivals",
+            "Migrations",
+            "Migrated pages",
+            "Mig. Mcycles",
+            "Merged",
+            "Savings (mean)",
+            "Savings (final)",
+            "Queue depth (mean)",
+            "Rejected",
+            "Retries",
+        ],
+    );
+    for c in cells {
+        let r = &c.result;
+        t.row(vec![
+            format!("{}", c.density),
+            if c.hinted { "user" } else { "all" }.to_owned(),
+            format!("{}", r.arrivals),
+            format!("{}", r.migrations),
+            format!("{}", r.migrated_pages),
+            format!("{:.2}", r.migration_cycles as f64 / 1e6),
+            format!("{}", r.merged_pages),
+            pct(r.savings_mean),
+            pct(r.savings_final),
+            format!("{:.2}", r.queue_depth_mean),
+            format!("{}", r.queue_rejected),
+            format!("{}", r.lease_retries),
         ]);
     }
     t

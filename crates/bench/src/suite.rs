@@ -15,7 +15,7 @@ use pageforge_sim::SimResult;
 use pageforge_types::stats::RunningStats;
 use pageforge_vm::AppProfile;
 
-use crate::experiments::{self, HashKeyOutcome, MemorySavings, SeedReplicate};
+use crate::experiments::{self, FleetCell, HashKeyOutcome, MemorySavings, SeedReplicate};
 use crate::report::Table;
 use crate::scheduler::{
     run_units, run_units_spooled, RunTiming, SchedulerError, ShardTiming, Unit,
@@ -41,6 +41,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "extension_heterogeneous",
     "shard_scaling",
     "seed_sweep",
+    "fleet",
 ];
 
 /// What one work unit produces.
@@ -60,6 +61,8 @@ pub enum UnitOutput {
     ShardScaling(Table, Vec<ShardTiming>),
     /// One seed replica of the `seed_sweep` experiment.
     SeedRep(SeedReplicate),
+    /// One (density, hint policy) cell of the fleet experiment.
+    Fleet(FleetCell),
 }
 
 /// The reassembled evaluation: named tables (file stem, table) in paper
@@ -93,12 +96,18 @@ pub struct TraceSummary {
 /// Runs the selected experiments on `args.jobs` workers and reassembles
 /// the tables. Results are byte-identical at any `--jobs` level.
 pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
+    // A typo in `--only` must fail loudly *before* any work is
+    // scheduled, listing what would have been accepted.
     for name in &args.only {
-        assert!(
-            EXPERIMENTS.contains(&name.as_str()),
-            "unknown experiment `{name}` in --only; known: {}",
-            EXPERIMENTS.join(", ")
-        );
+        if !EXPERIMENTS.contains(&name.as_str()) {
+            return Err(SchedulerError {
+                label: format!("--only {name}"),
+                message: format!(
+                    "unknown experiment `{name}`; valid names: {}",
+                    EXPERIMENTS.join(", ")
+                ),
+            });
+        }
     }
     let want = |name: &str| args.only.is_empty() || args.only.iter().any(|o| o == name);
     let scale = args.scale();
@@ -154,6 +163,27 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
                         }
                         None => experiments::run_suite_cell_sharded(app, mode, seed, scale, shards),
                     }))
+                }));
+            }
+        }
+    }
+    if want("fleet") {
+        // One multi-host run per (density, hint policy) point; each
+        // cell derives its own seed, so cells are order-independent.
+        for density in scale.fleet_densities() {
+            for hinted in [false, true] {
+                let hints_tag = if hinted { "hinted" } else { "all" };
+                let label = format!("fleet/d{density}/{hints_tag}");
+                let plan = fault_plan.clone();
+                units.push(Unit::new("fleet", label, move || {
+                    UnitOutput::Fleet(experiments::fleet_cell(
+                        density,
+                        hinted,
+                        seed,
+                        scale,
+                        shards,
+                        plan.as_ref(),
+                    ))
                 }));
             }
         }
@@ -277,6 +307,7 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
     let mut singles: Vec<(String, Table)> = Vec::new();
     let mut shard_rows: Vec<ShardTiming> = Vec::new();
     let mut seed_reps: Vec<SeedReplicate> = Vec::new();
+    let mut fleet_cells: Vec<FleetCell> = Vec::new();
     for r in results {
         match r.value {
             UnitOutput::Table(t) => singles.push((r.experiment, t)),
@@ -289,6 +320,7 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
                 shard_rows = rows;
             }
             UnitOutput::SeedRep(rep) => seed_reps.push(rep),
+            UnitOutput::Fleet(cell) => fleet_cells.push(cell),
         }
     }
     timing.shard_scaling = shard_rows;
@@ -378,6 +410,13 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
             experiments::seed_sweep_table(&seed_reps),
         );
     }
+    if !fleet_cells.is_empty() {
+        push(
+            &mut tables,
+            "fleet_serverless",
+            experiments::fleet_table(&fleet_cells),
+        );
+    }
     let trace = match (&args.trace, &spool_dir) {
         (Some(path), Some(dir)) => {
             let events = trace_report::assemble_spooled_trace(path, dir, &labels)
@@ -410,11 +449,20 @@ mod tests {
     use super::*;
 
     #[test]
-    #[should_panic(expected = "unknown experiment")]
-    fn unknown_only_name_panics() {
+    fn unknown_only_name_errors_listing_valid_names() {
         let mut args = BenchArgs::default();
         args.only.push("fig99".into());
-        let _ = run_suite(&args);
+        let err = match run_suite(&args) {
+            Ok(_) => panic!("typo must not run anything"),
+            Err(e) => e,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("unknown experiment `fig99`"), "{msg}");
+        // The error enumerates every valid name so the typo is fixable
+        // without opening the source.
+        for name in EXPERIMENTS {
+            assert!(msg.contains(name), "error must list `{name}`: {msg}");
+        }
     }
 
     #[test]

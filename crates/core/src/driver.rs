@@ -207,6 +207,23 @@ impl PageForge {
         &self.cfg
     }
 
+    /// Replaces the hint list and restarts scanning from a fresh pass.
+    ///
+    /// The fleet control plane calls this when a host's resident-VM set
+    /// changes (admission, departure, migration): the cursor rewinds and
+    /// both trees are rebuilt on the next pass so stale `(vm, gfn)`
+    /// entries can never match against departed guests. Pages already
+    /// merged in host memory stay merged — a rescan simply re-counts
+    /// them as `already_shared`.
+    pub fn set_hints(&mut self, hints: Vec<(VmId, Gfn)>) {
+        self.hints = hints;
+        self.cursor = 0;
+        self.stable.clear();
+        self.unstable.clear();
+        self.prev_key.clear();
+        self.degrade_batch = false;
+    }
+
     /// Installs (or removes) a deterministic fault injector on the
     /// hardware engine.
     pub fn set_fault_injector(&mut self, inj: Option<FaultInjector>) {

@@ -1,0 +1,156 @@
+//! Fleet scenario configuration.
+
+use pageforge_core::PageForgeConfig;
+use pageforge_faults::FaultPlan;
+use pageforge_workloads::FunctionSpec;
+
+/// Everything a fleet run is a pure function of (together with its
+/// `seed`): the host count, the serverless workload family, the
+/// placement/migration policy knobs, and the per-host backpressure
+/// limits. See DESIGN.md §10 for the lifecycle these knobs govern.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Human-readable label carried into the result (e.g. `"fleet d4"`).
+    pub label: String,
+    /// Number of simulated hosts.
+    pub hosts: usize,
+    /// Control-plane ticks to run.
+    pub ticks: u64,
+    /// Simulated cycles per control-plane tick (trace stamps and
+    /// migration-cost accounting).
+    pub tick_cycles: u64,
+    /// The serverless function families driving arrivals.
+    pub functions: Vec<FunctionSpec>,
+    /// Target *steady-state* concurrent micro-VMs per host (the
+    /// experiment's independent variable, "function density"). The
+    /// arrival rate is derived: `hosts × density / mean_lifetime_ticks`.
+    pub density: f64,
+    /// Mean instance lifetime, in ticks (scaled per family).
+    pub mean_lifetime_ticks: f64,
+    /// Guest pages per micro-VM.
+    pub pages_per_vm: usize,
+    /// When `true`, hosts scan only user-hinted pages (the ground-truth
+    /// mergeable set, as if every function image shipped `madvise`
+    /// annotations); when `false`, hosts scan every guest page (KSM's
+    /// hint-everything default).
+    pub user_hints: bool,
+    /// Bounded per-host scan-queue capacity (jobs, not pages); a full
+    /// queue rejects the job and the control plane takes a lease.
+    pub queue_capacity: usize,
+    /// Scan-pipeline throughput: candidate pages a host processes per
+    /// tick. The ratio of arrival-driven demand to this budget is what
+    /// pushes a host into backpressure.
+    pub scan_pages_per_tick: usize,
+    /// Base lease duration in ticks; retry `k` waits
+    /// `lease_ticks << min(k, max_lease_backoff_shift)`.
+    pub lease_ticks: u64,
+    /// Exponential-backoff cap for lease retries.
+    pub max_lease_backoff_shift: u32,
+    /// Run the placement rebalancer every this many ticks.
+    pub rebalance_every: u64,
+    /// Migrate only while `max − min` resident count exceeds this.
+    pub migration_threshold: usize,
+    /// Simulated cycles to move one guest page between hosts.
+    pub migrate_cycles_per_page: u64,
+    /// Enqueue a full rescan job on every host each this many ticks
+    /// (churn re-exposes merge candidates between arrivals).
+    pub rescan_every: u64,
+    /// Apply write churn to resident instances every this many ticks.
+    pub churn_every: u64,
+    /// Per-host PageForge driver/engine configuration.
+    pub pf: PageForgeConfig,
+    /// Optional deterministic fault plan, installed on every host's
+    /// engine (the same plan; host clocks diverge, so injections do
+    /// too — deterministically).
+    pub faults: Option<FaultPlan>,
+    /// Base seed; every derived stream (arrivals, churn, content) is
+    /// labelled off this.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// CI smoke scale: 4 hosts, a few hundred arrivals, a couple of
+    /// seconds of wall clock for the whole experiment family.
+    pub fn smoke(seed: u64) -> FleetConfig {
+        FleetConfig {
+            label: "fleet".into(),
+            hosts: 4,
+            ticks: 160,
+            tick_cycles: 100_000,
+            functions: FunctionSpec::serverless_suite(),
+            density: 2.0,
+            mean_lifetime_ticks: 30.0,
+            pages_per_vm: 48,
+            user_hints: false,
+            queue_capacity: 4,
+            scan_pages_per_tick: 96,
+            lease_ticks: 2,
+            max_lease_backoff_shift: 3,
+            rebalance_every: 8,
+            migration_threshold: 2,
+            migrate_cycles_per_page: 2_000,
+            rescan_every: 16,
+            churn_every: 4,
+            pf: PageForgeConfig::default(),
+            faults: None,
+            seed,
+        }
+    }
+
+    /// Development scale: 6 hosts, longer horizon.
+    pub fn quick(seed: u64) -> FleetConfig {
+        FleetConfig {
+            label: "fleet".into(),
+            hosts: 6,
+            ticks: 400,
+            mean_lifetime_ticks: 40.0,
+            pages_per_vm: 64,
+            scan_pages_per_tick: 128,
+            ..FleetConfig::smoke(seed)
+        }
+    }
+
+    /// Full scale (the acceptance-criteria run): 8 hosts, 2000 ticks —
+    /// over a thousand micro-VM arrivals at density ≥ 4.
+    pub fn full(seed: u64) -> FleetConfig {
+        FleetConfig {
+            label: "fleet".into(),
+            hosts: 8,
+            ticks: 2_000,
+            density: 4.0,
+            mean_lifetime_ticks: 60.0,
+            pages_per_vm: 128,
+            scan_pages_per_tick: 256,
+            ..FleetConfig::smoke(seed)
+        }
+    }
+
+    /// The derived Poisson arrival rate (instances per tick) that holds
+    /// the fleet at `density` concurrent instances per host in steady
+    /// state (Little's law: N = λ·L).
+    pub fn arrival_rate(&self) -> f64 {
+        self.hosts as f64 * self.density / self.mean_lifetime_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_rate_follows_littles_law() {
+        let mut cfg = FleetConfig::smoke(1);
+        cfg.hosts = 8;
+        cfg.density = 4.0;
+        cfg.mean_lifetime_ticks = 60.0;
+        // λ·L = N ⇒ λ = 8·4/60.
+        assert!((cfg.arrival_rate() - 32.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_scale_meets_the_arrival_floor() {
+        let cfg = FleetConfig::full(1);
+        // Expected arrivals = λ·ticks ≥ 1000 (the acceptance criterion).
+        assert!(cfg.arrival_rate() * cfg.ticks as f64 >= 1000.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Fleet-scale deduplication control plane.
+//!
+//! Everything else in this repository drives **one** host. This crate
+//! runs *N* of them: each [`Host`] owns the same substrate a single-host
+//! simulation wraps (guest memory, a PageForge driver/engine pair, a
+//! memory fabric), and a [`ControlPlane`] schedules a seeded serverless
+//! churn workload over the fleet — thousands of short-lived micro-VM
+//! instances ([`pageforge_workloads::serverless`]) arriving onto the
+//! least-loaded host, departing when their lifetime expires, and
+//! live-migrating under a periodic rebalancing policy. Scan work flows
+//! through each host's **bounded queue**; when a host's merge pipeline
+//! falls behind, the queue rejects and the control plane parks the work
+//! under a deterministic lease with exponential-backoff retries.
+//!
+//! The run is a pure function of its [`FleetConfig`] (seed included):
+//! byte-identical across `--jobs` and `--shards`, with or without a
+//! fault plan. DESIGN.md §10 gives the architecture and the determinism
+//! argument; OBSERVABILITY.md documents the `fleet.*` metrics and the
+//! `fleet` trace events; EXPERIMENTS.md covers the serverless-churn
+//! experiment built on top.
+//!
+//! ```
+//! use pageforge_fleet::{ControlPlane, FleetConfig};
+//!
+//! let mut cfg = FleetConfig::smoke(42);
+//! cfg.ticks = 40; // keep the doctest fast
+//! let (result, snapshot) = ControlPlane::new(cfg.clone()).run(2);
+//! assert!(result.arrivals > 0);
+//! assert_eq!(snapshot.gauge("fleet.hosts"), Some(4.0));
+//! // Same config, different worker count: same bytes.
+//! let (again, _) = ControlPlane::new(cfg).run(4);
+//! assert_eq!(result, again);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod host;
+pub mod plane;
+pub mod result;
+
+pub use config::FleetConfig;
+pub use host::{Host, HostTickReport, ScanJob};
+pub use plane::ControlPlane;
+pub use result::{FleetDegraded, FleetResult};

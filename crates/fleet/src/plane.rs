@@ -1,0 +1,630 @@
+//! The fleet control plane: arrivals, placement, migration, leases.
+//!
+//! One [`ControlPlane::run`] call executes the whole scenario as a pure
+//! function of its [`FleetConfig`]: a seeded serverless arrival stream
+//! is placed onto the least-loaded host, instances depart when their
+//! lifetime expires, a periodic rebalancer live-migrates instances off
+//! overloaded hosts, and every piece of scan work flows through each
+//! host's bounded queue — with a deterministic lease/retry protocol
+//! absorbing rejections when a host's merge pipeline falls behind.
+//!
+//! Determinism (DESIGN.md §10): every control-plane decision happens in
+//! one sequential phase per tick, in a total order (VM-id order for
+//! departures, `(retry_tick, lease_seq)` order for retries, arrival
+//! order for admissions, host-id order for scans). Host *stepping* — the
+//! only parallel phase — touches exclusively per-host state, fanned out
+//! with [`pageforge_sim::ordered_map`], so `--shards` changes wall
+//! clock, never bytes.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use pageforge_obs::{trace_event, CounterId, GaugeId, HistogramId, Registry, Snapshot};
+use pageforge_sim::ordered_map;
+use pageforge_types::derive_seed;
+use pageforge_vm::AppProfile;
+use pageforge_workloads::ServerlessWorkload;
+
+use crate::config::FleetConfig;
+use crate::host::{Host, ScanJob};
+use crate::result::{FleetDegraded, FleetResult};
+
+/// A rejected scan job parked for a deterministic retry.
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    host: usize,
+    pages: usize,
+    attempt: u32,
+}
+
+/// Pre-registered metric ids (one `fleet.*` registration site, mirrored
+/// by OBSERVABILITY.md's metric-namespace table).
+struct Ids {
+    arrivals: CounterId,
+    departures: CounterId,
+    migrations: CounterId,
+    migrated_pages: CounterId,
+    rebalances: CounterId,
+    scanned_pages: CounterId,
+    merged_pages: CounterId,
+    churn_events: CounterId,
+    q_enqueued: CounterId,
+    q_rejected: CounterId,
+    q_retries: CounterId,
+    q_depth: HistogramId,
+    leases_granted: CounterId,
+    hosts: GaugeId,
+    vms_resident: GaugeId,
+    savings: GaugeId,
+}
+
+impl Ids {
+    fn register(reg: &mut Registry) -> Ids {
+        Ids {
+            arrivals: reg.counter("fleet.arrivals"),
+            departures: reg.counter("fleet.departures"),
+            migrations: reg.counter("fleet.migrations"),
+            migrated_pages: reg.counter("fleet.migrated_pages"),
+            rebalances: reg.counter("fleet.rebalances"),
+            scanned_pages: reg.counter("fleet.scanned_pages"),
+            merged_pages: reg.counter("fleet.merged_pages"),
+            churn_events: reg.counter("fleet.churn_events"),
+            q_enqueued: reg.counter("fleet.queue.enqueued"),
+            q_rejected: reg.counter("fleet.queue.rejected"),
+            q_retries: reg.counter("fleet.queue.retries"),
+            q_depth: reg.histogram("fleet.queue.depth"),
+            leases_granted: reg.counter("fleet.leases.granted"),
+            hosts: reg.gauge("fleet.hosts"),
+            vms_resident: reg.gauge("fleet.vms_resident"),
+            savings: reg.gauge("fleet.dedup.savings_frac"),
+        }
+    }
+}
+
+/// Running aggregates folded into the final [`FleetResult`].
+#[derive(Default)]
+struct Totals {
+    arrivals: u64,
+    departures: u64,
+    migrations: u64,
+    migrated_pages: u64,
+    migration_cycles: u64,
+    rebalances: u64,
+    scanned: u64,
+    merged: u64,
+    churn: u64,
+    enqueued: u64,
+    rejected: u64,
+    retries: u64,
+    depth_sum: u64,
+    depth_max: u64,
+    resident_tick_sum: u64,
+    savings_tick_sum: f64,
+}
+
+/// The scenario driver. See the module docs for the per-tick phase
+/// order; [`run`](Self::run) is the only entry point.
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    cfg: FleetConfig,
+}
+
+impl ControlPlane {
+    /// Wraps a configuration.
+    pub fn new(cfg: FleetConfig) -> ControlPlane {
+        ControlPlane { cfg }
+    }
+
+    /// The configuration this plane runs.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Runs the scenario on up to `shards` worker threads and returns
+    /// the result plus a unified observability snapshot (the plane's
+    /// `fleet.*` metrics merged with every host's engine/driver/memory
+    /// metrics — per-host counters add up fleet-wide).
+    pub fn run(&self, shards: usize) -> (FleetResult, Snapshot) {
+        let cfg = &self.cfg;
+        assert!(cfg.hosts > 0, "a fleet needs at least one host");
+        let mut reg = Registry::new();
+        let ids = Ids::register(&mut reg);
+        reg.set(ids.hosts, cfg.hosts as f64);
+
+        // Per-family content profiles and seeds: instances of one family
+        // share runtime-image content (full-span groups), which is the
+        // dedup opportunity the scenario measures.
+        let profiles: Vec<AppProfile> = cfg
+            .functions
+            .iter()
+            .map(|f| AppProfile::new(&f.name, cfg.pages_per_vm, f.unmergeable_frac, f.zero_frac))
+            .collect();
+        let content_seeds: Vec<u64> = cfg
+            .functions
+            .iter()
+            .map(|f| derive_seed(cfg.seed, &format!("content.{}", f.name)))
+            .collect();
+
+        // The whole arrival schedule, precomputed and grouped by tick.
+        let mut arrivals_by_tick: BTreeMap<u64, Vec<pageforge_workloads::MicroVm>> =
+            BTreeMap::new();
+        let mut stream = ServerlessWorkload::new(
+            cfg.functions.clone(),
+            cfg.arrival_rate(),
+            cfg.mean_lifetime_ticks,
+            derive_seed(cfg.seed, "arrivals"),
+        );
+        for vm in stream.arrivals_until(cfg.ticks) {
+            arrivals_by_tick
+                .entry(vm.arrival_tick)
+                .or_default()
+                .push(vm);
+        }
+
+        let hosts: Vec<Mutex<Host>> = (0..cfg.hosts)
+            .map(|_| {
+                Mutex::new(Host::new(
+                    cfg.pf.clone(),
+                    cfg.queue_capacity,
+                    cfg.user_hints,
+                    cfg.faults.as_ref(),
+                ))
+            })
+            .collect();
+
+        // vm id -> (current host, function family).
+        let mut placement: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+        let mut departures_by_tick: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        // Parked retries in (retry_tick, grant_seq) order.
+        let mut leases: BTreeMap<(u64, u64), Lease> = BTreeMap::new();
+        let mut lease_seq = 0u64;
+        let mut totals = Totals::default();
+        let churn_base = derive_seed(cfg.seed, "churn");
+
+        for t in 0..cfg.ticks {
+            let cycle = t * cfg.tick_cycles;
+
+            // Phase 1: departures, in VM-id order.
+            if let Some(mut gone) = departures_by_tick.remove(&t) {
+                gone.sort_unstable();
+                for vm in gone {
+                    let (h, _) = placement.remove(&vm).expect("departing VM is placed");
+                    let pages = hosts[h].lock().expect("host lock").depart(vm);
+                    reg.inc(ids.departures);
+                    totals.departures += 1;
+                    trace_event!(cycle, "fleet", "depart", {
+                        vm: vm as f64,
+                        host: h as f64,
+                        pages: pages as f64,
+                    });
+                }
+            }
+
+            // Phase 2: lease retries due at or before this tick, in
+            // (retry_tick, grant_seq) order.
+            while let Some((&key, _)) = leases.first_key_value() {
+                if key.0 > t {
+                    break;
+                }
+                let lease = leases.remove(&key).expect("lease key just observed");
+                reg.inc(ids.q_retries);
+                totals.retries += 1;
+                let mut host = hosts[lease.host].lock().expect("host lock");
+                if host.try_enqueue(ScanJob { pages: lease.pages }) {
+                    reg.inc(ids.q_enqueued);
+                    totals.enqueued += 1;
+                } else {
+                    let attempt = lease.attempt + 1;
+                    let due = t + lease_delay(cfg, attempt);
+                    leases.insert((due, lease_seq), Lease { attempt, ..lease });
+                    lease_seq += 1;
+                    trace_event!(cycle, "fleet", "lease", {
+                        host: lease.host as f64,
+                        pages: lease.pages as f64,
+                        retry_tick: due as f64,
+                        attempt: attempt as f64,
+                    });
+                }
+            }
+
+            // Phase 3: admissions onto the least-loaded host (ties to
+            // the lowest host id), in arrival order.
+            if let Some(batch) = arrivals_by_tick.remove(&t) {
+                for vm in batch {
+                    let h = least_loaded(&hosts);
+                    let hinted = hosts[h].lock().expect("host lock").admit(
+                        vm.id,
+                        &profiles[vm.func],
+                        content_seeds[vm.func],
+                    );
+                    placement.insert(vm.id, (h, vm.func));
+                    departures_by_tick
+                        .entry(t + vm.lifetime_ticks)
+                        .or_default()
+                        .push(vm.id);
+                    reg.inc(ids.arrivals);
+                    totals.arrivals += 1;
+                    trace_event!(cycle, "fleet", "admit", {
+                        vm: vm.id as f64,
+                        host: h as f64,
+                        func: vm.func as f64,
+                        pages: hinted as f64,
+                    });
+                    offer_scan(
+                        h,
+                        &hosts[h],
+                        hinted,
+                        t,
+                        cfg,
+                        &mut reg,
+                        &ids,
+                        &mut leases,
+                        &mut lease_seq,
+                        &mut totals,
+                    );
+                }
+            }
+
+            // Phase 4: periodic rebalance — migrate the lowest-id
+            // instance off the most loaded host while the spread exceeds
+            // the threshold (bounded moves per invocation).
+            if cfg.rebalance_every > 0 && t > 0 && t % cfg.rebalance_every == 0 {
+                reg.inc(ids.rebalances);
+                totals.rebalances += 1;
+                for _ in 0..cfg.hosts {
+                    let (max_h, max_n) = most_loaded(&hosts);
+                    let (min_h, min_n) = {
+                        let h = least_loaded(&hosts);
+                        (h, hosts[h].lock().expect("host lock").resident_count())
+                    };
+                    if max_n.saturating_sub(min_n) <= cfg.migration_threshold {
+                        break;
+                    }
+                    let vm = hosts[max_h]
+                        .lock()
+                        .expect("host lock")
+                        .lowest_resident()
+                        .expect("loaded host has residents");
+                    let func = placement[&vm].1;
+                    let pages = hosts[max_h].lock().expect("host lock").depart(vm);
+                    let cost = pages as u64 * cfg.migrate_cycles_per_page;
+                    let hinted = {
+                        let mut dst = hosts[min_h].lock().expect("host lock");
+                        dst.advance(cost);
+                        dst.admit(vm, &profiles[func], content_seeds[func])
+                    };
+                    placement.insert(vm, (min_h, func));
+                    reg.inc(ids.migrations);
+                    reg.add(ids.migrated_pages, pages as u64);
+                    totals.migrations += 1;
+                    totals.migrated_pages += pages as u64;
+                    totals.migration_cycles += cost;
+                    trace_event!(cycle, "fleet", "migrate", {
+                        vm: vm as f64,
+                        from: max_h as f64,
+                        to: min_h as f64,
+                        pages: pages as f64,
+                    });
+                    offer_scan(
+                        min_h,
+                        &hosts[min_h],
+                        hinted,
+                        t,
+                        cfg,
+                        &mut reg,
+                        &ids,
+                        &mut leases,
+                        &mut lease_seq,
+                        &mut totals,
+                    );
+                }
+            }
+
+            // Phase 5: periodic full rescan per host (churn re-exposes
+            // candidates between arrivals), in host-id order.
+            if cfg.rescan_every > 0 && t > 0 && t % cfg.rescan_every == 0 {
+                for (h, host) in hosts.iter().enumerate() {
+                    let pages = host.lock().expect("host lock").hint_count();
+                    offer_scan(
+                        h,
+                        host,
+                        pages,
+                        t,
+                        cfg,
+                        &mut reg,
+                        &ids,
+                        &mut leases,
+                        &mut lease_seq,
+                        &mut totals,
+                    );
+                }
+            }
+
+            // Phase 6: step every host — churn, then queue draining.
+            // Per-host state only, so the fan-out is shard-invariant.
+            let churn_tick = cfg.churn_every > 0 && t > 0 && t % cfg.churn_every == 0;
+            let reports = ordered_map(shards, hosts.len(), |h| {
+                let churn_seed = churn_tick.then(|| mix64(churn_base, h as u64, t));
+                hosts[h]
+                    .lock()
+                    .expect("host lock")
+                    .step(cfg.scan_pages_per_tick, churn_seed)
+            });
+
+            // Phase 7: sequential sampling.
+            let mut resident = 0u64;
+            let mut savings = 0.0f64;
+            for (h, r) in reports.iter().enumerate() {
+                reg.add(ids.scanned_pages, r.scanned);
+                reg.add(ids.merged_pages, r.merged);
+                reg.add(ids.churn_events, r.churn_events);
+                totals.scanned += r.scanned;
+                totals.merged += r.merged;
+                totals.churn += r.churn_events;
+                let host = hosts[h].lock().expect("host lock");
+                let depth = host.queue_depth() as u64;
+                reg.observe(ids.q_depth, depth as f64);
+                totals.depth_sum += depth;
+                totals.depth_max = totals.depth_max.max(depth);
+                resident += host.resident_count() as u64;
+                savings += host.savings_fraction();
+            }
+            let savings_mean = savings / cfg.hosts as f64;
+            reg.set(ids.vms_resident, resident as f64);
+            reg.set(ids.savings, savings_mean);
+            totals.resident_tick_sum += resident;
+            totals.savings_tick_sum += savings_mean;
+        }
+
+        // Fold every host's exported metrics into the plane's registry
+        // and aggregate the degraded-mode summary.
+        let mut degraded = FleetDegraded::default();
+        let mut resident_final = 0u64;
+        let mut savings_final = 0.0f64;
+        let mut agg = Registry::new();
+        agg.absorb(&reg);
+        for host in &hosts {
+            let host = host.lock().expect("host lock");
+            agg.absorb(&host.export_metrics());
+            let s = host.engine().stats();
+            degraded.degraded_candidates += s.degraded_candidates;
+            degraded.stall_retries += s.stall_retries;
+            degraded.engine_errors += s.engine_errors;
+            resident_final += host.resident_count() as u64;
+            savings_final += host.savings_fraction();
+        }
+
+        let samples = (cfg.ticks * cfg.hosts as u64).max(1);
+        let result = FleetResult {
+            label: cfg.label.clone(),
+            hosts: cfg.hosts as u64,
+            ticks: cfg.ticks,
+            arrivals: totals.arrivals,
+            departures: totals.departures,
+            migrations: totals.migrations,
+            migrated_pages: totals.migrated_pages,
+            migration_cycles: totals.migration_cycles,
+            rebalances: totals.rebalances,
+            scanned_pages: totals.scanned,
+            merged_pages: totals.merged,
+            queue_enqueued: totals.enqueued,
+            queue_rejected: totals.rejected,
+            lease_retries: totals.retries,
+            queue_depth_mean: totals.depth_sum as f64 / samples as f64,
+            queue_depth_max: totals.depth_max,
+            resident_mean: totals.resident_tick_sum as f64 / cfg.ticks.max(1) as f64,
+            resident_final,
+            savings_mean: totals.savings_tick_sum / cfg.ticks.max(1) as f64,
+            savings_final: savings_final / cfg.hosts as f64,
+            churn_events: totals.churn,
+            degraded: (!degraded.is_zero()).then_some(degraded),
+        };
+        (result, agg.snapshot())
+    }
+}
+
+/// Exponential lease backoff: retry `attempt` waits
+/// `lease_ticks << min(attempt, max_shift)` ticks (at least one).
+fn lease_delay(cfg: &FleetConfig, attempt: u32) -> u64 {
+    (cfg.lease_ticks << attempt.min(cfg.max_lease_backoff_shift)).max(1)
+}
+
+/// Deterministic per-(host, tick) stream seed (SplitMix64 finalizer).
+fn mix64(base: u64, a: u64, b: u64) -> u64 {
+    let mut z =
+        base ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Host with the fewest residents; ties go to the lowest host id.
+fn least_loaded(hosts: &[Mutex<Host>]) -> usize {
+    let mut best = 0;
+    let mut best_n = usize::MAX;
+    for (h, host) in hosts.iter().enumerate() {
+        let n = host.lock().expect("host lock").resident_count();
+        if n < best_n {
+            best = h;
+            best_n = n;
+        }
+    }
+    best
+}
+
+/// Host with the most residents; ties go to the lowest host id.
+fn most_loaded(hosts: &[Mutex<Host>]) -> (usize, usize) {
+    let mut best = 0;
+    let mut best_n = 0;
+    for (h, host) in hosts.iter().enumerate() {
+        let n = host.lock().expect("host lock").resident_count();
+        if n > best_n {
+            best = h;
+            best_n = n;
+        }
+    }
+    (best, best_n)
+}
+
+/// Offers `pages` of scan work to a host's bounded queue; a rejection
+/// grants a lease with deterministic exponential-backoff retries.
+#[allow(clippy::too_many_arguments)]
+fn offer_scan(
+    host_idx: usize,
+    host: &Mutex<Host>,
+    pages: usize,
+    tick: u64,
+    cfg: &FleetConfig,
+    reg: &mut Registry,
+    ids: &Ids,
+    leases: &mut BTreeMap<(u64, u64), Lease>,
+    lease_seq: &mut u64,
+    totals: &mut Totals,
+) {
+    if pages == 0 {
+        return;
+    }
+    if host
+        .lock()
+        .expect("host lock")
+        .try_enqueue(ScanJob { pages })
+    {
+        reg.inc(ids.q_enqueued);
+        totals.enqueued += 1;
+        return;
+    }
+    reg.inc(ids.q_rejected);
+    reg.inc(ids.leases_granted);
+    totals.rejected += 1;
+    let due = tick + lease_delay(cfg, 0);
+    leases.insert(
+        (due, *lease_seq),
+        Lease {
+            host: host_idx,
+            pages,
+            attempt: 0,
+        },
+    );
+    *lease_seq += 1;
+    trace_event!(tick * cfg.tick_cycles, "fleet", "lease", {
+        host: host_idx as f64,
+        pages: pages as f64,
+        retry_tick: due as f64,
+        attempt: 0.0,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pageforge_faults::FaultPlan;
+    use pageforge_types::json::ToJson;
+
+    fn tiny(seed: u64) -> FleetConfig {
+        FleetConfig {
+            hosts: 3,
+            ticks: 48,
+            pages_per_vm: 24,
+            density: 2.0,
+            mean_lifetime_ticks: 12.0,
+            scan_pages_per_tick: 48,
+            ..FleetConfig::smoke(seed)
+        }
+    }
+
+    #[test]
+    fn run_is_shard_invariant_to_the_byte() {
+        let bytes = |shards| {
+            let (r, s) = ControlPlane::new(tiny(5)).run(shards);
+            (
+                r.to_json().to_string_compact(),
+                s.to_json().to_string_compact(),
+            )
+        };
+        let one = bytes(1);
+        assert_eq!(one, bytes(2), "shards 1 vs 2");
+        assert_eq!(one, bytes(4), "shards 1 vs 4");
+    }
+
+    #[test]
+    fn churn_and_merging_actually_happen() {
+        let (r, snap) = ControlPlane::new(tiny(9)).run(2);
+        assert!(r.arrivals > 20, "arrivals: {}", r.arrivals);
+        assert!(r.departures > 0);
+        assert!(r.merged_pages > 0, "shared runtime images must merge");
+        // Point-in-time savings at the horizon can be zero in a tiny run
+        // (the merged instances may all have departed); the time average
+        // cannot be.
+        assert!(r.savings_mean > 0.0);
+        assert!(r.churn_events > 0);
+        assert!(r.degraded.is_none(), "fault-free run must not degrade");
+        assert_eq!(snap.gauge("fleet.hosts"), Some(3.0));
+        assert!(snap.counter("fleet.arrivals").unwrap() == r.arrivals);
+        // Host engine metrics are folded in fleet-wide.
+        assert!(snap.counter("pageforge.candidates").unwrap() > 0);
+    }
+
+    #[test]
+    fn backpressure_engages_under_a_starved_pipeline() {
+        let mut cfg = tiny(3);
+        // A pipeline that cannot keep up: tiny queue, trickle budget.
+        cfg.queue_capacity = 1;
+        cfg.scan_pages_per_tick = 4;
+        cfg.density = 4.0;
+        let (r, _) = ControlPlane::new(cfg).run(2);
+        assert!(r.queue_rejected > 0, "queue must reject under starvation");
+        assert!(r.lease_retries > 0, "leases must retry");
+        assert!(r.queue_depth_max >= 1);
+    }
+
+    #[test]
+    fn migration_moves_pages_between_hosts() {
+        let mut cfg = tiny(11);
+        cfg.migration_threshold = 0;
+        cfg.rebalance_every = 4;
+        let (r, _) = ControlPlane::new(cfg).run(1);
+        assert!(r.migrations > 0, "rebalancer must migrate");
+        assert!(r.migrated_pages > 0);
+        assert!(r.migration_cycles > 0);
+    }
+
+    #[test]
+    fn user_hints_shrink_the_scan_load() {
+        let all = {
+            let (r, _) = ControlPlane::new(tiny(13)).run(2);
+            r
+        };
+        let hinted = {
+            let mut cfg = tiny(13);
+            cfg.user_hints = true;
+            let (r, _) = ControlPlane::new(cfg).run(2);
+            r
+        };
+        assert_eq!(all.arrivals, hinted.arrivals, "same arrival stream");
+        assert!(
+            hinted.scanned_pages < all.scanned_pages,
+            "user hints scan fewer pages ({} vs {})",
+            hinted.scanned_pages,
+            all.scanned_pages
+        );
+    }
+
+    #[test]
+    fn fault_plans_work_per_host_and_stay_deterministic() {
+        let mut cfg = tiny(7);
+        cfg.faults = Some(FaultPlan::generate(7, 50_000_000, 200, 4, 50_000));
+        let run = |shards| {
+            let (r, s) = ControlPlane::new(cfg.clone()).run(shards);
+            (
+                r.to_json().to_string_compact(),
+                s.to_json().to_string_compact(),
+            )
+        };
+        let one = run(1);
+        assert_eq!(one, run(4), "faulted fleet, shards 1 vs 4");
+        assert!(
+            one.1.contains("faults."),
+            "per-host injectors must export faults.* metrics"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Fleet run results: what the bench tables and REPORT.md read off.
+
+use pageforge_types::json::{obj, ToJson, Value};
+
+/// Degraded-mode accounting aggregated across every host's engine
+/// (PageForge's software-fallback path under fault injection). All zeros
+/// — and absent from the JSON — on a fault-free run, so fault-free fleet
+/// results stay byte-identical with builds that never load a plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetDegraded {
+    /// Candidates processed by the software fallback path, fleet-wide.
+    pub degraded_candidates: u64,
+    /// Engine-stall retries, fleet-wide.
+    pub stall_retries: u64,
+    /// Engine errors, fleet-wide.
+    pub engine_errors: u64,
+}
+
+impl FleetDegraded {
+    /// True when no host degraded anything.
+    pub fn is_zero(&self) -> bool {
+        *self == FleetDegraded::default()
+    }
+}
+
+impl ToJson for FleetDegraded {
+    fn to_json(&self) -> Value {
+        obj([
+            ("degraded_candidates", self.degraded_candidates.to_json()),
+            ("stall_retries", self.stall_retries.to_json()),
+            ("engine_errors", self.engine_errors.to_json()),
+        ])
+    }
+}
+
+/// The outcome of one fleet run — a pure function of its
+/// [`FleetConfig`](crate::FleetConfig).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetResult {
+    /// Configuration label.
+    pub label: String,
+    /// Hosts simulated.
+    pub hosts: u64,
+    /// Control-plane ticks run.
+    pub ticks: u64,
+    /// Micro-VM instances admitted.
+    pub arrivals: u64,
+    /// Instances retired (lifetime expired inside the horizon).
+    pub departures: u64,
+    /// Live migrations performed by the rebalancer.
+    pub migrations: u64,
+    /// Guest pages moved by those migrations.
+    pub migrated_pages: u64,
+    /// Simulated cycles spent moving pages between hosts.
+    pub migration_cycles: u64,
+    /// Rebalancer invocations.
+    pub rebalances: u64,
+    /// Candidate pages consumed from scan queues, fleet-wide.
+    pub scanned_pages: u64,
+    /// Pages merged, fleet-wide.
+    pub merged_pages: u64,
+    /// Scan jobs accepted into bounded queues.
+    pub queue_enqueued: u64,
+    /// Scan jobs rejected by a full queue (each takes a lease).
+    pub queue_rejected: u64,
+    /// Lease retry attempts (exponential backoff).
+    pub lease_retries: u64,
+    /// Mean per-host queue depth over all sampled (host, tick) points.
+    pub queue_depth_mean: f64,
+    /// Maximum per-host queue depth observed.
+    pub queue_depth_max: u64,
+    /// Mean fleet-wide resident instance count over the run.
+    pub resident_mean: f64,
+    /// Resident instances at the horizon.
+    pub resident_final: u64,
+    /// Time-averaged mean of per-host memory-savings fractions.
+    pub savings_mean: f64,
+    /// Mean per-host savings fraction at the horizon (the experiment's
+    /// dedup-yield headline).
+    pub savings_final: f64,
+    /// Write-churn events applied across all instances.
+    pub churn_events: u64,
+    /// Degraded-mode summary; `None` unless fault injection actually
+    /// degraded something.
+    pub degraded: Option<FleetDegraded>,
+}
+
+impl ToJson for FleetResult {
+    fn to_json(&self) -> Value {
+        let mut members = vec![
+            ("label".to_owned(), Value::Str(self.label.clone())),
+            ("hosts".to_owned(), self.hosts.to_json()),
+            ("ticks".to_owned(), self.ticks.to_json()),
+            ("arrivals".to_owned(), self.arrivals.to_json()),
+            ("departures".to_owned(), self.departures.to_json()),
+            ("migrations".to_owned(), self.migrations.to_json()),
+            ("migrated_pages".to_owned(), self.migrated_pages.to_json()),
+            (
+                "migration_cycles".to_owned(),
+                self.migration_cycles.to_json(),
+            ),
+            ("rebalances".to_owned(), self.rebalances.to_json()),
+            ("scanned_pages".to_owned(), self.scanned_pages.to_json()),
+            ("merged_pages".to_owned(), self.merged_pages.to_json()),
+            ("queue_enqueued".to_owned(), self.queue_enqueued.to_json()),
+            ("queue_rejected".to_owned(), self.queue_rejected.to_json()),
+            ("lease_retries".to_owned(), self.lease_retries.to_json()),
+            (
+                "queue_depth_mean".to_owned(),
+                self.queue_depth_mean.to_json(),
+            ),
+            ("queue_depth_max".to_owned(), self.queue_depth_max.to_json()),
+            ("resident_mean".to_owned(), self.resident_mean.to_json()),
+            ("resident_final".to_owned(), self.resident_final.to_json()),
+            ("savings_mean".to_owned(), self.savings_mean.to_json()),
+            ("savings_final".to_owned(), self.savings_final.to_json()),
+            ("churn_events".to_owned(), self.churn_events.to_json()),
+        ];
+        if let Some(d) = &self.degraded {
+            members.push(("degraded".to_owned(), d.to_json()));
+        }
+        Value::Obj(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_section_is_omitted_when_absent() {
+        let r = FleetResult {
+            label: "t".into(),
+            hosts: 4,
+            ticks: 10,
+            arrivals: 0,
+            departures: 0,
+            migrations: 0,
+            migrated_pages: 0,
+            migration_cycles: 0,
+            rebalances: 0,
+            scanned_pages: 0,
+            merged_pages: 0,
+            queue_enqueued: 0,
+            queue_rejected: 0,
+            lease_retries: 0,
+            queue_depth_mean: 0.0,
+            queue_depth_max: 0,
+            resident_mean: 0.0,
+            resident_final: 0,
+            savings_mean: 0.0,
+            savings_final: 0.0,
+            churn_events: 0,
+            degraded: None,
+        };
+        let s = r.to_json().to_string_compact();
+        assert!(!s.contains("degraded"));
+        let mut faulted = r.clone();
+        faulted.degraded = Some(FleetDegraded {
+            degraded_candidates: 3,
+            stall_retries: 1,
+            engine_errors: 1,
+        });
+        assert!(faulted.to_json().to_string_compact().contains("degraded"));
+    }
+}

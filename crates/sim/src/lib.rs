@@ -57,5 +57,5 @@ pub mod system;
 pub use config::{DedupMode, SimConfig};
 pub use fabric::SimFabric;
 pub use result::{DedupSummary, DegradedSummary, SimResult};
-pub use shard::{DomainPlan, ShardMetrics, ShardTally, EPOCH_CYCLES};
+pub use shard::{ordered_map, DomainPlan, ShardMetrics, ShardTally, EPOCH_CYCLES};
 pub use system::System;

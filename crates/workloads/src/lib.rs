@@ -24,6 +24,7 @@
 //! | [`apps`] | Table 3 | [`AppSpec`]: the eight TailBench applications + QPS |
 //! | [`arrival`] | §5.3 | [`ArrivalProcess`]: open-loop query generation |
 //! | [`pattern`] | §6.3, Table 4 | [`AccessPattern`]: per-query cache-line touches |
+//! | [`serverless`] | PAPERS.md (user-guided serverless dedup) | [`ServerlessWorkload`]: seeded micro-VM churn for the fleet control plane |
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,7 +32,9 @@
 pub mod apps;
 pub mod arrival;
 pub mod pattern;
+pub mod serverless;
 
 pub use apps::{AppSpec, TIME_SCALE};
 pub use arrival::{ArrivalProcess, Query};
 pub use pattern::{AccessPattern, LineTouch};
+pub use serverless::{FunctionSpec, MicroVm, ServerlessWorkload};

@@ -1,0 +1,270 @@
+//! Serverless (micro-VM) churn workload for the fleet control plane.
+//!
+//! The fleet scenario (DESIGN.md §10) is drawn from *User-guided Page
+//! Merging for Memory Deduplication in Serverless Systems* (PAPERS.md):
+//! thousands of short-lived function instances, each booted from one of a
+//! handful of runtime images, arriving and departing far faster than the
+//! consolidation workloads of the PageForge paper itself. Memory
+//! deduplication yield in that regime is dominated by *how quickly* the
+//! merge pipeline can scan a newly booted instance before it dies — which
+//! is exactly what the per-host backpressure model of `pageforge-fleet`
+//! measures.
+//!
+//! This module generates the arrival stream: a seeded Poisson process over
+//! control-plane ticks, a weighted choice among a few [`FunctionSpec`]
+//! families (the runtime images), and an exponential lifetime per
+//! instance. The stream is a pure function of `(specs, rate, lifetime,
+//! seed)` — the fleet's determinism argument starts here.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One serverless function family: all instances of a family boot from
+/// the same runtime image, so their mergeable pages carry identical
+/// content (the dedup opportunity the fleet experiment measures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSpec {
+    /// Family name (doubles as the content-seed label, so two fleets with
+    /// the same seed generate identical images per family).
+    pub name: String,
+    /// Relative arrival weight among the families.
+    pub weight: f64,
+    /// Fraction of the instance's pages with unique content (heap,
+    /// per-request state); these never merge.
+    pub unmergeable_frac: f64,
+    /// Fraction of all-zero pages (untouched guest memory).
+    pub zero_frac: f64,
+    /// Lifetime multiplier relative to the workload's mean lifetime
+    /// (inference-style functions run longer than glue code).
+    pub lifetime_scale: f64,
+}
+
+impl FunctionSpec {
+    /// The default four-family mix: API glue, image thumbnailing, an ETL
+    /// step, and a model-inference function. Runtime images are highly
+    /// duplicated (the serverless-dedup premise): unmergeable fractions
+    /// sit well below the consolidation workloads' 42–48%.
+    pub fn serverless_suite() -> Vec<FunctionSpec> {
+        vec![
+            FunctionSpec {
+                name: "api_gw".into(),
+                weight: 4.0,
+                unmergeable_frac: 0.20,
+                zero_frac: 0.10,
+                lifetime_scale: 0.5,
+            },
+            FunctionSpec {
+                name: "thumbnail".into(),
+                weight: 3.0,
+                unmergeable_frac: 0.30,
+                zero_frac: 0.08,
+                lifetime_scale: 0.8,
+            },
+            FunctionSpec {
+                name: "etl".into(),
+                weight: 2.0,
+                unmergeable_frac: 0.35,
+                zero_frac: 0.05,
+                lifetime_scale: 1.5,
+            },
+            FunctionSpec {
+                name: "inference".into(),
+                weight: 1.0,
+                unmergeable_frac: 0.25,
+                zero_frac: 0.12,
+                lifetime_scale: 3.0,
+            },
+        ]
+    }
+}
+
+/// One micro-VM instance the control plane will admit and later retire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroVm {
+    /// Fleet-unique instance id, dense from 0 in arrival order (the fleet
+    /// uses it as the guest `VmId`).
+    pub id: u32,
+    /// Index into the workload's [`FunctionSpec`] list.
+    pub func: usize,
+    /// Control-plane tick at which the instance arrives.
+    pub arrival_tick: u64,
+    /// Ticks the instance stays resident before departing (≥ 1).
+    pub lifetime_ticks: u64,
+}
+
+/// The seeded arrival stream: Poisson arrivals at `rate_per_tick`, a
+/// weighted function-family choice, and exponential lifetimes.
+///
+/// ```
+/// use pageforge_workloads::serverless::{FunctionSpec, ServerlessWorkload};
+///
+/// let specs = FunctionSpec::serverless_suite();
+/// let mut w = ServerlessWorkload::new(specs, 1.5, 30.0, 42);
+/// let arrivals = w.arrivals_until(400);
+/// assert!(arrivals.len() > 400, "≈1.5 arrivals per tick over 400 ticks");
+/// // Pure function of (specs, rate, lifetime, seed):
+/// let specs = FunctionSpec::serverless_suite();
+/// let again = ServerlessWorkload::new(specs, 1.5, 30.0, 42).arrivals_until(400);
+/// assert_eq!(arrivals, again);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerlessWorkload {
+    specs: Vec<FunctionSpec>,
+    rate_per_tick: f64,
+    mean_lifetime_ticks: f64,
+    rng: SmallRng,
+    clock: f64,
+    next_id: u32,
+}
+
+impl ServerlessWorkload {
+    /// Creates the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `specs` is empty or the rate/lifetime are not positive.
+    pub fn new(
+        specs: Vec<FunctionSpec>,
+        rate_per_tick: f64,
+        mean_lifetime_ticks: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!specs.is_empty(), "at least one function family required");
+        assert!(rate_per_tick > 0.0, "arrival rate must be positive");
+        assert!(mean_lifetime_ticks > 0.0, "mean lifetime must be positive");
+        ServerlessWorkload {
+            specs,
+            rate_per_tick,
+            mean_lifetime_ticks,
+            rng: SmallRng::seed_from_u64(seed ^ 0xD6E8_FEB8_6659_FD93),
+            clock: 0.0,
+            next_id: 0,
+        }
+    }
+
+    /// The function families driving this stream.
+    pub fn specs(&self) -> &[FunctionSpec] {
+        &self.specs
+    }
+
+    /// Draws the next arrival (unbounded stream).
+    pub fn next_arrival(&mut self) -> MicroVm {
+        // Exponential gap at the configured Poisson rate.
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        self.clock += -u.ln() / self.rate_per_tick;
+
+        // Weighted family choice.
+        let total: f64 = self.specs.iter().map(|s| s.weight).sum();
+        let mut pick = self.rng.gen_range(0.0..total);
+        let mut func = self.specs.len() - 1;
+        for (i, s) in self.specs.iter().enumerate() {
+            if pick < s.weight {
+                func = i;
+                break;
+            }
+            pick -= s.weight;
+        }
+
+        // Exponential lifetime, scaled per family, at least one tick.
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let mean = self.mean_lifetime_ticks * self.specs[func].lifetime_scale;
+        let lifetime_ticks = (-mean * u.ln()).max(1.0) as u64;
+
+        let id = self.next_id;
+        self.next_id += 1;
+        MicroVm {
+            id,
+            func,
+            arrival_tick: self.clock as u64,
+            lifetime_ticks,
+        }
+    }
+
+    /// All arrivals strictly before `horizon_ticks`, in arrival order.
+    pub fn arrivals_until(&mut self, horizon_ticks: u64) -> Vec<MicroVm> {
+        let mut out = Vec::new();
+        loop {
+            let vm = self.next_arrival();
+            if vm.arrival_tick >= horizon_ticks {
+                break;
+            }
+            out.push(vm);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(seed: u64) -> ServerlessWorkload {
+        ServerlessWorkload::new(FunctionSpec::serverless_suite(), 2.0, 25.0, seed)
+    }
+
+    #[test]
+    fn arrival_rate_matches_config() {
+        let n = workload(1).arrivals_until(2000).len() as f64;
+        assert!((n - 4000.0).abs() / 4000.0 < 0.1, "got {n}, expected ≈4000");
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_ids_dense() {
+        let arrivals = workload(2).arrivals_until(500);
+        for (i, vm) in arrivals.iter().enumerate() {
+            assert_eq!(vm.id, i as u32);
+            if i > 0 {
+                assert!(vm.arrival_tick >= arrivals[i - 1].arrival_tick);
+            }
+            assert!(vm.lifetime_ticks >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(
+            workload(7).arrivals_until(300),
+            workload(7).arrivals_until(300)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(
+            workload(1).arrivals_until(300),
+            workload(2).arrivals_until(300)
+        );
+    }
+
+    #[test]
+    fn family_mix_follows_weights() {
+        let arrivals = workload(3).arrivals_until(3000);
+        let mut counts = [0usize; 4];
+        for vm in &arrivals {
+            counts[vm.func] += 1;
+        }
+        // api_gw (weight 4) must dominate inference (weight 1).
+        assert!(counts[0] > 2 * counts[3], "counts {counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "every family appears");
+    }
+
+    #[test]
+    fn long_lived_families_live_longer() {
+        let arrivals = workload(4).arrivals_until(4000);
+        let mean_life = |f: usize| {
+            let (sum, n) = arrivals
+                .iter()
+                .filter(|vm| vm.func == f)
+                .fold((0u64, 0u64), |(s, n), vm| (s + vm.lifetime_ticks, n + 1));
+            sum as f64 / n as f64
+        };
+        // inference (scale 3.0) outlives api_gw (scale 0.5) on average.
+        assert!(mean_life(3) > 2.0 * mean_life(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function family")]
+    fn empty_specs_panic() {
+        let _ = ServerlessWorkload::new(Vec::new(), 1.0, 1.0, 0);
+    }
+}

@@ -20,7 +20,8 @@
 //! | [`mem`] | `pageforge-mem` | DDR DRAM timing, memory controller, bandwidth metering |
 //! | [`cache`] | `pageforge-cache` | L1/L2/L3 hierarchy, MESI snoopy bus |
 //! | [`sim`] | `pageforge-sim` | the full-system simulator (Table 2's machine) |
-//! | [`workloads`] | `pageforge-workloads` | TailBench-like latency-critical workloads |
+//! | [`workloads`] | `pageforge-workloads` | TailBench-like latency-critical workloads + serverless churn |
+//! | [`fleet`] | `pageforge-fleet` | multi-host dedup control plane: placement, migration, backpressure |
 //! | [`obs`] | `pageforge-obs` | metric registry, cycle-stamped event tracing (OBSERVABILITY.md) |
 //!
 //! # Quickstart
@@ -55,6 +56,7 @@ pub use pageforge_cache as cache;
 pub use pageforge_core as core;
 pub use pageforge_ecc as ecc;
 pub use pageforge_faults as faults;
+pub use pageforge_fleet as fleet;
 pub use pageforge_ksm as ksm;
 pub use pageforge_mem as mem;
 pub use pageforge_obs as obs;
