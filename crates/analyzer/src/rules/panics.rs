@@ -13,12 +13,17 @@ use crate::findings::Finding;
 use crate::lexer::{Tok, TokKind};
 
 /// The files on the per-candidate hot path (engine FSM, OS driver,
-/// Scan-Table SRAM model, memory controller). Measured in candidates
-/// per pass, everything else is cold.
+/// Scan-Table SRAM model, memory controller) plus the fleet control
+/// plane (chaos bookkeeping, host lifecycle, per-tick phases): a panic
+/// there aborts a whole multi-host campaign — and under fault injection
+/// the plane must recover, not die. Everything else is cold.
 pub const HOT_PATHS: &[&str] = &[
     "crates/core/src/driver.rs",
     "crates/core/src/engine.rs",
     "crates/core/src/scan_table.rs",
+    "crates/fleet/src/chaos.rs",
+    "crates/fleet/src/host.rs",
+    "crates/fleet/src/plane.rs",
     "crates/mem/src/controller.rs",
 ];
 

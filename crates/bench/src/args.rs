@@ -32,6 +32,12 @@ use crate::scheduler::ParallelConfig;
 /// * `--faults <file>` — JSON fault plan applied to the PageForge engine
 ///   in the latency suite (`run_all`). A non-empty plan bypasses the
 ///   suite cache; an empty plan is a no-op by construction;
+/// * `--fleet-faults <file>` — JSON fleet fault plan (host crashes, gray
+///   slowdowns, engine wedges, migration failures) installed on the
+///   `fleet` experiment family's control plane (`run_all`). A non-empty
+///   plan bypasses the suite cache; an empty plan is a no-op by
+///   construction. The `fleet_chaos` campaign generates its own plans
+///   and ignores this flag;
 /// * `--snapshot <file>` — after the suite, run one KSM, one PageForge,
 ///   and one fleet probe cell at this run's scale/seed/shards and write
 ///   their unioned observability snapshot (metric names prefixed `ksm/`,
@@ -61,6 +67,8 @@ pub struct BenchArgs {
     pub trace: Option<PathBuf>,
     /// Fault-plan JSON path (`run_all`).
     pub faults: Option<PathBuf>,
+    /// Fleet fault-plan JSON path (`run_all`).
+    pub fleet_faults: Option<PathBuf>,
     /// Unioned probe-cell snapshot path (`run_all`).
     pub snapshot: Option<PathBuf>,
     /// Print the architecture configuration and exit.
@@ -80,6 +88,7 @@ impl Default for BenchArgs {
             out_dir: PathBuf::from("results"),
             trace: None,
             faults: None,
+            fleet_faults: None,
             snapshot: None,
             print_config: false,
         }
@@ -142,6 +151,11 @@ impl BenchArgs {
                         iter.next().expect("--faults requires a value"),
                     ));
                 }
+                "--fleet-faults" => {
+                    out.fleet_faults = Some(PathBuf::from(
+                        iter.next().expect("--fleet-faults requires a value"),
+                    ));
+                }
                 "--snapshot" => {
                     out.snapshot = Some(PathBuf::from(
                         iter.next().expect("--snapshot requires a value"),
@@ -153,7 +167,8 @@ impl BenchArgs {
                      usage: [--seed N] [--quick] [--smoke] [--jobs N] \
                      [--shards N] [--seeds N] [--only a,b] [--fleet] \
                      [--out DIR] [--trace FILE] [--faults FILE] \
-                     [--snapshot FILE] [--print-config]"
+                     [--fleet-faults FILE] [--snapshot FILE] \
+                     [--print-config]"
                 ),
             }
         }
@@ -276,6 +291,17 @@ mod tests {
         let a = BenchArgs::from_args(["--faults", "/tmp/plan.json"].iter().map(|s| s.to_string()));
         assert_eq!(a.faults, Some(PathBuf::from("/tmp/plan.json")));
         assert_eq!(BenchArgs::default().faults, None);
+    }
+
+    #[test]
+    fn fleet_faults_path_parses() {
+        let a = BenchArgs::from_args(
+            ["--fleet-faults", "/tmp/chaos.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.fleet_faults, Some(PathBuf::from("/tmp/chaos.json")));
+        assert_eq!(BenchArgs::default().fleet_faults, None);
     }
 
     #[test]

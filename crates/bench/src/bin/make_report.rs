@@ -35,6 +35,7 @@ const ORDER: &[&str] = &[
     "shard_scaling",
     "seed_sweep",
     "fleet_serverless",
+    "fleet_chaos",
     "fault_campaign",
 ];
 

@@ -7,7 +7,7 @@
 use pageforge_core::fabric::FlatFabric;
 use pageforge_core::{EngineConfig, PageForge, PageForgeConfig, PowerModel};
 use pageforge_ecc::EccKeyConfig;
-use pageforge_faults::FaultPlan;
+use pageforge_faults::{FaultPlan, FleetFaultPlan};
 use pageforge_fleet::{ControlPlane, FleetConfig, FleetResult};
 use pageforge_ksm::{Ksm, KsmConfig};
 use pageforge_sim::{DedupMode, SimConfig, SimResult, System};
@@ -644,6 +644,7 @@ pub fn fleet_cell_config(
     seed: u64,
     scale: Scale,
     plan: Option<&FaultPlan>,
+    fleet_plan: Option<&FleetFaultPlan>,
 ) -> FleetConfig {
     let hints_tag = if hinted { "hinted" } else { "all" };
     let label = format!("fleet d{density} {hints_tag}");
@@ -652,6 +653,7 @@ pub fn fleet_cell_config(
     cfg.density = density as f64;
     cfg.user_hints = hinted;
     cfg.faults = plan.cloned();
+    cfg.fleet_faults = fleet_plan.cloned();
     cfg
 }
 
@@ -664,8 +666,9 @@ pub fn fleet_cell(
     scale: Scale,
     shards: usize,
     plan: Option<&FaultPlan>,
+    fleet_plan: Option<&FleetFaultPlan>,
 ) -> FleetCell {
-    let cfg = fleet_cell_config(density, hinted, seed, scale, plan);
+    let cfg = fleet_cell_config(density, hinted, seed, scale, plan, fleet_plan);
     let (result, _snapshot) = ControlPlane::new(cfg).run(shards);
     FleetCell {
         density,
@@ -711,6 +714,153 @@ pub fn fleet_table(cells: &[FleetCell]) -> Table {
             format!("{:.2}", r.queue_depth_mean),
             format!("{}", r.queue_rejected),
             format!("{}", r.lease_retries),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fleet chaos: the availability campaign
+// ---------------------------------------------------------------------
+
+/// Fault intensities the chaos campaign sweeps: each rate `n > 0`
+/// generates a plan with `n` crashes, `n` gray windows, `n` engine
+/// wedges, and `n` armed migration failures. Rate 0 is the fault-free
+/// baseline the yield-retained column normalizes against.
+pub const CHAOS_RATES: [u32; 4] = [0, 1, 2, 4];
+
+/// Seed replicas per fault rate (the campaign runs every rate × seed
+/// combination).
+pub const CHAOS_SEEDS: usize = 3;
+
+/// One fleet-chaos campaign cell: a full multi-host run under one
+/// generated fault plan (or fault-free at rate 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCell {
+    /// Events per fault class in the generated plan (0 = baseline).
+    pub rate: u32,
+    /// Seed-replica index within the rate.
+    pub rep: usize,
+    /// The run's outcome.
+    pub result: FleetResult,
+}
+
+/// Builds the configuration for one chaos cell. The cell derives its own
+/// seed from the run seed and its label — the same derivation at every
+/// `--jobs`/`--shards` level — and rate > 0 cells generate their fault
+/// plan from that derived seed, so the whole campaign is a pure function
+/// of `(seed, scale)`.
+pub fn fleet_chaos_config(rate: u32, rep: usize, seed: u64, scale: Scale) -> FleetConfig {
+    let label = format!("fleet_chaos r{rate} s{rep}");
+    let mut cfg = scale.fleet_config(pageforge_types::derive_seed(seed, &label));
+    cfg.label = label;
+    if rate > 0 {
+        let n = rate as usize;
+        cfg.fleet_faults = Some(FleetFaultPlan::generate(
+            cfg.seed,
+            cfg.hosts as u32,
+            cfg.ticks,
+            n,
+            n,
+            n,
+            n,
+        ));
+    }
+    cfg
+}
+
+/// Runs one chaos cell and enforces the zero-loss invariant on the spot:
+/// under any plan, no VM is lost or double-placed and every host's
+/// memory invariants hold at the horizon.
+///
+/// # Panics
+///
+/// Panics if the invariant is violated — a chaos campaign that loses a
+/// VM must fail the run, not print a table.
+pub fn fleet_chaos_cell(
+    rate: u32,
+    rep: usize,
+    seed: u64,
+    scale: Scale,
+    shards: usize,
+) -> ChaosCell {
+    let cfg = fleet_chaos_config(rate, rep, seed, scale);
+    let label = cfg.label.clone();
+    let (result, _snapshot) = ControlPlane::new(cfg).run(shards);
+    if let Some(c) = &result.chaos {
+        assert_eq!(c.vms_lost, 0, "{label}: lost {} VMs", c.vms_lost);
+        assert_eq!(
+            c.vms_double_placed, 0,
+            "{label}: double-placed {} VMs",
+            c.vms_double_placed
+        );
+        assert_eq!(
+            c.memory_faults, 0,
+            "{label}: {} hosts failed the memory invariant check",
+            c.memory_faults
+        );
+    }
+    ChaosCell { rate, rep, result }
+}
+
+/// Folds chaos cells into the `fleet_chaos` availability table: per
+/// (rate, seed) row — crashes survived, VMs evacuated, evacuation
+/// latency, rollbacks, unavailability, and dedup yield retained vs. the
+/// same seed's fault-free baseline.
+pub fn fleet_chaos_table(cells: &[ChaosCell]) -> Table {
+    let hosts = cells.first().map_or(0, |c| c.result.hosts);
+    let mut t = Table::new(
+        &format!(
+            "Fleet chaos: availability under host faults across {hosts} hosts \
+             — zero VMs lost, zero incorrect merges"
+        ),
+        &[
+            "Rate",
+            "Seed",
+            "Crashes",
+            "Evacuated",
+            "Evac pages",
+            "Evac wait (mean)",
+            "Evac wait (max)",
+            "Rollbacks",
+            "Reparked",
+            "Unhealthy ticks",
+            "Savings (mean)",
+            "Yield retained",
+            "Lost",
+            "Dup-placed",
+        ],
+    );
+    for c in cells {
+        let r = &c.result;
+        // The fault-free baseline for this replica: the rate-0 cell of
+        // the same rep index (present by construction; campaigns always
+        // include rate 0).
+        let baseline = cells
+            .iter()
+            .find(|b| b.rate == 0 && b.rep == c.rep)
+            .map_or(r.savings_mean, |b| b.result.savings_mean);
+        let retained = if baseline > 0.0 {
+            r.savings_mean / baseline
+        } else {
+            1.0
+        };
+        let chaos = r.chaos.unwrap_or_default();
+        t.row(vec![
+            format!("{}", c.rate),
+            format!("{}", c.rep),
+            format!("{}", chaos.crashes),
+            format!("{}", chaos.evacuated_vms),
+            format!("{}", chaos.evacuated_pages),
+            format!("{:.2}", chaos.evac_latency_mean),
+            format!("{}", chaos.evac_latency_max),
+            format!("{}", chaos.migration_rollbacks),
+            format!("{}", chaos.leases_reparked),
+            format!("{}", chaos.unhealthy_host_ticks),
+            pct(r.savings_mean),
+            pct(retained),
+            format!("{}", chaos.vms_lost),
+            format!("{}", chaos.vms_double_placed),
         ]);
     }
     t

@@ -15,7 +15,9 @@ use pageforge_sim::SimResult;
 use pageforge_types::stats::RunningStats;
 use pageforge_vm::AppProfile;
 
-use crate::experiments::{self, FleetCell, HashKeyOutcome, MemorySavings, SeedReplicate};
+use crate::experiments::{
+    self, ChaosCell, FleetCell, HashKeyOutcome, MemorySavings, SeedReplicate,
+};
 use crate::report::Table;
 use crate::scheduler::{
     run_units, run_units_spooled, RunTiming, SchedulerError, ShardTiming, Unit,
@@ -42,6 +44,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "shard_scaling",
     "seed_sweep",
     "fleet",
+    "fleet_chaos",
 ];
 
 /// What one work unit produces.
@@ -63,6 +66,8 @@ pub enum UnitOutput {
     SeedRep(SeedReplicate),
     /// One (density, hint policy) cell of the fleet experiment.
     Fleet(FleetCell),
+    /// One (fault rate, seed replica) cell of the chaos campaign.
+    Chaos(ChaosCell),
 }
 
 /// The reassembled evaluation: named tables (file stem, table) in paper
@@ -125,6 +130,18 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
         None => None,
     };
 
+    // Same collapse for the fleet chaos plan: `--fleet-faults empty.json`
+    // takes exactly the code path (and produces exactly the bytes) of a
+    // run with no flag at all.
+    let fleet_fault_plan = match &args.fleet_faults {
+        Some(path) => {
+            let plan = pageforge_faults::FleetFaultPlan::read_file(path)
+                .unwrap_or_else(|e| panic!("--fleet-faults: {e}"));
+            (!plan.is_empty()).then_some(plan)
+        }
+        None => None,
+    };
+
     // The latency suite is cached on disk across binaries; when the cache
     // is valid there is nothing to schedule for it. Faulted runs bypass
     // the cache entirely — reading it would mask the faults, and writing
@@ -175,6 +192,7 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
                 let hints_tag = if hinted { "hinted" } else { "all" };
                 let label = format!("fleet/d{density}/{hints_tag}");
                 let plan = fault_plan.clone();
+                let fleet_plan = fleet_fault_plan.clone();
                 units.push(Unit::new("fleet", label, move || {
                     UnitOutput::Fleet(experiments::fleet_cell(
                         density,
@@ -183,6 +201,22 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
                         scale,
                         shards,
                         plan.as_ref(),
+                        fleet_plan.as_ref(),
+                    ))
+                }));
+            }
+        }
+    }
+    if want("fleet_chaos") {
+        // The availability campaign: every fault rate × seed replica.
+        // Cells generate their own plans from their derived seeds, so
+        // `--fleet-faults` does not apply here.
+        for rate in experiments::CHAOS_RATES {
+            for rep in 0..experiments::CHAOS_SEEDS {
+                let label = format!("fleet_chaos/r{rate}/s{rep}");
+                units.push(Unit::new("fleet_chaos", label, move || {
+                    UnitOutput::Chaos(experiments::fleet_chaos_cell(
+                        rate, rep, seed, scale, shards,
                     ))
                 }));
             }
@@ -308,6 +342,7 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
     let mut shard_rows: Vec<ShardTiming> = Vec::new();
     let mut seed_reps: Vec<SeedReplicate> = Vec::new();
     let mut fleet_cells: Vec<FleetCell> = Vec::new();
+    let mut chaos_cells: Vec<ChaosCell> = Vec::new();
     for r in results {
         match r.value {
             UnitOutput::Table(t) => singles.push((r.experiment, t)),
@@ -321,6 +356,7 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
             }
             UnitOutput::SeedRep(rep) => seed_reps.push(rep),
             UnitOutput::Fleet(cell) => fleet_cells.push(cell),
+            UnitOutput::Chaos(cell) => chaos_cells.push(cell),
         }
     }
     timing.shard_scaling = shard_rows;
@@ -415,6 +451,13 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
             &mut tables,
             "fleet_serverless",
             experiments::fleet_table(&fleet_cells),
+        );
+    }
+    if !chaos_cells.is_empty() {
+        push(
+            &mut tables,
+            "fleet_chaos",
+            experiments::fleet_chaos_table(&chaos_cells),
         );
     }
     let trace = match (&args.trace, &spool_dir) {

@@ -235,6 +235,12 @@ impl PageForge {
         self.engine.fault_injector()
     }
 
+    /// Mutable access to the engine's fault injector, if one is
+    /// installed (the fleet chaos plane toggles the wedge flag here).
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.engine.fault_injector_mut()
+    }
+
     /// Driver statistics.
     pub fn stats(&self) -> &PageForgeStats {
         &self.stats

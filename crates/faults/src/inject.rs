@@ -85,6 +85,7 @@ pub struct FaultInjector {
     pending_key: VecDeque<u8>,
     pending_collide: u32,
     pending_table: VecDeque<TableFault>,
+    wedged: bool,
     metrics: Registry,
     ids: Ids,
 }
@@ -114,9 +115,20 @@ impl FaultInjector {
             pending_key: VecDeque::new(),
             pending_collide: 0,
             pending_table: VecDeque::new(),
+            wedged: false,
             metrics,
             ids,
         }
+    }
+
+    /// Wedges (or un-wedges) the injector: while wedged, [`stalled`]
+    /// reports a stall at *every* cycle, regardless of the plan's stall
+    /// windows. The fleet chaos plane uses this to force a host's engine
+    /// into the driver's retry/degrade path for a bounded tick window.
+    ///
+    /// [`stalled`]: FaultInjector::stalled
+    pub fn set_wedged(&mut self, on: bool) {
+        self.wedged = on;
     }
 
     /// Whether nothing is scheduled, pending, or stalling: every hook is
@@ -128,6 +140,7 @@ impl FaultInjector {
             && self.pending_key.is_empty()
             && self.pending_collide == 0
             && self.pending_table.is_empty()
+            && !self.wedged
     }
 
     /// Drains every event armed at or before `now` into its pending queue.
@@ -268,6 +281,10 @@ impl FaultInjector {
     /// Whether the engine is inside a stall window at `now`. Each query
     /// that lands in a window ticks `faults.stall_hits`.
     pub fn stalled(&mut self, now: Cycle) -> bool {
+        if self.wedged {
+            self.metrics.inc(self.ids.stall_hits);
+            return true;
+        }
         if self.stalls.iter().any(|w| w.contains(now)) {
             self.metrics.inc(self.ids.stall_hits);
             return true;
@@ -499,6 +516,21 @@ mod tests {
         assert_eq!(inj.stall_clears_at(150), 260);
         assert_eq!(inj.stall_clears_at(50), 50);
         assert_eq!(inj.counter("faults.stall_hits"), 3);
+    }
+
+    #[test]
+    fn wedging_stalls_every_cycle_until_cleared() {
+        let mut inj = FaultInjector::new(&FaultPlan::empty());
+        assert!(inj.is_inert());
+        assert!(!inj.stalled(0));
+        inj.set_wedged(true);
+        assert!(!inj.is_inert());
+        assert!(inj.stalled(0));
+        assert!(inj.stalled(1_000_000));
+        inj.set_wedged(false);
+        assert!(inj.is_inert());
+        assert!(!inj.stalled(2_000_000));
+        assert_eq!(inj.counter("faults.stall_hits"), 2);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! |--------|----------|
 //! | [`plan`] | [`FaultPlan`]: a seed-derived, JSON-serializable schedule of [`FaultEvent`]s by cycle plus engine [`StallWindow`]s |
 //! | [`inject`] | [`FaultInjector`]: consumes a plan against the engine's own deterministic fetch/cycle stream, corrupting line views, ECC hints, and Scan Table entries, and exporting `faults.*` outcome counters |
+//! | [`fleet`] | [`FleetFaultPlan`]: the control-plane counterpart — host crashes, gray slowdowns, engine wedges, and armed migration failures scheduled by fleet *tick* |
 //!
 //! Two properties are load-bearing:
 //!
@@ -44,8 +45,10 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fleet;
 pub mod inject;
 pub mod plan;
 
+pub use fleet::{FleetFaultEvent, FleetFaultKind, FleetFaultPlan};
 pub use inject::{FaultInjector, LineView, TableFault};
-pub use plan::{FaultEvent, FaultKind, FaultPlan, StallWindow};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, StallWindow, PLAN_VERSION};

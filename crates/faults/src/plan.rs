@@ -10,6 +10,32 @@ use pageforge_types::Cycle;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// The fault-plan JSON schema version this build reads and writes
+/// (engine-level [`FaultPlan`]s and fleet-level
+/// [`FleetFaultPlan`](crate::FleetFaultPlan)s alike). Plans without a
+/// `version` field are treated as version 1 — the schema predates the
+/// field — while a *different* version is rejected by `read_file` with
+/// a message naming this constant instead of an opaque shape error.
+pub const PLAN_VERSION: u32 = 1;
+
+/// Validates a parsed plan's `version` field against [`PLAN_VERSION`].
+/// Missing field → version 1 (accepted); mismatched field → an error
+/// naming both versions, prefixed with `path` for context.
+pub(crate) fn check_version(value: &Value, path: &std::path::Path) -> Result<(), String> {
+    let Some(v) = value.get("version") else {
+        return Ok(());
+    };
+    let got = u64::from_json(v)
+        .ok_or_else(|| format!("{}: `version` must be an unsigned integer", path.display()))?;
+    if got != u64::from(PLAN_VERSION) {
+        return Err(format!(
+            "{}: plan version {got} is not supported; this build reads version {PLAN_VERSION}",
+            path.display()
+        ));
+    }
+    Ok(())
+}
+
 /// One scheduled fault. It *arms* at `at_cycle` and fires at the first
 /// matching injection point (line fetch, key observation, batch start)
 /// the hardware reaches at or after that cycle.
@@ -222,11 +248,15 @@ impl FaultPlan {
         }
     }
 
-    /// Reads a plan from a JSON file.
+    /// Reads a plan from a JSON file. A plan whose `version` field names
+    /// a schema this build does not read fails with a message naming the
+    /// supported version ([`PLAN_VERSION`]); a missing `version` is
+    /// accepted as version 1.
     pub fn read_file(path: &std::path::Path) -> Result<Self, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         let value =
             pageforge_types::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        check_version(&value, path)?;
         Self::from_json(&value).ok_or_else(|| format!("{}: not a fault plan", path.display()))
     }
 
@@ -239,12 +269,22 @@ impl FaultPlan {
     }
 }
 
-fn u64_field(value: &Value, key: &str) -> Option<u64> {
+pub(crate) fn u64_field(value: &Value, key: &str) -> Option<u64> {
     u64::from_json(value.get(key)?)
 }
 
-fn u8_field(value: &Value, key: &str) -> Option<u8> {
+pub(crate) fn u8_field(value: &Value, key: &str) -> Option<u8> {
     u8::try_from(u64_field(value, key)?).ok()
+}
+
+/// `from_json` arm of the version check: missing → version 1, present
+/// but different → reject (callers going through `read_file` get the
+/// nicer named-version error first).
+pub(crate) fn version_accepted(value: &Value) -> bool {
+    match value.get("version") {
+        None => true,
+        Some(v) => u64::from_json(v) == Some(u64::from(PLAN_VERSION)),
+    }
 }
 
 fn bits_field(value: &Value) -> Option<Vec<u8>> {
@@ -344,6 +384,7 @@ impl FromJson for StallWindow {
 impl ToJson for FaultPlan {
     fn to_json(&self) -> Value {
         obj([
+            ("version", u64::from(PLAN_VERSION).to_json()),
             ("seed", self.seed.to_json()),
             ("events", self.events.to_json()),
             ("stalls", self.stalls.to_json()),
@@ -353,6 +394,9 @@ impl ToJson for FaultPlan {
 
 impl FromJson for FaultPlan {
     fn from_json(value: &Value) -> Option<Self> {
+        if !version_accepted(value) {
+            return None;
+        }
         Some(FaultPlan {
             seed: u64_field(value, "seed")?,
             events: Vec::from_json(value.get("events")?)?,
@@ -423,6 +467,32 @@ mod tests {
         let plan = FaultPlan::generate(11, 1_000_000, 16, 1, 1_000);
         plan.write_file(&path).unwrap();
         assert_eq!(FaultPlan::read_file(&path).unwrap(), plan);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serialized_plans_carry_the_schema_version() {
+        let text = FaultPlan::empty().to_json().to_string_compact();
+        assert!(text.contains("\"version\":1"), "{text}");
+    }
+
+    #[test]
+    fn unversioned_plans_parse_as_version_one() {
+        // The CI empty-plan fixture predates the `version` field and
+        // must keep parsing forever.
+        let value = pageforge_types::json::parse(r#"{"seed":0,"events":[],"stalls":[]}"#).unwrap();
+        assert!(FaultPlan::from_json(&value).unwrap().is_empty());
+    }
+
+    #[test]
+    fn future_versions_are_rejected_by_name() {
+        let dir = std::env::temp_dir().join("pageforge-faults-version-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("future.json");
+        std::fs::write(&path, r#"{"version":9,"seed":0,"events":[],"stalls":[]}"#).unwrap();
+        let err = FaultPlan::read_file(&path).unwrap_err();
+        assert!(err.contains("plan version 9 is not supported"), "{err}");
+        assert!(err.contains("reads version 1"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

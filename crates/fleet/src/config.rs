@@ -1,7 +1,7 @@
 //! Fleet scenario configuration.
 
 use pageforge_core::PageForgeConfig;
-use pageforge_faults::FaultPlan;
+use pageforge_faults::{FaultPlan, FleetFaultPlan};
 use pageforge_workloads::FunctionSpec;
 
 /// Everything a fleet run is a pure function of (together with its
@@ -57,12 +57,19 @@ pub struct FleetConfig {
     pub rescan_every: u64,
     /// Apply write churn to resident instances every this many ticks.
     pub churn_every: u64,
+    /// Micro-VMs evacuated off a crashed host per tick (live-migration
+    /// bandwidth of the recovery path).
+    pub evac_vms_per_tick: usize,
     /// Per-host PageForge driver/engine configuration.
     pub pf: PageForgeConfig,
     /// Optional deterministic fault plan, installed on every host's
     /// engine (the same plan; host clocks diverge, so injections do
     /// too — deterministically).
     pub faults: Option<FaultPlan>,
+    /// Optional fleet-level chaos plan (host crashes, gray slowdowns,
+    /// engine wedges, migration failures). `None` skips every chaos
+    /// phase, byte-identically to a build without the subsystem.
+    pub fleet_faults: Option<FleetFaultPlan>,
     /// Base seed; every derived stream (arrivals, churn, content) is
     /// labelled off this.
     pub seed: u64,
@@ -91,8 +98,10 @@ impl FleetConfig {
             migrate_cycles_per_page: 2_000,
             rescan_every: 16,
             churn_every: 4,
+            evac_vms_per_tick: 4,
             pf: PageForgeConfig::default(),
             faults: None,
+            fleet_faults: None,
             seed,
         }
     }

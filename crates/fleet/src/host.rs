@@ -198,6 +198,45 @@ impl Host {
         self.resident.len()
     }
 
+    /// Whether a specific micro-VM is resident here.
+    pub fn is_resident(&self, vm: u32) -> bool {
+        self.resident.contains_key(&vm)
+    }
+
+    /// All resident micro-VM ids, ascending (the chaos plane's placement
+    /// audit and evacuation enumeration both key off this order).
+    pub fn resident_vms(&self) -> Vec<u32> {
+        self.resident.keys().copied().collect()
+    }
+
+    /// Wedges (or un-wedges) the host's engine: while wedged, every
+    /// hardware batch stalls, so the driver's bounded retry path degrades
+    /// candidates to the software-KSM fallback. Installs an empty-plan
+    /// injector on demand — a host with no fault plan can still be
+    /// wedged by the fleet chaos plane.
+    pub fn set_wedged(&mut self, on: bool) {
+        if let Some(inj) = self.engine.fault_injector_mut() {
+            inj.set_wedged(on);
+        } else if on {
+            // The engine drops inert injectors at install time, so wedge
+            // the fresh empty-plan injector before handing it over.
+            let mut inj = FaultInjector::new(&FaultPlan::empty());
+            inj.set_wedged(true);
+            self.engine.set_fault_injector(Some(inj));
+        }
+    }
+
+    /// Crashes the host: drops every queued scan job (the work is lost
+    /// with the host) and returns how many jobs were dropped. Residents
+    /// are left mapped — the control plane evacuates them one by one via
+    /// [`depart`](Host::depart)/re-admit so each migration is observable
+    /// and charged.
+    pub fn crash(&mut self) -> usize {
+        let dropped = self.queue.len();
+        self.queue.clear();
+        dropped
+    }
+
     /// Lowest resident VM id, if any (the migration victim policy).
     pub fn lowest_resident(&self) -> Option<u32> {
         self.resident.keys().next().copied()
@@ -331,6 +370,49 @@ mod tests {
         assert!(h.try_enqueue(ScanJob { pages: 1 }));
         assert!(!h.try_enqueue(ScanJob { pages: 1 }), "capacity is 2");
         assert_eq!(h.queue_depth(), 2);
+    }
+
+    #[test]
+    fn wedged_host_still_merges_via_the_software_path() {
+        let mut h = host(false);
+        assert!(h.engine().fault_injector().is_none());
+        h.set_wedged(false);
+        assert!(
+            h.engine().fault_injector().is_none(),
+            "un-wedging a clean host must not install an injector"
+        );
+        h.set_wedged(true);
+        assert!(h.engine().fault_injector().is_some());
+        let p = profile();
+        h.admit(1, &p, 99);
+        h.admit(2, &p, 99);
+        let mut merged = 0;
+        for _ in 0..8 {
+            h.try_enqueue(ScanJob { pages: 128 });
+            merged += h.step(64, None).merged;
+        }
+        assert!(merged > 0, "degraded software path must still merge");
+        let stats = h.engine().stats();
+        assert!(
+            stats.degraded_candidates > 0,
+            "every batch should degrade while wedged"
+        );
+        h.set_wedged(false);
+        assert!(h.engine().fault_injector().is_some_and(|i| i.is_inert()));
+    }
+
+    #[test]
+    fn crash_drops_queued_work_and_reports_residents() {
+        let mut h = host(false);
+        let p = profile();
+        h.admit(3, &p, 1);
+        h.admit(9, &p, 1);
+        h.try_enqueue(ScanJob { pages: 8 });
+        h.try_enqueue(ScanJob { pages: 8 });
+        assert_eq!(h.crash(), 2);
+        assert_eq!(h.queue_depth(), 0);
+        assert_eq!(h.resident_vms(), vec![3, 9]);
+        assert!(h.is_resident(3) && !h.is_resident(4));
     }
 
     #[test]

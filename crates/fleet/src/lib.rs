@@ -12,12 +12,21 @@
 //! falls behind, the queue rejects and the control plane parks the work
 //! under a deterministic lease with exponential-backoff retries.
 //!
+//! Under a [`pageforge_faults::FleetFaultPlan`] the plane also runs a
+//! chaos-and-recovery loop: a per-tick heartbeat delivers host crashes,
+//! gray slowdowns, engine wedges, and armed migration failures;
+//! unhealthy hosts are quarantined (no admissions or rescans, due
+//! leases re-parked); crashed hosts' micro-VMs evacuate over the
+//! live-migration path in `(crash_tick, vm)` order; and a placement
+//! audit enforces the zero-loss invariant every tick. The summary lands
+//! in [`result::FleetChaos`].
+//!
 //! The run is a pure function of its [`FleetConfig`] (seed included):
 //! byte-identical across `--jobs` and `--shards`, with or without a
-//! fault plan. DESIGN.md §10 gives the architecture and the determinism
-//! argument; OBSERVABILITY.md documents the `fleet.*` metrics and the
-//! `fleet` trace events; EXPERIMENTS.md covers the serverless-churn
-//! experiment built on top.
+//! fault plan. DESIGN.md §7 and §10 give the architecture and the
+//! determinism argument; OBSERVABILITY.md documents the `fleet.*`
+//! metrics and the `fleet` trace events; EXPERIMENTS.md covers the
+//! serverless-churn and fleet-chaos experiments built on top.
 //!
 //! ```
 //! use pageforge_fleet::{ControlPlane, FleetConfig};
@@ -35,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod chaos;
 pub mod config;
 pub mod host;
 pub mod plane;
@@ -42,5 +52,5 @@ pub mod result;
 
 pub use config::FleetConfig;
 pub use host::{Host, HostTickReport, ScanJob};
-pub use plane::ControlPlane;
-pub use result::{FleetDegraded, FleetResult};
+pub use plane::{lease_backoff, ControlPlane};
+pub use result::{FleetChaos, FleetDegraded, FleetResult};

@@ -1,4 +1,6 @@
-//! The fleet control plane: arrivals, placement, migration, leases.
+//! The fleet control plane: arrivals, placement, migration, leases —
+//! and, under a [`FleetFaultPlan`](pageforge_faults::FleetFaultPlan),
+//! heartbeats, quarantine, evacuation, and rollback.
 //!
 //! One [`ControlPlane::run`] call executes the whole scenario as a pure
 //! function of its [`FleetConfig`]: a seeded serverless arrival stream
@@ -15,18 +17,34 @@
 //! only parallel phase — touches exclusively per-host state, fanned out
 //! with [`pageforge_sim::ordered_map`], so `--shards` changes wall
 //! clock, never bytes.
+//!
+//! Chaos (DESIGN.md §7): when a fleet fault plan is installed, two
+//! sequential phases run before departures — a heartbeat (deliver due
+//! fault events, toggle engine wedges, compute per-host health, count
+//! quarantine/recovery transitions) and an evacuation drain (move up to
+//! `evac_vms_per_tick` VMs off crashed hosts in `(crash_tick, vm)`
+//! order, re-materialising content byte-identically on the
+//! destination). Unhealthy hosts take no admissions or rescans and
+//! their due leases re-park with the same exponential backoff; an armed
+//! migration failure rolls the move back with the source authoritative.
+//! A per-tick placement audit enforces the zero-loss invariant: no VM
+//! lost, none double-placed, and (at the horizon) every host's memory
+//! invariants intact. Without a plan every chaos phase is skipped, so
+//! plan-free runs are byte-identical to pre-chaos builds.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+use pageforge_faults::FleetFaultKind;
 use pageforge_obs::{trace_event, CounterId, GaugeId, HistogramId, Registry, Snapshot};
 use pageforge_sim::ordered_map;
 use pageforge_types::derive_seed;
 use pageforge_vm::AppProfile;
 use pageforge_workloads::ServerlessWorkload;
 
+use crate::chaos::ChaosState;
 use crate::config::FleetConfig;
-use crate::host::{Host, ScanJob};
+use crate::host::{Host, HostTickReport, ScanJob};
 use crate::result::{FleetDegraded, FleetResult};
 
 /// A rejected scan job parked for a deterministic retry.
@@ -56,6 +74,17 @@ struct Ids {
     hosts: GaugeId,
     vms_resident: GaugeId,
     savings: GaugeId,
+    health_checks: CounterId,
+    health_crashes: CounterId,
+    health_crashes_skipped: CounterId,
+    health_quarantines: CounterId,
+    health_recoveries: CounterId,
+    health_reparked: CounterId,
+    health_unhealthy: GaugeId,
+    evac_vms: CounterId,
+    evac_pages: CounterId,
+    evac_rollbacks: CounterId,
+    evac_latency: HistogramId,
 }
 
 impl Ids {
@@ -77,6 +106,17 @@ impl Ids {
             hosts: reg.gauge("fleet.hosts"),
             vms_resident: reg.gauge("fleet.vms_resident"),
             savings: reg.gauge("fleet.dedup.savings_frac"),
+            health_checks: reg.counter("fleet.health.checks"),
+            health_crashes: reg.counter("fleet.health.crashes"),
+            health_crashes_skipped: reg.counter("fleet.health.crashes_skipped"),
+            health_quarantines: reg.counter("fleet.health.quarantines"),
+            health_recoveries: reg.counter("fleet.health.recoveries"),
+            health_reparked: reg.counter("fleet.health.reparked"),
+            health_unhealthy: reg.gauge("fleet.health.unhealthy"),
+            evac_vms: reg.counter("fleet.evac.vms"),
+            evac_pages: reg.counter("fleet.evac.pages"),
+            evac_rollbacks: reg.counter("fleet.evac.rollbacks"),
+            evac_latency: reg.histogram("fleet.evac.latency"),
         }
     }
 }
@@ -180,16 +220,53 @@ impl ControlPlane {
         let mut lease_seq = 0u64;
         let mut totals = Totals::default();
         let churn_base = derive_seed(cfg.seed, "churn");
+        let mut chaos = cfg
+            .fleet_faults
+            .as_ref()
+            .map(|plan| ChaosState::new(plan, cfg.hosts));
 
         for t in 0..cfg.ticks {
             let cycle = t * cfg.tick_cycles;
+
+            // Phase 0a: heartbeat — deliver due fault events, toggle
+            // engine wedges, count quarantine/recovery transitions.
+            if let Some(ch) = chaos.as_mut() {
+                chaos_heartbeat(ch, t, cycle, &hosts, &mut reg, &ids);
+            }
+
+            // Phase 0b: evacuation drain — move VMs off crashed hosts
+            // over the live-migration path, in (crash_tick, vm) order.
+            if let Some(ch) = chaos.as_mut() {
+                chaos_evacuate(
+                    ch,
+                    t,
+                    cycle,
+                    &hosts,
+                    cfg,
+                    &profiles,
+                    &content_seeds,
+                    &mut placement,
+                    &mut reg,
+                    &ids,
+                    &mut leases,
+                    &mut lease_seq,
+                    &mut totals,
+                );
+            }
 
             // Phase 1: departures, in VM-id order.
             if let Some(mut gone) = departures_by_tick.remove(&t) {
                 gone.sort_unstable();
                 for vm in gone {
                     let (h, _) = placement.remove(&vm).expect("departing VM is placed");
-                    let pages = hosts[h].lock().expect("host lock").depart(vm);
+                    if let Some(ch) = chaos.as_mut() {
+                        // Lifetime expiry beats a pending evacuation:
+                        // cancel it so the drain cannot re-admit a
+                        // departed VM (a double placement).
+                        ch.cancel_evac(vm, h);
+                    }
+                    let Some(host) = hosts.get(h) else { continue };
+                    let pages = lock_host(host).depart(vm);
                     reg.inc(ids.departures);
                     totals.departures += 1;
                     trace_event!(cycle, "fleet", "depart", {
@@ -201,42 +278,64 @@ impl ControlPlane {
             }
 
             // Phase 2: lease retries due at or before this tick, in
-            // (retry_tick, grant_seq) order.
-            while let Some((&key, _)) = leases.first_key_value() {
-                if key.0 > t {
+            // (retry_tick, grant_seq) order. Retries targeting a
+            // quarantined host re-park with the next backoff step.
+            while let Some(entry) = leases.first_entry() {
+                if entry.key().0 > t {
                     break;
                 }
-                let lease = leases.remove(&key).expect("lease key just observed");
+                let lease = entry.remove();
                 reg.inc(ids.q_retries);
                 totals.retries += 1;
-                let mut host = hosts[lease.host].lock().expect("host lock");
-                if host.try_enqueue(ScanJob { pages: lease.pages }) {
+                let quarantined = chaos.as_ref().is_some_and(|ch| !ch.healthy(lease.host, t));
+                let enqueued = !quarantined
+                    && hosts.get(lease.host).is_some_and(|host| {
+                        lock_host(host).try_enqueue(ScanJob { pages: lease.pages })
+                    });
+                if enqueued {
                     reg.inc(ids.q_enqueued);
                     totals.enqueued += 1;
-                } else {
-                    let attempt = lease.attempt + 1;
-                    let due = t + lease_delay(cfg, attempt);
-                    leases.insert((due, lease_seq), Lease { attempt, ..lease });
-                    lease_seq += 1;
-                    trace_event!(cycle, "fleet", "lease", {
-                        host: lease.host as f64,
-                        pages: lease.pages as f64,
-                        retry_tick: due as f64,
-                        attempt: attempt as f64,
-                    });
+                    continue;
                 }
+                if quarantined {
+                    reg.inc(ids.health_reparked);
+                    if let Some(ch) = chaos.as_mut() {
+                        ch.tally.leases_reparked += 1;
+                    }
+                }
+                let attempt = lease.attempt + 1;
+                let due = t + lease_backoff(cfg, attempt);
+                leases.insert((due, lease_seq), Lease { attempt, ..lease });
+                lease_seq += 1;
+                trace_event!(cycle, "fleet", "lease", {
+                    host: lease.host as f64,
+                    pages: lease.pages as f64,
+                    retry_tick: due as f64,
+                    attempt: attempt as f64,
+                });
             }
 
-            // Phase 3: admissions onto the least-loaded host (ties to
-            // the lowest host id), in arrival order.
+            // Phase 3: admissions onto the least-loaded healthy host
+            // (ties to the lowest host id), in arrival order. Fallback
+            // order healthy → up → any: quarantine is best-effort, but a
+            // VM is never refused placement (zero-loss wins).
             if let Some(batch) = arrivals_by_tick.remove(&t) {
                 for vm in batch {
-                    let h = least_loaded(&hosts);
-                    let hinted = hosts[h].lock().expect("host lock").admit(
-                        vm.id,
-                        &profiles[vm.func],
-                        content_seeds[vm.func],
-                    );
+                    let pick = match chaos.as_ref() {
+                        None => least_loaded_of(&hosts, |_| true),
+                        Some(ch) => least_loaded_of(&hosts, |h| ch.healthy(h, t))
+                            .or_else(|| least_loaded_of(&hosts, |h| !ch.down(h, t)))
+                            .or_else(|| least_loaded_of(&hosts, |_| true)),
+                    };
+                    let Some((h, _)) = pick else { continue };
+                    let (Some(host), Some(profile), Some(&cseed)) = (
+                        hosts.get(h),
+                        profiles.get(vm.func),
+                        content_seeds.get(vm.func),
+                    ) else {
+                        continue;
+                    };
+                    let hinted = lock_host(host).admit(vm.id, profile, cseed);
                     placement.insert(vm.id, (h, vm.func));
                     departures_by_tick
                         .entry(t + vm.lifetime_ticks)
@@ -252,7 +351,7 @@ impl ControlPlane {
                     });
                     offer_scan(
                         h,
-                        &hosts[h],
+                        host,
                         hinted,
                         t,
                         cfg,
@@ -266,32 +365,68 @@ impl ControlPlane {
             }
 
             // Phase 4: periodic rebalance — migrate the lowest-id
-            // instance off the most loaded host while the spread exceeds
-            // the threshold (bounded moves per invocation).
+            // instance off the most loaded healthy host while the spread
+            // exceeds the threshold (bounded moves per invocation). An
+            // armed migration failure aborts the copy mid-flight and
+            // rolls back with the source authoritative.
             if cfg.rebalance_every > 0 && t > 0 && t % cfg.rebalance_every == 0 {
                 reg.inc(ids.rebalances);
                 totals.rebalances += 1;
                 for _ in 0..cfg.hosts {
-                    let (max_h, max_n) = most_loaded(&hosts);
-                    let (min_h, min_n) = {
-                        let h = least_loaded(&hosts);
-                        (h, hosts[h].lock().expect("host lock").resident_count())
+                    let (max_pick, min_pick) = {
+                        let ch = chaos.as_ref();
+                        let eligible = |h: usize| ch.is_none_or(|c| c.healthy(h, t));
+                        (
+                            most_loaded_of(&hosts, eligible),
+                            least_loaded_of(&hosts, eligible),
+                        )
                     };
-                    if max_n.saturating_sub(min_n) <= cfg.migration_threshold {
+                    let (Some((max_h, max_n)), Some((min_h, min_n))) = (max_pick, min_pick) else {
+                        break;
+                    };
+                    if max_h == min_h || max_n.saturating_sub(min_n) <= cfg.migration_threshold {
                         break;
                     }
-                    let vm = hosts[max_h]
-                        .lock()
-                        .expect("host lock")
-                        .lowest_resident()
-                        .expect("loaded host has residents");
-                    let func = placement[&vm].1;
-                    let pages = hosts[max_h].lock().expect("host lock").depart(vm);
+                    let (Some(src_host), Some(dst_host)) = (hosts.get(max_h), hosts.get(min_h))
+                    else {
+                        break;
+                    };
+                    let Some(vm) = lock_host(src_host).lowest_resident() else {
+                        break;
+                    };
+                    let Some(&(_, func)) = placement.get(&vm) else {
+                        break;
+                    };
+                    let (Some(profile), Some(&cseed)) =
+                        (profiles.get(func), content_seeds.get(func))
+                    else {
+                        break;
+                    };
+                    let pages = lock_host(src_host).depart(vm);
                     let cost = pages as u64 * cfg.migrate_cycles_per_page;
+                    if chaos.as_mut().is_some_and(|ch| ch.take_migfail(max_h)) {
+                        // Mid-copy failure: the destination burned half
+                        // the copy cost, the source re-materialises the
+                        // instance and stays authoritative.
+                        lock_host(dst_host).advance(cost / 2);
+                        totals.migration_cycles += cost / 2;
+                        let _ = lock_host(src_host).admit(vm, profile, cseed);
+                        reg.inc(ids.evac_rollbacks);
+                        if let Some(ch) = chaos.as_mut() {
+                            ch.tally.migration_rollbacks += 1;
+                        }
+                        trace_event!(cycle, "fleet", "rollback", {
+                            vm: vm as f64,
+                            from: max_h as f64,
+                            to: min_h as f64,
+                            pages: pages as f64,
+                        });
+                        continue;
+                    }
                     let hinted = {
-                        let mut dst = hosts[min_h].lock().expect("host lock");
+                        let mut dst = lock_host(dst_host);
                         dst.advance(cost);
-                        dst.admit(vm, &profiles[func], content_seeds[func])
+                        dst.admit(vm, profile, cseed)
                     };
                     placement.insert(vm, (min_h, func));
                     reg.inc(ids.migrations);
@@ -307,7 +442,7 @@ impl ControlPlane {
                     });
                     offer_scan(
                         min_h,
-                        &hosts[min_h],
+                        dst_host,
                         hinted,
                         t,
                         cfg,
@@ -321,10 +456,19 @@ impl ControlPlane {
             }
 
             // Phase 5: periodic full rescan per host (churn re-exposes
-            // candidates between arrivals), in host-id order.
+            // candidates between arrivals), in host-id order. Down and
+            // gray hosts shed this load; wedged hosts still rescan —
+            // their driver degrades the work to the software-KSM path,
+            // which is exactly the fallback the chaos campaign measures.
             if cfg.rescan_every > 0 && t > 0 && t % cfg.rescan_every == 0 {
                 for (h, host) in hosts.iter().enumerate() {
-                    let pages = host.lock().expect("host lock").hint_count();
+                    if chaos
+                        .as_ref()
+                        .is_some_and(|ch| ch.down(h, t) || ch.gray(h, t))
+                    {
+                        continue;
+                    }
+                    let pages = lock_host(host).hint_count();
                     offer_scan(
                         h,
                         host,
@@ -342,26 +486,36 @@ impl ControlPlane {
 
             // Phase 6: step every host — churn, then queue draining.
             // Per-host state only, so the fan-out is shard-invariant.
+            // Down hosts are dark (no churn, no scanning); gray hosts
+            // run on a divided budget.
             let churn_tick = cfg.churn_every > 0 && t > 0 && t % cfg.churn_every == 0;
             let reports = ordered_map(shards, hosts.len(), |h| {
+                let Some(host) = hosts.get(h) else {
+                    return HostTickReport::default();
+                };
+                if let Some(ch) = chaos.as_ref() {
+                    if ch.down(h, t) {
+                        return HostTickReport::default();
+                    }
+                }
+                let budget = chaos.as_ref().map_or(cfg.scan_pages_per_tick, |ch| {
+                    ch.scan_budget(h, t, cfg.scan_pages_per_tick)
+                });
                 let churn_seed = churn_tick.then(|| mix64(churn_base, h as u64, t));
-                hosts[h]
-                    .lock()
-                    .expect("host lock")
-                    .step(cfg.scan_pages_per_tick, churn_seed)
+                lock_host(host).step(budget, churn_seed)
             });
 
             // Phase 7: sequential sampling.
             let mut resident = 0u64;
             let mut savings = 0.0f64;
-            for (h, r) in reports.iter().enumerate() {
+            for (r, host) in reports.iter().zip(&hosts) {
                 reg.add(ids.scanned_pages, r.scanned);
                 reg.add(ids.merged_pages, r.merged);
                 reg.add(ids.churn_events, r.churn_events);
                 totals.scanned += r.scanned;
                 totals.merged += r.merged;
                 totals.churn += r.churn_events;
-                let host = hosts[h].lock().expect("host lock");
+                let host = lock_host(host);
                 let depth = host.queue_depth() as u64;
                 reg.observe(ids.q_depth, depth as f64);
                 totals.depth_sum += depth;
@@ -374,6 +528,12 @@ impl ControlPlane {
             reg.set(ids.savings, savings_mean);
             totals.resident_tick_sum += resident;
             totals.savings_tick_sum += savings_mean;
+
+            // Phase 8: placement audit — the zero-loss invariant,
+            // checked every tick while a plan is active.
+            if let Some(ch) = chaos.as_mut() {
+                chaos_audit(ch, &hosts, &placement);
+            }
         }
 
         // Fold every host's exported metrics into the plane's registry
@@ -381,10 +541,11 @@ impl ControlPlane {
         let mut degraded = FleetDegraded::default();
         let mut resident_final = 0u64;
         let mut savings_final = 0.0f64;
+        let mut memory_faults = 0u64;
         let mut agg = Registry::new();
         agg.absorb(&reg);
         for host in &hosts {
-            let host = host.lock().expect("host lock");
+            let host = lock_host(host);
             agg.absorb(&host.export_metrics());
             let s = host.engine().stats();
             degraded.degraded_candidates += s.degraded_candidates;
@@ -392,7 +553,15 @@ impl ControlPlane {
             degraded.engine_errors += s.engine_errors;
             resident_final += host.resident_count() as u64;
             savings_final += host.savings_fraction();
+            if host.memory().check_invariants().is_err() {
+                memory_faults += 1;
+            }
         }
+        let chaos_summary = chaos.map(|mut ch| {
+            chaos_audit(&mut ch, &hosts, &placement);
+            ch.tally.memory_faults = memory_faults;
+            ch.into_tally()
+        });
 
         let samples = (cfg.ticks * cfg.hosts as u64).max(1);
         let result = FleetResult {
@@ -418,15 +587,27 @@ impl ControlPlane {
             savings_final: savings_final / cfg.hosts as f64,
             churn_events: totals.churn,
             degraded: (!degraded.is_zero()).then_some(degraded),
+            chaos: chaos_summary,
         };
         (result, agg.snapshot())
     }
 }
 
+/// Locks a host, recovering a poisoned lock instead of propagating the
+/// panic (the host's state is a pure function of prior phases; the
+/// poison flag carries no extra information here).
+fn lock_host(m: &Mutex<Host>) -> std::sync::MutexGuard<'_, Host> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Exponential lease backoff: retry `attempt` waits
-/// `lease_ticks << min(attempt, max_shift)` ticks (at least one).
-fn lease_delay(cfg: &FleetConfig, attempt: u32) -> u64 {
-    (cfg.lease_ticks << attempt.min(cfg.max_lease_backoff_shift)).max(1)
+/// `lease_ticks << min(attempt, max_lease_backoff_shift)` ticks (at
+/// least one; saturating at `u64::MAX` for pathological shifts).
+pub fn lease_backoff(cfg: &FleetConfig, attempt: u32) -> u64 {
+    cfg.lease_ticks
+        .checked_shl(attempt.min(cfg.max_lease_backoff_shift))
+        .unwrap_or(u64::MAX)
+        .max(1)
 }
 
 /// Deterministic per-(host, tick) stream seed (SplitMix64 finalizer).
@@ -438,32 +619,237 @@ fn mix64(base: u64, a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Host with the fewest residents; ties go to the lowest host id.
-fn least_loaded(hosts: &[Mutex<Host>]) -> usize {
-    let mut best = 0;
-    let mut best_n = usize::MAX;
+/// Eligible host with the fewest residents; ties go to the lowest host
+/// id. `None` when no host is eligible.
+fn least_loaded_of(
+    hosts: &[Mutex<Host>],
+    eligible: impl Fn(usize) -> bool,
+) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize)> = None;
     for (h, host) in hosts.iter().enumerate() {
-        let n = host.lock().expect("host lock").resident_count();
-        if n < best_n {
-            best = h;
-            best_n = n;
+        if !eligible(h) {
+            continue;
+        }
+        let n = lock_host(host).resident_count();
+        if best.is_none_or(|(_, bn)| n < bn) {
+            best = Some((h, n));
         }
     }
     best
 }
 
-/// Host with the most residents; ties go to the lowest host id.
-fn most_loaded(hosts: &[Mutex<Host>]) -> (usize, usize) {
-    let mut best = 0;
-    let mut best_n = 0;
+/// Eligible host with the most residents; ties go to the lowest host
+/// id. `None` when no host is eligible.
+fn most_loaded_of(
+    hosts: &[Mutex<Host>],
+    eligible: impl Fn(usize) -> bool,
+) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize)> = None;
     for (h, host) in hosts.iter().enumerate() {
-        let n = host.lock().expect("host lock").resident_count();
-        if n > best_n {
-            best = h;
-            best_n = n;
+        if !eligible(h) {
+            continue;
+        }
+        let n = lock_host(host).resident_count();
+        if best.is_none_or(|(_, bn)| n > bn) {
+            best = Some((h, n));
         }
     }
-    (best, best_n)
+    best
+}
+
+/// Phase 0a: deliver due fault events, toggle engine wedges, and run
+/// the health check (quarantine/recovery transitions, unavailability
+/// accounting).
+fn chaos_heartbeat(
+    ch: &mut ChaosState,
+    t: u64,
+    cycle: u64,
+    hosts: &[Mutex<Host>],
+    reg: &mut Registry,
+    ids: &Ids,
+) {
+    for e in ch.take_due(t) {
+        let h = e.host as usize;
+        match e.kind {
+            FleetFaultKind::Crash { down_ticks } => {
+                // A crash must leave at least one other host up (the
+                // evacuation destination); inadmissible crashes are
+                // counted and skipped, never partially applied.
+                let Some(host) = (ch.crash_admissible(h, t)).then(|| hosts.get(h)).flatten() else {
+                    ch.tally.crashes_skipped += 1;
+                    reg.inc(ids.health_crashes_skipped);
+                    continue;
+                };
+                let (dropped, vms) = {
+                    let mut host = lock_host(host);
+                    (host.crash(), host.resident_vms())
+                };
+                ch.record_crash(h, t, down_ticks, &vms);
+                ch.tally.crashes += 1;
+                ch.tally.dropped_jobs += dropped as u64;
+                reg.inc(ids.health_crashes);
+                trace_event!(cycle, "fleet", "crash", {
+                    host: h as f64,
+                    vms: vms.len() as f64,
+                    dropped_jobs: dropped as f64,
+                    down_ticks: down_ticks as f64,
+                });
+            }
+            FleetFaultKind::GraySlow { for_ticks, factor } => {
+                ch.extend_gray(h, t, for_ticks, factor);
+            }
+            FleetFaultKind::Wedge { for_ticks } => ch.extend_wedge(h, t, for_ticks),
+            FleetFaultKind::MigrationFail => ch.arm_migfail(h),
+        }
+    }
+    // Engine-wedge transitions: toggle each host's injector only on
+    // window edges (the flag, not the window, is what the driver sees).
+    for (h, host) in hosts.iter().enumerate() {
+        let want = ch.wedged(h, t);
+        if ch.wedge_transition(h, want) {
+            lock_host(host).set_wedged(want);
+        }
+    }
+    // Health check over every host.
+    reg.add(ids.health_checks, hosts.len() as u64);
+    let mut unhealthy_now = 0u64;
+    for h in 0..hosts.len() {
+        let unhealthy = !ch.healthy(h, t);
+        if unhealthy {
+            unhealthy_now += 1;
+        }
+        match (ch.was_unhealthy(h), unhealthy) {
+            (false, true) => {
+                ch.tally.quarantines += 1;
+                reg.inc(ids.health_quarantines);
+                trace_event!(cycle, "fleet", "quarantine", {
+                    host: h as f64,
+                    on: 1.0,
+                    reason: ch.reason(h, t) as f64,
+                });
+            }
+            (true, false) => {
+                ch.tally.recoveries += 1;
+                reg.inc(ids.health_recoveries);
+                trace_event!(cycle, "fleet", "quarantine", {
+                    host: h as f64,
+                    on: 0.0,
+                    reason: ch.reason(h, t) as f64,
+                });
+            }
+            _ => {}
+        }
+        ch.set_unhealthy(h, unhealthy);
+    }
+    ch.tally.unhealthy_host_ticks += unhealthy_now;
+    reg.set(ids.health_unhealthy, unhealthy_now as f64);
+}
+
+/// Phase 0b: drain up to `evac_vms_per_tick` pending evacuations in
+/// `(crash_tick, vm)` order. Each evacuation is a live migration: the
+/// VM departs the crashed source, the destination pays the copy cost,
+/// and the content re-materialises byte-identically (admission content
+/// is a pure function of `(profile, vm, content_seed)`).
+#[allow(clippy::too_many_arguments)]
+fn chaos_evacuate(
+    ch: &mut ChaosState,
+    t: u64,
+    cycle: u64,
+    hosts: &[Mutex<Host>],
+    cfg: &FleetConfig,
+    profiles: &[AppProfile],
+    content_seeds: &[u64],
+    placement: &mut BTreeMap<u32, (usize, usize)>,
+    reg: &mut Registry,
+    ids: &Ids,
+    leases: &mut BTreeMap<(u64, u64), Lease>,
+    lease_seq: &mut u64,
+    totals: &mut Totals,
+) {
+    for _ in 0..cfg.evac_vms_per_tick.max(1) {
+        let Some((crash_tick, vm)) = ch.next_evac() else {
+            break;
+        };
+        let Some(&(src, func)) = placement.get(&vm) else {
+            // Unreachable: departures cancel their pending evacuation.
+            continue;
+        };
+        let pick = {
+            let c = &*ch;
+            least_loaded_of(hosts, |h| h != src && c.healthy(h, t))
+                .or_else(|| least_loaded_of(hosts, |h| h != src && !c.down(h, t)))
+        };
+        let Some((dst, _)) = pick else {
+            // No live destination this tick (unreachable while the
+            // crash-admissibility invariant holds); retry next tick.
+            ch.repark_evac(crash_tick, vm);
+            break;
+        };
+        let (Some(src_host), Some(dst_host), Some(profile), Some(&cseed)) = (
+            hosts.get(src),
+            hosts.get(dst),
+            profiles.get(func),
+            content_seeds.get(func),
+        ) else {
+            ch.repark_evac(crash_tick, vm);
+            break;
+        };
+        let pages = lock_host(src_host).depart(vm);
+        let cost = pages as u64 * cfg.migrate_cycles_per_page;
+        let hinted = {
+            let mut d = lock_host(dst_host);
+            d.advance(cost);
+            d.admit(vm, profile, cseed)
+        };
+        placement.insert(vm, (dst, func));
+        ch.evac_done(src);
+        let waited = t.saturating_sub(crash_tick);
+        ch.tally.evacuated_vms += 1;
+        ch.tally.evacuated_pages += pages as u64;
+        ch.note_evac_wait(waited);
+        totals.migration_cycles += cost;
+        reg.inc(ids.evac_vms);
+        reg.add(ids.evac_pages, pages as u64);
+        reg.observe(ids.evac_latency, waited as f64);
+        trace_event!(cycle, "fleet", "evac", {
+            vm: vm as f64,
+            from: src as f64,
+            to: dst as f64,
+            pages: pages as f64,
+            waited: waited as f64,
+        });
+        offer_scan(
+            dst, dst_host, hinted, t, cfg, reg, ids, leases, lease_seq, totals,
+        );
+    }
+}
+
+/// The zero-loss placement audit: every placed VM must be resident on
+/// exactly its placed host, and every resident VM must be placed.
+/// Violations are counted, not panicked on — the campaign asserts the
+/// counts are zero.
+fn chaos_audit(
+    ch: &mut ChaosState,
+    hosts: &[Mutex<Host>],
+    placement: &BTreeMap<u32, (usize, usize)>,
+) {
+    ch.tally.placement_audits += 1;
+    let mut seen: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (h, host) in hosts.iter().enumerate() {
+        for vm in lock_host(host).resident_vms() {
+            seen.entry(vm).or_default().push(h);
+        }
+    }
+    for (vm, &(h, _)) in placement {
+        if !seen.get(vm).is_some_and(|hs| hs.contains(&h)) {
+            ch.tally.vms_lost += 1;
+        }
+    }
+    for (vm, hs) in &seen {
+        if hs.len() > 1 || !placement.contains_key(vm) {
+            ch.tally.vms_double_placed += 1;
+        }
+    }
 }
 
 /// Offers `pages` of scan work to a host's bounded queue; a rejection
@@ -484,11 +870,7 @@ fn offer_scan(
     if pages == 0 {
         return;
     }
-    if host
-        .lock()
-        .expect("host lock")
-        .try_enqueue(ScanJob { pages })
-    {
+    if lock_host(host).try_enqueue(ScanJob { pages }) {
         reg.inc(ids.q_enqueued);
         totals.enqueued += 1;
         return;
@@ -496,7 +878,7 @@ fn offer_scan(
     reg.inc(ids.q_rejected);
     reg.inc(ids.leases_granted);
     totals.rejected += 1;
-    let due = tick + lease_delay(cfg, 0);
+    let due = tick + lease_backoff(cfg, 0);
     leases.insert(
         (due, *lease_seq),
         Lease {
@@ -517,7 +899,7 @@ fn offer_scan(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pageforge_faults::FaultPlan;
+    use pageforge_faults::{FaultPlan, FleetFaultEvent, FleetFaultPlan};
     use pageforge_types::json::ToJson;
 
     fn tiny(seed: u64) -> FleetConfig {
@@ -530,6 +912,14 @@ mod tests {
             scan_pages_per_tick: 48,
             ..FleetConfig::smoke(seed)
         }
+    }
+
+    /// A tiny config plus a mixed-class chaos plan that exercises every
+    /// fault kind inside the 48-tick horizon.
+    fn tiny_chaos(seed: u64) -> FleetConfig {
+        let mut cfg = tiny(seed);
+        cfg.fleet_faults = Some(FleetFaultPlan::generate(seed, 3, 48, 2, 2, 2, 2));
+        cfg
     }
 
     #[test]
@@ -558,6 +948,7 @@ mod tests {
         assert!(r.savings_mean > 0.0);
         assert!(r.churn_events > 0);
         assert!(r.degraded.is_none(), "fault-free run must not degrade");
+        assert!(r.chaos.is_none(), "plan-free run must not report chaos");
         assert_eq!(snap.gauge("fleet.hosts"), Some(3.0));
         assert!(snap.counter("fleet.arrivals").unwrap() == r.arrivals);
         // Host engine metrics are folded in fleet-wide.
@@ -625,6 +1016,116 @@ mod tests {
         assert!(
             one.1.contains("faults."),
             "per-host injectors must export faults.* metrics"
+        );
+    }
+
+    #[test]
+    fn chaos_runs_are_shard_invariant_and_lose_nothing() {
+        let cfg = tiny_chaos(17);
+        let run = |shards| {
+            let (r, s) = ControlPlane::new(cfg.clone()).run(shards);
+            (
+                r.to_json().to_string_compact(),
+                s.to_json().to_string_compact(),
+            )
+        };
+        let one = run(1);
+        assert_eq!(one, run(2), "chaos fleet, shards 1 vs 2");
+        assert_eq!(one, run(4), "chaos fleet, shards 1 vs 4");
+        let (r, _) = ControlPlane::new(cfg).run(2);
+        let c = r.chaos.expect("plan installed: chaos section present");
+        assert_eq!(c.vms_lost, 0, "zero-loss: no VM lost");
+        assert_eq!(c.vms_double_placed, 0, "zero-loss: no double placement");
+        assert_eq!(c.memory_faults, 0, "zero incorrect merges");
+        assert_eq!(c.placement_audits, r.ticks + 1);
+        assert!(c.quarantines > 0, "the plan must actually quarantine");
+        assert_eq!(
+            c.crashes + c.crashes_skipped,
+            2,
+            "every crash event accounted for"
+        );
+    }
+
+    #[test]
+    fn crashed_hosts_evacuate_and_recover() {
+        let mut cfg = tiny(21);
+        // Dense enough that every host holds residents at the crash
+        // tick, with one deterministic crash long before the horizon so
+        // the host is both evacuated and recovered inside the run.
+        cfg.density = 6.0;
+        cfg.mean_lifetime_ticks = 24.0;
+        cfg.fleet_faults = Some(FleetFaultPlan {
+            seed: 21,
+            events: vec![FleetFaultEvent {
+                at_tick: 20,
+                host: 1,
+                kind: FleetFaultKind::Crash { down_ticks: 8 },
+            }],
+        });
+        let (r, snap) = ControlPlane::new(cfg).run(2);
+        let c = r.chaos.expect("chaos section present");
+        assert_eq!(c.crashes, 1);
+        assert!(c.evacuated_vms > 0, "residents must evacuate");
+        assert!(c.evacuated_pages > 0);
+        assert!(c.recoveries >= 1, "the host must rejoin after the window");
+        assert_eq!(c.vms_lost, 0);
+        assert_eq!(c.vms_double_placed, 0);
+        assert_eq!(c.memory_faults, 0);
+        assert!(c.unhealthy_host_ticks >= 8, "down at least its window");
+        assert_eq!(
+            snap.counter("fleet.evac.vms"),
+            Some(c.evacuated_vms),
+            "metrics mirror the tally"
+        );
+        assert!(snap.counter("fleet.health.checks").unwrap() > 0);
+    }
+
+    #[test]
+    fn migration_failures_roll_back_with_the_source_authoritative() {
+        let mut cfg = tiny(11);
+        cfg.migration_threshold = 0;
+        cfg.rebalance_every = 4;
+        // Arm mid-copy failures on every host at t=1: the first
+        // rebalancer migration from each source rolls back.
+        cfg.fleet_faults = Some(FleetFaultPlan {
+            seed: 11,
+            events: (0..3)
+                .map(|h| FleetFaultEvent {
+                    at_tick: 1,
+                    host: h,
+                    kind: FleetFaultKind::MigrationFail,
+                })
+                .collect(),
+        });
+        let (r, _) = ControlPlane::new(cfg).run(2);
+        let c = r.chaos.expect("chaos section present");
+        assert!(c.migration_rollbacks > 0, "armed failures must fire");
+        assert_eq!(c.vms_lost, 0);
+        assert_eq!(c.vms_double_placed, 0);
+        assert!(
+            r.migration_cycles > 0,
+            "partial copies are still charged cycles"
+        );
+    }
+
+    #[test]
+    fn empty_fleet_plan_reports_chaos_but_changes_nothing_else() {
+        // The bench suite collapses empty plans to `None`; the plane
+        // itself treats an installed empty plan as "chaos on, nothing
+        // scheduled": same traffic, all-zero tally.
+        let base = ControlPlane::new(tiny(5)).run(2).0;
+        let mut cfg = tiny(5);
+        cfg.fleet_faults = Some(FleetFaultPlan::empty());
+        let with_plan = ControlPlane::new(cfg).run(2).0;
+        let c = with_plan.chaos.expect("chaos section present");
+        assert_eq!(c.crashes, 0);
+        assert_eq!(c.quarantines, 0);
+        assert_eq!(c.vms_lost + c.vms_double_placed + c.memory_faults, 0);
+        let mut stripped = with_plan.clone();
+        stripped.chaos = None;
+        assert_eq!(
+            base, stripped,
+            "an empty plan must not perturb the simulation"
         );
     }
 }

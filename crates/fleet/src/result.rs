@@ -33,6 +33,80 @@ impl ToJson for FleetDegraded {
     }
 }
 
+/// Chaos-and-recovery accounting for a run driven by a
+/// [`FleetFaultPlan`](pageforge_faults::FleetFaultPlan). Absent from the
+/// JSON (and from the in-memory result) when no plan was installed, so
+/// plan-free results stay byte-identical with pre-chaos builds.
+///
+/// The three `vms_lost` / `vms_double_placed` / `memory_faults` fields
+/// are the zero-loss invariant: the per-tick placement audit and the
+/// end-of-run memory check write them, and the `fleet_chaos` campaign
+/// asserts all three are zero under every plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FleetChaos {
+    /// Host-crash events fired.
+    pub crashes: u64,
+    /// Crash events skipped (host already down, out of range, or no
+    /// other up host to evacuate to).
+    pub crashes_skipped: u64,
+    /// Healthy→unhealthy transitions observed by the heartbeat.
+    pub quarantines: u64,
+    /// Unhealthy→healthy transitions (host rejoined the admission pool).
+    pub recoveries: u64,
+    /// Micro-VMs evacuated off crashed hosts.
+    pub evacuated_vms: u64,
+    /// Guest pages re-materialised on evacuation destinations.
+    pub evacuated_pages: u64,
+    /// Mean ticks an evacuated VM waited between crash and landing.
+    pub evac_latency_mean: f64,
+    /// Worst-case evacuation wait, in ticks.
+    pub evac_latency_max: u64,
+    /// Rebalancer migrations that failed mid-copy and rolled back
+    /// (source left authoritative).
+    pub migration_rollbacks: u64,
+    /// Lease retries re-parked because the target host was quarantined.
+    pub leases_reparked: u64,
+    /// Queued scan jobs dropped by host crashes.
+    pub dropped_jobs: u64,
+    /// Sum over ticks of the number of unhealthy hosts (unavailability
+    /// area under the curve).
+    pub unhealthy_host_ticks: u64,
+    /// Placement audits run (one per tick plus one at the horizon).
+    pub placement_audits: u64,
+    /// VMs present in the placement map but missing from their host
+    /// (must be zero).
+    pub vms_lost: u64,
+    /// VMs resident on two hosts at once, or resident but unplaced
+    /// (must be zero).
+    pub vms_double_placed: u64,
+    /// Hosts whose end-of-run memory invariant check failed (must be
+    /// zero — an incorrect merge would surface here).
+    pub memory_faults: u64,
+}
+
+impl ToJson for FleetChaos {
+    fn to_json(&self) -> Value {
+        obj([
+            ("crashes", self.crashes.to_json()),
+            ("crashes_skipped", self.crashes_skipped.to_json()),
+            ("quarantines", self.quarantines.to_json()),
+            ("recoveries", self.recoveries.to_json()),
+            ("evacuated_vms", self.evacuated_vms.to_json()),
+            ("evacuated_pages", self.evacuated_pages.to_json()),
+            ("evac_latency_mean", self.evac_latency_mean.to_json()),
+            ("evac_latency_max", self.evac_latency_max.to_json()),
+            ("migration_rollbacks", self.migration_rollbacks.to_json()),
+            ("leases_reparked", self.leases_reparked.to_json()),
+            ("dropped_jobs", self.dropped_jobs.to_json()),
+            ("unhealthy_host_ticks", self.unhealthy_host_ticks.to_json()),
+            ("placement_audits", self.placement_audits.to_json()),
+            ("vms_lost", self.vms_lost.to_json()),
+            ("vms_double_placed", self.vms_double_placed.to_json()),
+            ("memory_faults", self.memory_faults.to_json()),
+        ])
+    }
+}
+
 /// The outcome of one fleet run — a pure function of its
 /// [`FleetConfig`](crate::FleetConfig).
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +157,9 @@ pub struct FleetResult {
     /// Degraded-mode summary; `None` unless fault injection actually
     /// degraded something.
     pub degraded: Option<FleetDegraded>,
+    /// Chaos-and-recovery summary; `None` unless a fleet fault plan was
+    /// installed.
+    pub chaos: Option<FleetChaos>,
 }
 
 impl ToJson for FleetResult {
@@ -119,6 +196,9 @@ impl ToJson for FleetResult {
         if let Some(d) = &self.degraded {
             members.push(("degraded".to_owned(), d.to_json()));
         }
+        if let Some(c) = &self.chaos {
+            members.push(("chaos".to_owned(), c.to_json()));
+        }
         Value::Obj(members)
     }
 }
@@ -152,6 +232,7 @@ mod tests {
             savings_final: 0.0,
             churn_events: 0,
             degraded: None,
+            chaos: None,
         };
         let s = r.to_json().to_string_compact();
         assert!(!s.contains("degraded"));
@@ -162,5 +243,43 @@ mod tests {
             engine_errors: 1,
         });
         assert!(faulted.to_json().to_string_compact().contains("degraded"));
+    }
+
+    #[test]
+    fn chaos_section_is_omitted_when_absent() {
+        let mut r = FleetResult {
+            label: "t".into(),
+            hosts: 4,
+            ticks: 10,
+            arrivals: 0,
+            departures: 0,
+            migrations: 0,
+            migrated_pages: 0,
+            migration_cycles: 0,
+            rebalances: 0,
+            scanned_pages: 0,
+            merged_pages: 0,
+            queue_enqueued: 0,
+            queue_rejected: 0,
+            lease_retries: 0,
+            queue_depth_mean: 0.0,
+            queue_depth_max: 0,
+            resident_mean: 0.0,
+            resident_final: 0,
+            savings_mean: 0.0,
+            savings_final: 0.0,
+            churn_events: 0,
+            degraded: None,
+            chaos: None,
+        };
+        assert!(!r.to_json().to_string_compact().contains("chaos"));
+        r.chaos = Some(FleetChaos {
+            crashes: 2,
+            evacuated_vms: 5,
+            ..FleetChaos::default()
+        });
+        let s = r.to_json().to_string_compact();
+        assert!(s.contains("\"chaos\""), "{s}");
+        assert!(s.contains("\"vms_lost\":0"), "{s}");
     }
 }
