@@ -1,0 +1,32 @@
+//! Fixture: the same phases as the violations twin, restructured so no
+//! two lock classes are ever held in conflicting order — sequential
+//! (statement-temporary) host acquisitions, an explicit `drop` before
+//! the second class, and one global q-before-t order.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock_host(m: &Mutex<Host>) -> MutexGuard<'_, Host> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The source guard is a statement temporary: it is released before
+/// `b`'s host lock is taken.
+pub fn drain(a: &Mutex<Host>, b: &Mutex<Host>) {
+    let pages = lock_host(a).depart();
+    let mut dst = lock_host(b);
+    dst.admit(pages);
+}
+
+pub fn retry(q: &Mutex<Queue>, t: &Mutex<Table>) {
+    let queue = q.lock().unwrap_or_else(PoisonError::into_inner);
+    let table = t.lock().unwrap_or_else(PoisonError::into_inner);
+    apply(queue, table);
+}
+
+/// Same q-before-t order as `retry`; consistent order is deadlock-free.
+pub fn rescan(q: &Mutex<Queue>, t: &Mutex<Table>) {
+    let queue = q.lock().unwrap_or_else(PoisonError::into_inner);
+    drop(queue);
+    let table = t.lock().unwrap_or_else(PoisonError::into_inner);
+    consume(table);
+}

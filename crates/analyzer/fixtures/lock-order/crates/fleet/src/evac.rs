@@ -1,0 +1,30 @@
+//! Fixture: two deadlock hazards the LOCK-ORDER rule must catch — a
+//! data-dependent double host acquisition (self-cycle) and a pair of
+//! phases taking two lock classes in opposite orders.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock_host(m: &Mutex<Host>) -> MutexGuard<'_, Host> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Holds `a`'s host lock while taking `b`'s: against a concurrent
+/// `drain(b, a)` this deadlocks.
+pub fn drain(a: &Mutex<Host>, b: &Mutex<Host>) {
+    let src = lock_host(a);
+    let dst = lock_host(b);
+    transfer(src, dst);
+}
+
+pub fn retry(q: &Mutex<Queue>, t: &Mutex<Table>) {
+    let queue = q.lock().unwrap_or_else(PoisonError::into_inner);
+    let table = t.lock().unwrap_or_else(PoisonError::into_inner);
+    apply(queue, table);
+}
+
+/// Opposite order to `retry`: the classic two-phase deadlock.
+pub fn rescan(q: &Mutex<Queue>, t: &Mutex<Table>) {
+    let table = t.lock().unwrap_or_else(PoisonError::into_inner);
+    let queue = q.lock().unwrap_or_else(PoisonError::into_inner);
+    apply(queue, table);
+}

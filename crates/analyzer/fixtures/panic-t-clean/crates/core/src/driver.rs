@@ -1,0 +1,7 @@
+//! Fixture: the same hot-path root as the violations twin; the helper
+//! crate it reaches degrades gracefully instead of panicking.
+
+pub fn run_sweep() -> Option<u64> {
+    let merged = pageforge_ksm::merge_pages();
+    Some(merged)
+}

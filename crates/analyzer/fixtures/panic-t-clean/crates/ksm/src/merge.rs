@@ -1,0 +1,15 @@
+//! Fixture: the helper chain reached from the hot path handles the
+//! empty-table arm instead of unwrapping — nothing to flag.
+
+pub fn merge_pages() -> u64 {
+    digest_helper()
+}
+
+fn digest_helper() -> u64 {
+    let table = build_table();
+    table.first().copied().unwrap_or(0)
+}
+
+fn build_table() -> Vec<u64> {
+    vec![7]
+}

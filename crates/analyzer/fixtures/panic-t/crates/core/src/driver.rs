@@ -1,0 +1,7 @@
+//! Fixture: a hot-path root that is itself clean but calls into a
+//! helper crate hiding a panic two frames down.
+
+pub fn run_sweep() -> Option<u64> {
+    let merged = pageforge_ksm::merge_pages();
+    Some(merged)
+}

@@ -1,0 +1,20 @@
+//! Fixture: the panic is hidden in a private helper, two calls below
+//! the hot-path entry point — the base PANIC-PATH rule cannot see it.
+
+pub fn merge_pages() -> u64 {
+    digest_helper()
+}
+
+fn digest_helper() -> u64 {
+    let table = build_table();
+    table.first().copied().unwrap()
+}
+
+fn build_table() -> Vec<u64> {
+    vec![7]
+}
+
+/// Unreachable from any hot-path root: its unwrap must NOT be flagged.
+pub fn cold_path() -> u64 {
+    build_table().last().copied().unwrap()
+}

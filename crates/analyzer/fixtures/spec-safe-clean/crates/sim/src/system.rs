@@ -1,0 +1,23 @@
+//! Fixture: the same work as the violations twin, restructured the
+//! sanctioned way — workers compute domain-local values and the shared
+//! total is folded after the barrier, on the coordinating thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Workers return their contribution; the fold happens post-barrier.
+pub fn tally(threads: usize, n: usize, total: &AtomicU64) -> Vec<u64> {
+    let parts = ordered_map(threads, n, |i| i as u64);
+    let sum = parts.iter().sum();
+    total.fetch_add(sum, Ordering::Relaxed);
+    parts
+}
+
+/// Per-worker synthesis stays pure: the memo is consulted once, before
+/// the fan-out, and workers read the snapshot by value.
+pub fn build_contents(threads: usize, cores: usize, snapshot: &[u64]) -> Vec<u64> {
+    ordered_map(threads, cores, |c| synth_page(c, snapshot))
+}
+
+fn synth_page(c: usize, snapshot: &[u64]) -> u64 {
+    snapshot.get(c).copied().unwrap_or(0)
+}

@@ -1,0 +1,10 @@
+//! Fixture: registers the documented metric and trace pair so the
+//! registry rules stay satisfied.
+
+use std::collections::BTreeMap;
+
+pub fn register(m: &mut BTreeMap<String, u64>) -> Option<u64> {
+    m.insert("engine.runs".to_owned(), 1);
+    trace_event!(0, "engine", "batch", {});
+    m.get("engine.runs").copied()
+}

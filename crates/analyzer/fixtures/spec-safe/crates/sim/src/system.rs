@@ -1,0 +1,30 @@
+//! Fixture: two shared-mutable escapes from domain worker closures —
+//! a direct atomic write, and a mutex acquisition hidden behind a
+//! helper call.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::PoisonError;
+
+/// The worker writes a shared total directly: a cross-domain write the
+/// speculative executor could not roll back.
+pub fn tally(threads: usize, n: usize, total: &AtomicU64) -> Vec<u64> {
+    ordered_map(threads, n, |i| {
+        total.fetch_add(i as u64, Ordering::Relaxed);
+        i as u64
+    })
+}
+
+/// The worker looks pure but reaches a process-global memo lock two
+/// calls down.
+pub fn build_contents(threads: usize, cores: usize) -> Vec<u64> {
+    ordered_map(threads, cores, |c| synth_page(c))
+}
+
+fn synth_page(c: usize) -> u64 {
+    memo_get(c)
+}
+
+fn memo_get(c: usize) -> u64 {
+    let memo = MEMO.lock().unwrap_or_else(PoisonError::into_inner);
+    memo.probe(c)
+}

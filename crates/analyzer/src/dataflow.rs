@@ -1,0 +1,388 @@
+//! Shared-state dataflow facts over the call graph.
+//!
+//! `LOCK-ORDER` and `SPEC-SAFE` both reduce to the same two questions:
+//! *where does code touch shared-mutable state* (mutex acquisitions,
+//! atomic read-modify-writes and stores, channel sends), and *which
+//! functions reach those sites transitively*. This module computes the
+//! direct markers per function and their fixed-point closure over the
+//! [`crate::callgraph::CallGraph`], plus the closure-argument extraction
+//! the worker-audit rule needs.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::CallGraph;
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{match_brace, FnDef};
+
+/// What kind of shared-mutable touch a [`Marker`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MarkerKind {
+    /// `.lock()` on a mutex.
+    Lock,
+    /// An atomic read-modify-write or store.
+    Atomic,
+    /// A channel send.
+    Send,
+}
+
+/// One direct shared-mutable touch inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// The touch kind.
+    pub kind: MarkerKind,
+    /// Lock class for [`MarkerKind::Lock`] (receiver-derived), the
+    /// operation name for atomics, `send` for sends.
+    pub detail: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Token index of the `.` introducing the call.
+    pub tok: usize,
+}
+
+/// Atomic operations that mutate shared state. Loads are deliberately
+/// absent: the rules audit *writes*.
+const ATOMIC_OPS: &[&str] = &[
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_and",
+    "fetch_max",
+    "fetch_min",
+    "fetch_or",
+    "fetch_sub",
+    "fetch_update",
+    "fetch_xor",
+    "store",
+    "swap",
+];
+
+/// Scans one function body for direct markers.
+pub fn direct_markers(f: &FnDef, toks: &[Tok]) -> Vec<Marker> {
+    let (s, e) = f.body;
+    let mut out = Vec::new();
+    for i in s..e.min(toks.len()) {
+        if !toks[i].is_punct('.') {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        if !toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if name.is_ident("lock") {
+            out.push(Marker {
+                kind: MarkerKind::Lock,
+                detail: lock_class(f, toks, i),
+                line: name.line,
+                tok: i,
+            });
+        } else if ATOMIC_OPS.contains(&name.text.as_str()) {
+            out.push(Marker {
+                kind: MarkerKind::Atomic,
+                detail: name.text.clone(),
+                line: name.line,
+                tok: i,
+            });
+        } else if name.is_ident("send") {
+            out.push(Marker {
+                kind: MarkerKind::Send,
+                detail: "send".to_owned(),
+                line: name.line,
+                tok: i,
+            });
+        }
+    }
+    out
+}
+
+/// Names the lock class acquired by a `.lock()` at token `dot`.
+///
+/// A `lock_<class>` wrapper function names the class explicitly (the
+/// fleet's `lock_host` → `host`); otherwise the class is the receiver's
+/// base identifier (`slots[idx].lock()` → `slots`). Receiver-derived
+/// names are per-binding approximations, which is exactly the right
+/// granularity for an acquisition-order audit within one crate.
+pub fn lock_class(f: &FnDef, toks: &[Tok], dot: usize) -> String {
+    if let Some(class) = f.name.strip_prefix("lock_") {
+        if !class.is_empty() {
+            return class.to_owned();
+        }
+    }
+    // Walk backwards over balanced `(..)` / `[..]` groups to the
+    // receiver's base identifier.
+    let mut j = dot;
+    while j > f.body.0 {
+        j -= 1;
+        match toks[j].text.as_str() {
+            ")" => j = backward_match(toks, j, '(', ')'),
+            "]" => j = backward_match(toks, j, '[', ']'),
+            _ => {
+                if toks[j].kind == TokKind::Ident {
+                    return toks[j].text.clone();
+                }
+                if !toks[j].is_punct('.') {
+                    break;
+                }
+            }
+        }
+    }
+    "lock".to_owned()
+}
+
+/// Index of the opener matching the closer at `close`, searching
+/// backwards; returns `close` when unmatched.
+fn backward_match(toks: &[Tok], close: usize, open: char, shut: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = close;
+    loop {
+        if toks[j].is_punct(shut) {
+            depth += 1;
+        } else if toks[j].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        if j == 0 {
+            return close;
+        }
+        j -= 1;
+    }
+}
+
+/// Per-function transitive lock classes: the classes a call to the
+/// function may acquire, directly or through any resolved callee.
+/// Fixed-point over the call graph.
+pub fn transitive_lock_classes(graph: &CallGraph, direct: &[Vec<Marker>]) -> Vec<BTreeSet<String>> {
+    let mut sets: Vec<BTreeSet<String>> = direct
+        .iter()
+        .map(|ms| {
+            ms.iter()
+                .filter(|m| m.kind == MarkerKind::Lock)
+                .map(|m| m.detail.clone())
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..graph.fns.len() {
+            for &callee in &graph.edges[i] {
+                if callee == i {
+                    continue;
+                }
+                let add: Vec<String> = sets[callee]
+                    .iter()
+                    .filter(|c| !sets[i].contains(*c))
+                    .cloned()
+                    .collect();
+                if !add.is_empty() {
+                    sets[i].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return sets;
+        }
+    }
+}
+
+/// Per-function flag: does the function (transitively) contain any
+/// marker at all? Used by `SPEC-SAFE` to audit calls out of worker
+/// closures.
+pub fn reaches_marker(graph: &CallGraph, direct: &[Vec<Marker>]) -> Vec<bool> {
+    let mut reach: Vec<bool> = direct.iter().map(|ms| !ms.is_empty()).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..graph.fns.len() {
+            if reach[i] {
+                continue;
+            }
+            if graph.edges[i].iter().any(|&c| reach[c]) {
+                reach[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return reach;
+        }
+    }
+}
+
+/// A closure literal extracted from a call's argument list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosureArg {
+    /// Token range of the closure body (inside braces for block
+    /// bodies, the bare expression otherwise).
+    pub body: (usize, usize),
+    /// 1-based line of the closure's `|`.
+    pub line: u32,
+}
+
+/// Extracts the first closure literal among the arguments of the call
+/// whose name token is at `name_tok` (the `(` must follow it).
+pub fn closure_arg(toks: &[Tok], name_tok: usize) -> Option<ClosureArg> {
+    let open = name_tok + 1;
+    if !toks.get(open).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('(') || toks[i].is_punct('[') {
+            depth += 1;
+        } else if toks[i].is_punct(')') || toks[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return None; // call closed without a closure argument
+            }
+        } else if depth == 1 && toks[i].is_punct('|') {
+            let line = toks[i].line;
+            // Parameter list: `||` or `|params|`.
+            let mut j = i + 1;
+            if !toks.get(j).is_some_and(|t| t.is_punct('|')) {
+                while j < toks.len() && !toks[j].is_punct('|') {
+                    j += 1;
+                }
+            }
+            let body_start = j + 1;
+            if toks.get(body_start).is_some_and(|t| t.is_punct('{')) {
+                let close = match_brace(toks, body_start);
+                return Some(ClosureArg {
+                    body: (body_start + 1, close),
+                    line,
+                });
+            }
+            // Expression body: runs to the `,` or `)` closing the
+            // argument, at the call's own nesting level.
+            let mut k = body_start;
+            let mut d = 0usize;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    d += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    if d == 0 {
+                        break;
+                    }
+                    d -= 1;
+                } else if d == 0 && t.is_punct(',') {
+                    break;
+                }
+                k += 1;
+            }
+            return Some(ClosureArg {
+                body: (body_start, k),
+                line,
+            });
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_tests};
+    use crate::parse::parse_file;
+
+    fn setup(src: &str) -> (Vec<Tok>, Vec<FnDef>) {
+        let toks = strip_tests(&lex(src));
+        let fns = parse_file("crates/fleet/src/plane.rs", &toks);
+        (toks, fns)
+    }
+
+    #[test]
+    fn lock_wrapper_names_the_class_after_the_prefix() {
+        let (toks, fns) = setup(
+            "fn lock_host(m: &Mutex<Host>) -> MutexGuard<Host> { m.lock().unwrap_or_else(e) }",
+        );
+        let ms = direct_markers(&fns[0], &toks);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].kind, MarkerKind::Lock);
+        assert_eq!(ms[0].detail, "host");
+    }
+
+    #[test]
+    fn receiver_naming_handles_index_chains() {
+        let (toks, fns) = setup("fn work() { *slots[idx].lock().expect(\"m\") = v; }");
+        let ms = direct_markers(&fns[0], &toks);
+        assert_eq!(ms[0].detail, "slots");
+    }
+
+    #[test]
+    fn atomics_and_sends_are_markers_loads_are_not() {
+        let (toks, fns) = setup(
+            "fn work() { cursor.fetch_add(1, o); flag.store(true, o); tx.send(x); n.load(o); }",
+        );
+        let ms = direct_markers(&fns[0], &toks);
+        let kinds: Vec<_> = ms.iter().map(|m| (m.kind, m.detail.as_str())).collect();
+        assert_eq!(
+            kinds,
+            [
+                (MarkerKind::Atomic, "fetch_add"),
+                (MarkerKind::Atomic, "store"),
+                (MarkerKind::Send, "send")
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_classes_propagate_through_calls() {
+        let files: Vec<(String, Vec<Tok>)> = vec![(
+            "crates/fleet/src/plane.rs".to_owned(),
+            strip_tests(&lex(
+                "fn lock_host(m: &M) -> MutexGuard<H> { m.lock().unwrap_or_else(e) }
+                 fn helper(h: &M) { lock_host(h); }
+                 fn top(h: &M) { helper(h); }
+                 fn clean() {}",
+            )),
+        )];
+        let mut fns = Vec::new();
+        for (rel, toks) in &files {
+            fns.extend(parse_file(rel, toks));
+        }
+        let g = CallGraph::build(&files, fns);
+        let direct: Vec<Vec<Marker>> = g
+            .fns
+            .iter()
+            .map(|f| direct_markers(f, &files[0].1))
+            .collect();
+        let classes = transitive_lock_classes(&g, &direct);
+        let top = g.fns.iter().position(|f| f.name == "top").unwrap();
+        let clean = g.fns.iter().position(|f| f.name == "clean").unwrap();
+        assert!(classes[top].contains("host"));
+        assert!(classes[clean].is_empty());
+        let reach = reaches_marker(&g, &direct);
+        assert!(reach[top] && !reach[clean]);
+    }
+
+    #[test]
+    fn closure_args_are_extracted_with_block_and_expr_bodies() {
+        let toks = strip_tests(&lex(
+            "fn top() { ordered_map(threads, items, |i| { work(i) }); \
+                        ordered_map(t, n, |i| quick(i)); plain(1, 2); }",
+        ));
+        let names: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("ordered_map") || t.is_ident("plain"))
+            .map(|(i, _)| i)
+            .collect();
+        let c0 = closure_arg(&toks, names[0]).unwrap();
+        let body: Vec<&str> = toks[c0.body.0..c0.body.1]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(body, ["work", "(", "i", ")"]);
+        let c1 = closure_arg(&toks, names[1]).unwrap();
+        let body: Vec<&str> = toks[c1.body.0..c1.body.1]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(body, ["quick", "(", "i", ")"]);
+        assert!(closure_arg(&toks, names[2]).is_none());
+    }
+}

@@ -12,12 +12,21 @@
 //!
 //! | rule | invariant |
 //! |------|-----------|
-//! | `DET-HASH`   | no `HashMap`/`HashSet` in result-affecting crates |
-//! | `DET-TIME`   | no wall clock / OS rng / env reads outside bench timing |
-//! | `PANIC-PATH` | no `unwrap`/`expect`/panicking macro/indexing on the hot path |
-//! | `REG-METRIC` | metric names ⊆ OBSERVABILITY.md, and nothing documented is dead |
-//! | `REG-TRACE`  | trace `(component, kind)` pairs likewise |
-//! | `HYG-CRATE`  | every lib crate forbids unsafe and denies missing docs |
+//! | `DET-HASH`     | no `HashMap`/`HashSet` in result-affecting crates |
+//! | `DET-TIME`     | no wall clock / OS rng / env reads outside bench timing |
+//! | `PANIC-PATH`   | no `unwrap`/`expect`/panicking macro/indexing on the hot path |
+//! | `PANIC-PATH-T` | no explicit panic construct *reachable* from the hot path |
+//! | `LOCK-ORDER`   | the fleet's mutex-acquisition order is acyclic |
+//! | `SPEC-SAFE`    | domain worker closures touch no unsanctioned shared state |
+//! | `REG-METRIC`   | metric names ⊆ OBSERVABILITY.md, and nothing documented is dead |
+//! | `REG-TRACE`    | trace `(component, kind)` pairs likewise |
+//! | `HYG-CRATE`    | every lib crate forbids unsafe and denies missing docs |
+//!
+//! The first six rules up to `SPEC-SAFE` are flow-aware: the analyzer
+//! parses every file into an item tree ([`parse`]), builds a
+//! workspace-wide function-level call graph ([`callgraph`]) with
+//! ambiguous calls *reported rather than dropped*, and computes
+//! shared-state dataflow facts over it ([`dataflow`]).
 //!
 //! See ANALYSIS.md for the full rationale and the allowlist policy.
 //! Run as `cargo run --release -p pageforge-analyzer`; CI runs it as
@@ -26,16 +35,23 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod findings;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use callgraph::{CallGraph, Unresolved};
 use config::AllowEntry;
+use dataflow::Marker;
 use findings::{sort_findings, Finding};
+use lexer::Tok;
 
 /// The rule ids an `analyzer.toml` entry may reference. `ALLOW-STALE`
 /// is deliberately absent: a stale-entry finding is fixed by deleting
@@ -44,10 +60,75 @@ pub const RULE_IDS: &[&str] = &[
     "DET-HASH",
     "DET-TIME",
     "PANIC-PATH",
+    "PANIC-PATH-T",
+    "LOCK-ORDER",
+    "SPEC-SAFE",
     "REG-METRIC",
     "REG-TRACE",
     "HYG-CRATE",
 ];
+
+/// The parsed, resolved view of the workspace the flow-aware rules
+/// run against: test-stripped token streams, the call graph, and the
+/// precomputed shared-state dataflow facts.
+#[derive(Debug)]
+pub struct Workspace {
+    /// `(workspace-relative path, test-stripped tokens)`, sorted by path.
+    pub files: Vec<(String, Vec<Tok>)>,
+    /// The resolved call graph over every parsed function.
+    pub graph: CallGraph,
+    /// Per-function direct shared-state markers (indexed like
+    /// `graph.fns`).
+    pub markers: Vec<Vec<Marker>>,
+    /// Per-function transitive lock classes.
+    pub lock_classes: Vec<BTreeSet<String>>,
+    /// Per-function flag: reaches any marker transitively.
+    pub marker_reach: Vec<bool>,
+}
+
+impl Workspace {
+    /// Parses, resolves, and closes over `files` (test-stripped token
+    /// streams keyed by workspace-relative path).
+    pub fn build(mut files: Vec<(String, Vec<Tok>)>) -> Workspace {
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut fns = Vec::new();
+        for (rel, toks) in &files {
+            fns.extend(parse::parse_file(rel, toks));
+        }
+        let graph = CallGraph::build(&files, fns);
+        let markers: Vec<Vec<Marker>> = graph
+            .fns
+            .iter()
+            .map(|f| {
+                let toks = files
+                    .iter()
+                    .find(|(rel, _)| *rel == f.path)
+                    .map(|(_, t)| t.as_slice())
+                    .unwrap_or(&[]);
+                dataflow::direct_markers(f, toks)
+            })
+            .collect();
+        let lock_classes = dataflow::transitive_lock_classes(&graph, &markers);
+        let marker_reach = dataflow::reaches_marker(&graph, &markers);
+        Workspace {
+            files,
+            graph,
+            markers,
+            lock_classes,
+            marker_reach,
+        }
+    }
+
+    /// The token stream for a workspace-relative path (empty when the
+    /// path is unknown).
+    pub fn toks(&self, rel: &str) -> &[Tok] {
+        self.files
+            .iter()
+            .find(|(p, _)| p == rel)
+            .map(|(_, t)| t.as_slice())
+            .unwrap_or(&[])
+    }
+}
 
 /// The outcome of analysing a workspace.
 #[derive(Debug)]
@@ -59,6 +140,12 @@ pub struct Report {
     pub files_scanned: usize,
     /// Number of findings suppressed by `analyzer.toml` entries.
     pub suppressed: usize,
+    /// Number of functions in the workspace call graph.
+    pub functions: usize,
+    /// Number of resolved (caller, callee) call edges.
+    pub call_edges: usize,
+    /// Ambiguous call sites the resolver surfaced rather than dropped.
+    pub unresolved: Vec<Unresolved>,
 }
 
 /// Analyses the workspace rooted at `root` (the directory holding the
@@ -77,6 +164,7 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
     let mut findings: Vec<Finding> = Vec::new();
     let mut metric_uses = Vec::new();
     let mut trace_uses = Vec::new();
+    let mut stripped: Vec<(String, Vec<Tok>)> = Vec::with_capacity(files.len());
 
     for abs in &files {
         let rel = rel_path(root, abs);
@@ -92,7 +180,13 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
         }
         rules::registry::collect_metric_uses(&rel, &code, &mut metric_uses);
         rules::registry::collect_trace_uses(&rel, &code, &mut trace_uses);
+        stripped.push((rel, code));
     }
+
+    let ws = Workspace::build(stripped);
+    rules::panic_path_t::run(&ws, &mut findings);
+    rules::lock_order::run(&ws, &mut findings);
+    rules::spec_safe::run(&ws, &mut findings);
 
     let obs_path = root.join("OBSERVABILITY.md");
     let obs = fs::read_to_string(&obs_path)
@@ -132,12 +226,16 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
         findings,
         files_scanned,
         suppressed,
+        functions: ws.graph.fns.len(),
+        call_edges: ws.graph.edge_count(),
+        unresolved: ws.graph.unresolved.clone(),
     })
 }
 
 /// Renders a report exactly as the CLI prints it: one block per
-/// finding, then the one-line summary. Golden tests compare this
-/// string against checked-in `expected.txt` files.
+/// finding, then the call-graph line, then the one-line summary.
+/// Golden tests compare this string against checked-in `expected.txt`
+/// files.
 pub fn render(report: &Report) -> String {
     let mut out = String::new();
     for finding in &report.findings {
@@ -145,11 +243,92 @@ pub fn render(report: &Report) -> String {
         out.push('\n');
     }
     out.push_str(&format!(
+        "pageforge-analyzer: call graph: {} functions, {} edges, {} unresolved calls\n",
+        report.functions,
+        report.call_edges,
+        report.unresolved.len()
+    ));
+    out.push_str(&format!(
         "pageforge-analyzer: {} files scanned, {} finding(s), {} suppressed by analyzer.toml\n",
         report.files_scanned,
         report.findings.len(),
         report.suppressed
     ));
+    out
+}
+
+/// Renders a report as the machine-readable JSON document the CI
+/// `analysis` job uploads as an artifact. Keys are emitted in sorted
+/// (alphabetical) order at every level and the document ends in a
+/// newline, so output is byte-stable; `schema` is bumped on any shape
+/// change. See ANALYSIS.md § "JSON output" for the schema.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"call_edges\": {},\n", report.call_edges));
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"hint\": {}, \"item\": {}, \"line\": {}, \"message\": {}, \
+             \"path\": {}, \"rule\": {}}}",
+            json_str(f.hint),
+            json_str(&f.item),
+            f.line,
+            json_str(&f.message),
+            json_str(&f.path),
+            json_str(f.rule)
+        ));
+    }
+    out.push_str(if report.findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str(&format!("  \"functions\": {},\n", report.functions));
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"suppressed\": {},\n", report.suppressed));
+    out.push_str("  \"unresolved\": [");
+    for (i, u) in report.unresolved.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"candidates\": {}, \"line\": {}, \"name\": {}, \"path\": {}}}",
+            u.candidates,
+            u.line,
+            json_str(&u.name),
+            json_str(&u.path)
+        ));
+    }
+    out.push_str(if report.unresolved.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str(&format!(
+        "  \"unresolved_calls\": {}\n}}\n",
+        report.unresolved.len()
+    ));
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars —
+/// everything else in this codebase's findings is printable ASCII or
+/// UTF-8 that JSON passes through verbatim).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
     out
 }
 
@@ -180,9 +359,16 @@ fn enumerate_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
 }
 
 fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-    for entry in entries {
-        let path = entry.map_err(|e| format!("{}: {e}", dir.display()))?.path();
+    // `read_dir` yields entries in filesystem order, which differs
+    // across machines; sort before descending so nothing downstream can
+    // ever observe inode order.
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .map(|entry| entry.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    paths.sort();
+    for path in paths {
         if path.is_dir() {
             walk_rs(&path, out)?;
         } else if path.extension().is_some_and(|ext| ext == "rs") {
@@ -272,6 +458,82 @@ fn stale_entry_finding(entry: &AllowEntry) -> Finding {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: "DET-HASH",
+                path: "crates/core/src/engine.rs".to_owned(),
+                line: 7,
+                item: "HashMap".to_owned(),
+                message: "say \"no\"".to_owned(),
+                hint: "use BTreeMap",
+            }],
+            files_scanned: 3,
+            suppressed: 1,
+            functions: 12,
+            call_edges: 9,
+            unresolved: vec![Unresolved {
+                path: "crates/core/src/engine.rs".to_owned(),
+                line: 9,
+                name: "dup".to_owned(),
+                candidates: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn render_includes_the_call_graph_line() {
+        let text = render(&sample_report());
+        assert!(text.contains(
+            "pageforge-analyzer: call graph: 12 functions, 9 edges, 1 unresolved calls\n"
+        ));
+        assert!(text.ends_with(
+            "pageforge-analyzer: 3 files scanned, 1 finding(s), 1 suppressed by analyzer.toml\n"
+        ));
+    }
+
+    #[test]
+    fn json_is_sorted_escaped_and_newline_terminated() {
+        let json = render_json(&sample_report());
+        assert!(json.starts_with("{\n  \"call_edges\": 9,\n  \"files_scanned\": 3,\n"));
+        assert!(json.contains("\"message\": \"say \\\"no\\\"\""));
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"unresolved_calls\": 1\n}\n"));
+        assert!(json.ends_with("}\n"));
+        // Keys appear in alphabetical order.
+        let order = [
+            "call_edges",
+            "files_scanned",
+            "findings",
+            "functions",
+            "schema",
+            "suppressed",
+            "unresolved",
+            "unresolved_calls",
+        ];
+        let mut last = 0;
+        for key in order {
+            let at = json.find(&format!("\"{key}\"")).unwrap();
+            assert!(at > last, "{key} out of order");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn empty_report_json_has_empty_arrays() {
+        let report = Report {
+            findings: Vec::new(),
+            files_scanned: 0,
+            suppressed: 0,
+            functions: 0,
+            call_edges: 0,
+            unresolved: Vec::new(),
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"findings\": [],\n"));
+        assert!(json.contains("\"unresolved\": [],\n"));
+    }
 
     #[test]
     fn crate_root_detection() {

@@ -3,10 +3,13 @@
 //! ```sh
 //! cargo run --release -p pageforge-analyzer            # from anywhere in the repo
 //! cargo run --release -p pageforge-analyzer -- --root /path/to/repo
+//! cargo run --release -p pageforge-analyzer -- --json findings.json
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings (or stale allowlist entries),
-//! `2` configuration/I-O error.
+//! `2` configuration/I-O error. `--json <file>` additionally writes the
+//! machine-readable report (schema in ANALYSIS.md) — human output and
+//! exit codes are unchanged.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,6 +18,7 @@ use pageforge_analyzer::analyze_workspace;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,13 +29,23 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("pageforge-analyzer: --json needs an output path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "pageforge-analyzer — workspace invariant linter\n\n\
-                     USAGE: pageforge-analyzer [--root <workspace-root>]\n\n\
-                     Rules: DET-HASH, DET-TIME, PANIC-PATH, REG-METRIC, REG-TRACE,\n\
-                     HYG-CRATE — see ANALYSIS.md. Exceptions live in analyzer.toml\n\
-                     and must carry a written justification; stale entries fail the run."
+                     USAGE: pageforge-analyzer [--root <workspace-root>] [--json <out.json>]\n\n\
+                     Rules: DET-HASH, DET-TIME, PANIC-PATH, PANIC-PATH-T, LOCK-ORDER,\n\
+                     SPEC-SAFE, REG-METRIC, REG-TRACE, HYG-CRATE — see ANALYSIS.md.\n\
+                     Exceptions live in analyzer.toml and must carry a written\n\
+                     justification; stale entries fail the run.\n\
+                     --json writes the machine-readable report (findings, call-graph\n\
+                     stats, unresolved calls) without changing stdout or exit codes."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -51,6 +65,13 @@ fn main() -> ExitCode {
 
     match analyze_workspace(&root) {
         Ok(report) => {
+            if let Some(path) = json {
+                let doc = pageforge_analyzer::render_json(&report);
+                if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("pageforge-analyzer: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
             print!("{}", pageforge_analyzer::render(&report));
             if report.findings.is_empty() {
                 ExitCode::SUCCESS

@@ -1,0 +1,465 @@
+//! `LOCK-ORDER` — the fleet deadlock-freedom proof.
+//!
+//! The control plane wraps every host in its own `Mutex<Host>`, and the
+//! tick loop's phases (heartbeat, evacuation, departures, lease
+//! retries, admissions, migration, rescans, stepping, sampling, audit)
+//! all take host locks. Two phases acquiring two locks in opposite
+//! orders is a deadlock that only fires under the right interleaving —
+//! precisely the bug class testing is worst at. This rule extracts the
+//! *lock acquisition-order graph* over `crates/fleet` and fails on any
+//! cycle: an edge `A → B` is recorded whenever a class-`B` lock is
+//! acquired (directly, or transitively through any resolved callee)
+//! while a class-`A` guard is live. An acyclic graph is a standing
+//! proof that no interleaving of plane phases can deadlock on host
+//! mutexes; a self-edge (`host → host`) is the two-hosts-in-opposite-
+//! order hazard and is reported the same way.
+//!
+//! Guard liveness follows Rust's drop rules closely enough to audit
+//! real code: `let`-bound guards live to the end of their block (or an
+//! explicit `drop(g)`), un-bound acquisitions live to the end of the
+//! statement, and `for`/`match`/`if let`/`while let` header
+//! temporaries live through the body. Poison-recovery adapters
+//! (`unwrap`/`expect`/`unwrap_or_else`) keep guard-ness; any other
+//! method call consumes the temporary.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::findings::Finding;
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{match_brace, match_delim};
+use crate::Workspace;
+
+/// One acquisition opportunity at a known token: a direct `.lock()` or
+/// a resolved call whose transitive lock-class set is non-empty.
+#[derive(Debug, Clone)]
+struct Acq {
+    classes: BTreeSet<String>,
+    returns_guard: bool,
+    /// Token index of the call's `(` (for chain lookahead).
+    open: usize,
+    line: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    classes: BTreeSet<String>,
+    name: Option<String>,
+}
+
+/// Adapters that keep a lock expression guard-shaped (poison handling).
+const GUARD_ADAPTERS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Runs `LOCK-ORDER` over every function defined under `crates/fleet`.
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    let graph = &ws.graph;
+    // (held class, acquired class) → first acquisition site.
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+
+    for fid in 0..graph.fns.len() {
+        let f = &graph.fns[fid];
+        if !f.path.starts_with("crates/fleet/") {
+            continue;
+        }
+        let toks = ws.toks(&f.path);
+        let mut acq: BTreeMap<usize, Acq> = BTreeMap::new();
+        for m in &ws.markers[fid] {
+            if m.kind == crate::dataflow::MarkerKind::Lock {
+                acq.insert(
+                    m.tok,
+                    Acq {
+                        classes: BTreeSet::from([m.detail.clone()]),
+                        returns_guard: true,
+                        open: m.tok + 2,
+                        line: m.line,
+                    },
+                );
+            }
+        }
+        for &(si, callee) in &graph.resolved[fid] {
+            let classes = &ws.lock_classes[callee];
+            if classes.is_empty() {
+                continue;
+            }
+            let site = &graph.sites[fid][si];
+            acq.insert(
+                site.tok,
+                Acq {
+                    classes: classes.clone(),
+                    returns_guard: graph.fns[callee].returns_guard(),
+                    open: site.tok + 1,
+                    line: site.line,
+                },
+            );
+        }
+        if acq.is_empty() {
+            continue;
+        }
+        let mut scanner = Scanner {
+            toks,
+            acq: &acq,
+            path: &f.path,
+            edges: &mut edges,
+        };
+        scanner.scan_block(f.body.0, f.body.1, &[]);
+    }
+
+    // Cycle check over the class digraph.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a).or_default().insert(b);
+    }
+    for ((a, b), (path, line)) in &edges {
+        let cyclic = a == b || reaches(&adj, b, a);
+        if !cyclic {
+            continue;
+        }
+        let message = if a == b {
+            format!(
+                "lock class `{a}` is acquired while a `{a}` guard is live — two hosts \
+                 locked in data-dependent order can deadlock against the reverse \
+                 interleaving"
+            )
+        } else {
+            format!(
+                "acquiring lock class `{b}` while holding `{a}` closes a cycle in the \
+                 fleet lock-order graph ({b} can already be held while {a} is acquired)"
+            )
+        };
+        out.push(Finding {
+            rule: "LOCK-ORDER",
+            path: path.clone(),
+            line: *line,
+            item: format!("{a}->{b}"),
+            message,
+            hint: "make every phase acquire lock classes in one global order (release \
+                   the held guard first, or stage the second acquisition outside the \
+                   critical section); ANALYSIS.md documents the fleet's order",
+        });
+    }
+}
+
+fn reaches(adj: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    queue.push_back(from);
+    seen.insert(from);
+    while let Some(c) = queue.pop_front() {
+        if c == to {
+            return true;
+        }
+        if let Some(next) = adj.get(c) {
+            for &n in next {
+                if seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+    false
+}
+
+struct Scanner<'a> {
+    toks: &'a [Tok],
+    acq: &'a BTreeMap<usize, Acq>,
+    path: &'a str,
+    edges: &'a mut BTreeMap<(String, String), (String, u32)>,
+}
+
+impl Scanner<'_> {
+    /// Records order edges from every live guard to `info`'s classes.
+    fn record(&mut self, live: &[Guard], info: &Acq) {
+        for g in live {
+            for a in &g.classes {
+                for b in &info.classes {
+                    self.edges
+                        .entry((a.clone(), b.clone()))
+                        .or_insert_with(|| (self.path.to_owned(), info.line));
+                }
+            }
+        }
+    }
+
+    /// Whether the acquisition's value survives as a guard to the end
+    /// of the statement (possibly via poison adapters), i.e. the next
+    /// token after the adapter chain ends the statement.
+    fn guard_shaped(&self, info: &Acq) -> (bool, usize) {
+        let mut close = match_delim(self.toks, info.open, '(', ')');
+        loop {
+            if self.toks.get(close + 1).is_some_and(|t| t.is_punct('.'))
+                && self
+                    .toks
+                    .get(close + 2)
+                    .is_some_and(|t| GUARD_ADAPTERS.contains(&t.text.as_str()))
+                && self.toks.get(close + 3).is_some_and(|t| t.is_punct('('))
+            {
+                close = match_delim(self.toks, close + 3, '(', ')');
+                continue;
+            }
+            break;
+        }
+        let ends_stmt = self
+            .toks
+            .get(close + 1)
+            .is_none_or(|t| t.is_punct(';') || t.is_punct('}'));
+        (ends_stmt, close)
+    }
+
+    /// Processes a header region (`for`/`match`/`if`/`while` up to the
+    /// body `{`), returning the guards its temporaries produce.
+    fn scan_header(&mut self, s: usize, e: usize, live: &[Guard]) -> Vec<Guard> {
+        let mut hdr: Vec<Guard> = Vec::new();
+        for i in s..e {
+            if let Some(info) = self.acq.get(&i).cloned() {
+                let all = concat(live, &hdr, &[]);
+                self.record(&all, &info);
+                if info.returns_guard {
+                    hdr.push(Guard {
+                        classes: info.classes.clone(),
+                        name: None,
+                    });
+                }
+            }
+        }
+        hdr
+    }
+
+    fn scan_block(&mut self, s: usize, e: usize, inherited: &[Guard]) {
+        let mut block: Vec<Guard> = Vec::new();
+        let mut stmt: Vec<Guard> = Vec::new();
+        let mut pending_let: Option<String> = None;
+        let mut i = s;
+        while i < e.min(self.toks.len()) {
+            let t = &self.toks[i];
+
+            if t.is_punct('{') {
+                let close = match_brace(self.toks, i);
+                let inh = concat(inherited, &block, &stmt);
+                self.scan_block(i + 1, close, &inh);
+                i = close + 1;
+                continue;
+            }
+            if t.is_punct(';') {
+                stmt.clear();
+                pending_let = None;
+                i += 1;
+                continue;
+            }
+            if t.is_ident("let") && pending_let.is_none() {
+                let mut j = i + 1;
+                while j < e
+                    && (self.toks[j].is_ident("mut")
+                        || self.toks[j].is_punct('(')
+                        || self.toks[j].is_punct('_'))
+                {
+                    j += 1;
+                }
+                if j < e && self.toks[j].kind == TokKind::Ident {
+                    pending_let = Some(self.toks[j].text.clone());
+                }
+                i += 1;
+                continue;
+            }
+            if t.is_ident("drop")
+                && self.toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && self.toks.get(i + 3).is_some_and(|n| n.is_punct(')'))
+            {
+                if let Some(name) = self.toks.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                    block.retain(|g| g.name.as_deref() != Some(name.text.as_str()));
+                    stmt.retain(|g| g.name.as_deref() != Some(name.text.as_str()));
+                    i += 4;
+                    continue;
+                }
+            }
+            let header_extends = t.is_ident("for")
+                || t.is_ident("match")
+                || ((t.is_ident("if") || t.is_ident("while"))
+                    && self.toks.get(i + 1).is_some_and(|n| n.is_ident("let")));
+            let header_plain = !header_extends && (t.is_ident("if") || t.is_ident("while"));
+            if header_extends || header_plain {
+                // Body `{` is the first brace outside parens/brackets
+                // (closure braces inside call arguments don't count).
+                let mut j = i + 1;
+                let mut depth = 0usize;
+                while j < e {
+                    let tj = &self.toks[j];
+                    if tj.is_punct('(') || tj.is_punct('[') {
+                        depth += 1;
+                    } else if tj.is_punct(')') || tj.is_punct(']') {
+                        depth = depth.saturating_sub(1);
+                    } else if depth == 0 && tj.is_punct('{') {
+                        break;
+                    } else if depth == 0 && tj.is_punct(';') {
+                        break; // header-less `while x;`-style degenerate
+                    }
+                    j += 1;
+                }
+                if j < e && self.toks[j].is_punct('{') {
+                    let close = match_brace(self.toks, j);
+                    let outer = concat(inherited, &block, &stmt);
+                    let hdr = self.scan_header(i + 1, j, &outer);
+                    let inh = if header_extends {
+                        let mut v = outer.clone();
+                        v.extend(hdr);
+                        v
+                    } else {
+                        outer
+                    };
+                    self.scan_block(j + 1, close, &inh);
+                    i = close + 1;
+                    continue;
+                }
+            }
+            if let Some(info) = self.acq.get(&i).cloned() {
+                let all = concat(inherited, &block, &stmt);
+                self.record(&all, &info);
+                if info.returns_guard {
+                    let (ends_stmt, _) = self.guard_shaped(&info);
+                    if ends_stmt && pending_let.is_some() {
+                        block.push(Guard {
+                            classes: info.classes.clone(),
+                            name: pending_let.clone(),
+                        });
+                    } else {
+                        stmt.push(Guard {
+                            classes: info.classes.clone(),
+                            name: None,
+                        });
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+fn concat(a: &[Guard], b: &[Guard], c: &[Guard]) -> Vec<Guard> {
+    let mut v = Vec::with_capacity(a.len() + b.len() + c.len());
+    v.extend_from_slice(a);
+    v.extend_from_slice(b);
+    v.extend_from_slice(c);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_tests};
+
+    fn findings(files: &[(&str, &str)]) -> Vec<(String, u32)> {
+        let ws = Workspace::build(
+            files
+                .iter()
+                .map(|(rel, src)| ((*rel).to_owned(), strip_tests(&lex(src))))
+                .collect(),
+        );
+        let mut out = Vec::new();
+        run(&ws, &mut out);
+        out.into_iter().map(|f| (f.item, f.line)).collect()
+    }
+
+    const LOCK_HOST: &str =
+        "fn lock_host(m: &Mutex<Host>) -> MutexGuard<Host> { m.lock().unwrap_or_else(e) }\n";
+
+    #[test]
+    fn nested_same_class_acquisition_is_a_self_cycle() {
+        let src = format!(
+            "{LOCK_HOST}fn migrate(a: &Mutex<Host>, b: &Mutex<Host>) {{
+                 let src = lock_host(a);
+                 let dst = lock_host(b);
+                 use_both(src, dst);
+             }}"
+        );
+        let out = findings(&[("crates/fleet/src/plane.rs", &src)]);
+        assert_eq!(out, [("host->host".to_owned(), 4)]);
+    }
+
+    #[test]
+    fn sequential_acquisition_is_clean() {
+        let src = format!(
+            "{LOCK_HOST}fn tick(a: &Mutex<Host>, b: &Mutex<Host>) {{
+                 let pages = lock_host(a).depart(vm);
+                 let hinted = {{ let mut dst = lock_host(b); dst.admit(pages) }};
+                 for vm in lock_host(a).resident_vms() {{ seen.push(vm); }}
+             }}"
+        );
+        assert!(findings(&[("crates/fleet/src/plane.rs", &src)]).is_empty());
+    }
+
+    #[test]
+    fn opposite_pairwise_order_is_a_cycle() {
+        let src = "
+            fn phase1(q: &Mutex<Queue>, t: &Mutex<Table>) {
+                let queue = q.lock().unwrap();
+                let table = t.lock().unwrap();
+                step(queue, table);
+            }
+            fn phase2(q: &Mutex<Queue>, t: &Mutex<Table>) {
+                let table = t.lock().unwrap();
+                let queue = q.lock().unwrap();
+                step(queue, table);
+            }";
+        let mut out = findings(&[("crates/fleet/src/plane.rs", src)]);
+        out.sort();
+        assert_eq!(out, [("q->t".to_owned(), 4), ("t->q".to_owned(), 9)]);
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = "
+            fn phase(q: &Mutex<Queue>, t: &Mutex<Table>) {
+                let queue = q.lock().unwrap();
+                drop(queue);
+                let table = t.lock().unwrap();
+                consume(table);
+            }
+            fn reverse(q: &Mutex<Queue>, t: &Mutex<Table>) {
+                let table = t.lock().unwrap();
+                drop(table);
+                let queue = q.lock().unwrap();
+                consume(queue);
+            }";
+        assert!(findings(&[("crates/fleet/src/plane.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn transitive_acquisition_through_a_callee_is_seen() {
+        let src = format!(
+            "{LOCK_HOST}fn audit(hosts: &[Mutex<Host>]) -> usize {{
+                 hosts.iter().map(|h| lock_host(h).resident_count()).sum()
+             }}
+             fn bad(a: &Mutex<Host>, hosts: &[Mutex<Host>]) {{
+                 let guard = lock_host(a);
+                 let n = audit(hosts);
+                 use_both(guard, n);
+             }}"
+        );
+        let out = findings(&[("crates/fleet/src/plane.rs", &src)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, "host->host");
+    }
+
+    #[test]
+    fn match_scrutinee_guard_lives_through_the_arms() {
+        let src = format!(
+            "{LOCK_HOST}fn check(a: &Mutex<Host>, b: &Mutex<Host>) {{
+                 match lock_host(a).state() {{
+                     State::Up => {{ lock_host(b).ping(); }}
+                     _ => {{}}
+                 }}
+             }}"
+        );
+        let out = findings(&[("crates/fleet/src/plane.rs", &src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn non_fleet_files_are_out_of_scope() {
+        let src = "fn f(a: &Mutex<X>, b: &Mutex<Y>) {
+            let x = a.lock().unwrap(); let y = b.lock().unwrap(); go(x, y);
+        }
+        fn g(a: &Mutex<X>, b: &Mutex<Y>) {
+            let y = b.lock().unwrap(); let x = a.lock().unwrap(); go(x, y);
+        }";
+        assert!(findings(&[("crates/sim/src/shard.rs", src)]).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! `PANIC-PATH-T` — the transitive panic-surface rule.
+//!
+//! `PANIC-PATH` keeps the hot-path *files* free of panicking
+//! constructs, but a hot-path function calling `ksm::merge` which calls
+//! a helper that `unwrap()`s panics just the same — the abort is merely
+//! hidden two frames down. This rule closes that hole: every function
+//! defined in a [`super::panics::HOT_PATHS`] file is a root, the call
+//! graph is walked transitively, and every explicit panic construct
+//! (`unwrap`/`expect`/panicking macros) in a reachable function is a
+//! finding, annotated with the deterministic shortest call chain that
+//! reaches it.
+//!
+//! Slice indexing is deliberately *not* transitive: indexing panics are
+//! a local-reasoning discipline (the base rule enforces it where the
+//! blast radius justifies it), and every `xs[i]` in every transitively
+//! reachable helper would drown the audit in bounds checks the
+//! surrounding code already guarantees. Explicit constructs are the
+//! author saying "this cannot fail" — exactly the claims a hot-path
+//! audit must collect and review.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::CallGraph;
+use crate::findings::Finding;
+use crate::rules::panics::{in_hot_path, panic_constructs};
+use crate::Workspace;
+
+/// Runs `PANIC-PATH-T` over the workspace call graph.
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    let graph: &CallGraph = &ws.graph;
+    let roots: Vec<usize> = (0..graph.fns.len())
+        .filter(|&i| in_hot_path(&graph.fns[i].path))
+        .collect();
+    let reach = graph.reachable(&roots);
+
+    let mut seen: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    for (&id, _) in reach.iter() {
+        let f = &graph.fns[id];
+        // Hot-path files are the base rule's jurisdiction; re-flagging
+        // them here would double-report every allowlisted contract.
+        if in_hot_path(&f.path) {
+            continue;
+        }
+        let toks = ws.toks(&f.path);
+        for (line, item) in panic_constructs(toks, f.body.0, f.body.1) {
+            if !seen.insert((f.path.clone(), line, item.clone())) {
+                continue;
+            }
+            let chain = graph.chain(&reach, id);
+            out.push(Finding {
+                rule: "PANIC-PATH-T",
+                path: f.path.clone(),
+                line,
+                item: item.clone(),
+                message: format!("`{item}` is reachable from the hot path: {chain}"),
+                hint: "return a typed error / take the graceful-degrade branch, or \
+                       allowlist with a justification proving the invariant the \
+                       construct asserts; a panic anywhere on this chain aborts the \
+                       whole sweep",
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workspace;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::build(
+            files
+                .iter()
+                .map(|(rel, src)| {
+                    (
+                        (*rel).to_owned(),
+                        crate::lexer::strip_tests(&crate::lexer::lex(src)),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn panic_two_calls_deep_is_found_with_its_chain() {
+        let w = ws(&[
+            (
+                "crates/core/src/driver.rs",
+                "pub fn run_sweep() { pageforge_ksm::merge_pages(); }",
+            ),
+            (
+                "crates/ksm/src/lib.rs",
+                "pub fn merge_pages() { helper(); } fn helper() { x.unwrap(); }",
+            ),
+        ]);
+        let mut out = Vec::new();
+        run(&w, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "PANIC-PATH-T");
+        assert_eq!(out[0].path, "crates/ksm/src/lib.rs");
+        assert_eq!(out[0].item, "unwrap");
+        assert!(
+            out[0]
+                .message
+                .contains("core::driver::run_sweep -> ksm::merge_pages -> ksm::helper"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn unreachable_panics_and_hot_files_are_not_flagged() {
+        let w = ws(&[
+            (
+                "crates/core/src/engine.rs",
+                "pub fn hot() { local.unwrap(); }",
+            ),
+            ("crates/ksm/src/lib.rs", "pub fn island() { x.unwrap(); }"),
+        ]);
+        let mut out = Vec::new();
+        run(&w, &mut out);
+        // engine.rs is the base rule's job; island() is unreachable.
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn panicking_macros_are_transitive_too() {
+        let w = ws(&[
+            (
+                "crates/fleet/src/plane.rs",
+                "pub fn tick() { pageforge_obs::record(); }",
+            ),
+            (
+                "crates/obs/src/lib.rs",
+                "pub fn record() { unreachable!(\"id from another registry\") }",
+            ),
+        ]);
+        let mut out = Vec::new();
+        run(&w, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].item, "unreachable!");
+    }
+}

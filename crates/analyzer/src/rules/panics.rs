@@ -43,6 +43,32 @@ const KEYWORDS: &[&str] = &[
     "struct", "trait", "type", "union", "unsafe", "use", "where", "while", "yield",
 ];
 
+/// Explicit panic constructs (`.unwrap()`, `.expect()`, the panicking
+/// macros) in a token range, as `(line, item)` pairs. Shared between
+/// the file-local rule and the transitive `PANIC-PATH-T` pass; slice
+/// indexing stays file-local (see ANALYSIS.md on why the transitive
+/// rule audits explicit constructs only).
+pub fn panic_constructs(toks: &[Tok], start: usize, end: usize) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for i in start..end.min(toks.len()) {
+        let t = &toks[i];
+        if t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            out.push((toks[i + 1].line, toks[i + 1].text.clone()));
+        } else if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push((t.line, format!("{}!", t.text)));
+        }
+    }
+    out
+}
+
 /// Runs `PANIC-PATH` over one file's test-stripped token stream.
 pub fn panic_path(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     if !in_hot_path(path) {

@@ -62,6 +62,84 @@ fn clean_fixture_has_no_findings() {
     assert_eq!(report.suppressed, 0);
 }
 
+/// A panic hidden two calls below a hot-path entry point, in another
+/// crate: the transitive rule flags it with its call chain, byte-for-
+/// byte against the golden file. The unreachable `cold_path` unwrap in
+/// the same crate must not appear.
+#[test]
+fn panic_t_fixture_matches_golden_report() {
+    let report = analyze_workspace(&fixture("panic-t")).expect("fixture analyses");
+    let expected = include_str!("../fixtures/panic-t/expected.txt");
+    assert_eq!(render(&report), expected);
+    assert!(report.findings.iter().all(|f| f.rule == "PANIC-PATH-T"));
+    assert_eq!(report.findings.len(), 1);
+}
+
+/// The same call shape with the helper degrading gracefully is clean.
+#[test]
+fn panic_t_clean_twin_has_no_findings() {
+    let report = analyze_workspace(&fixture("panic-t-clean")).expect("fixture analyses");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+}
+
+/// A data-dependent double host acquisition (self-cycle) and two
+/// phases taking q/t in opposite orders — three LOCK-ORDER findings,
+/// byte-for-byte.
+#[test]
+fn lock_order_fixture_matches_golden_report() {
+    let report = analyze_workspace(&fixture("lock-order")).expect("fixture analyses");
+    let expected = include_str!("../fixtures/lock-order/expected.txt");
+    assert_eq!(render(&report), expected);
+    assert!(report.findings.iter().all(|f| f.rule == "LOCK-ORDER"));
+    assert_eq!(report.findings.len(), 3);
+}
+
+/// The same phases with statement-temporary acquisition, explicit
+/// `drop`, and one global order are a deadlock-freedom proof.
+#[test]
+fn lock_order_clean_twin_has_no_findings() {
+    let report = analyze_workspace(&fixture("lock-order-clean")).expect("fixture analyses");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+}
+
+/// A direct atomic write inside a domain worker closure and a mutex
+/// reached through a helper call — two SPEC-SAFE findings,
+/// byte-for-byte.
+#[test]
+fn spec_safe_fixture_matches_golden_report() {
+    let report = analyze_workspace(&fixture("spec-safe")).expect("fixture analyses");
+    let expected = include_str!("../fixtures/spec-safe/expected.txt");
+    assert_eq!(render(&report), expected);
+    assert!(report.findings.iter().all(|f| f.rule == "SPEC-SAFE"));
+    assert_eq!(report.findings.len(), 2);
+}
+
+/// Post-barrier folding and snapshot-by-value reads keep the workers
+/// domain-local — zero findings.
+#[test]
+fn spec_safe_clean_twin_has_no_findings() {
+    let report = analyze_workspace(&fixture("spec-safe-clean")).expect("fixture analyses");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+}
+
+/// Fixture reports are order-pinned: findings arrive sorted by
+/// (path, line, rule, item) regardless of directory-walk or rule-run
+/// order, so golden files cannot flake across filesystems.
+#[test]
+fn fixture_report_order_is_pinned() {
+    for name in ["violations", "panic-t", "lock-order", "spec-safe"] {
+        let report = analyze_workspace(&fixture(name)).expect("fixture analyses");
+        let keys: Vec<_> = report
+            .findings
+            .iter()
+            .map(|f| (f.path.clone(), f.line, f.rule, f.item.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "{name} report out of order");
+    }
+}
+
 /// OBSERVABILITY.md losing its normative tables is a hard error — the
 /// registry rules must never be silently disabled by a doc refactor.
 #[test]

@@ -1,0 +1,258 @@
+//! Property-style tests for the analyzer's lexer, driven by the
+//! vendored deterministic RNG (fixed seeds, so a failure is always
+//! reproducible by re-running the test). Each test generates hundreds
+//! of random sources around one lexer obligation — nested block
+//! comments, raw strings with hash delimiters, the char/lifetime
+//! ambiguity, `#[cfg(test)]` stripping — and checks the token stream
+//! against the sequence the generator *meant* to write. The rules can
+//! only be as trustworthy as the lexer: a comment or string leaking
+//! into the token stream would turn prose into findings, and a
+//! mis-stripped test module would flag `#[should_panic]` scaffolding.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pageforge_analyzer::lexer::{lex, strip_tests, Tok, TokKind};
+
+/// Words that must never surface from comment/string/test positions —
+/// each would trip a real rule if it leaked into code position.
+const POISON: &[&str] = &["HashMap", "unwrap", "Instant", "panic"];
+
+/// Words the generator emits as genuine code tokens.
+const KEEP: &[&str] = &["scan", "merge_pages", "BTreeMap", "frame", "digest"];
+
+fn pick<'a>(rng: &mut SmallRng, xs: &'a [&'a str]) -> &'a str {
+    xs[rng.gen_range(0usize..xs.len())]
+}
+
+/// Source builder that tracks the 1-based line each emitted token
+/// starts on, so tests can assert exact line numbers, not just order.
+struct Src {
+    text: String,
+    line: u32,
+}
+
+impl Src {
+    fn new() -> Self {
+        Src {
+            text: String::new(),
+            line: 1,
+        }
+    }
+
+    fn push(&mut self, s: &str) {
+        self.line += s.chars().filter(|&c| c == '\n').count() as u32;
+        self.text.push_str(s);
+    }
+
+    /// Random inter-token whitespace, sometimes spanning lines.
+    fn sep(&mut self, rng: &mut SmallRng) {
+        let s = ["", " ", "  ", "\n", " \n\t ", "\n\n"][rng.gen_range(0usize..6)];
+        self.push(s);
+        self.push(" "); // never let two tokens touch
+    }
+
+    /// A block comment of the given nesting depth, stuffed with poison
+    /// words and newlines. Inner text avoids `*` and `/` so the only
+    /// delimiters are the ones this function writes.
+    fn comment(&mut self, rng: &mut SmallRng, depth: usize) {
+        self.push("/*");
+        for _ in 0..rng.gen_range(1usize..4) {
+            self.push(" ");
+            self.push(pick(rng, POISON));
+            if rng.gen_range(0u32..3) == 0 {
+                self.push("\n");
+            }
+        }
+        if depth > 1 {
+            self.comment(rng, depth - 1);
+        }
+        self.push(" * * ");
+        self.push("*/");
+    }
+}
+
+fn kinds_and_texts(toks: &[Tok]) -> Vec<(TokKind, String)> {
+    toks.iter().map(|t| (t.kind, t.text.clone())).collect()
+}
+
+/// Comments — line, doc, and block comments nested to random depth —
+/// contribute nothing to the token stream, and every surviving token
+/// keeps the exact line its first character sits on even when the
+/// comments span lines.
+#[test]
+fn nested_block_comments_are_invisible_and_lines_survive() {
+    let mut rng = SmallRng::seed_from_u64(0x1e_5eed_0001);
+    for _ in 0..200 {
+        let mut src = Src::new();
+        let mut expected: Vec<(TokKind, String, u32)> = Vec::new();
+        for _ in 0..rng.gen_range(1usize..12) {
+            match rng.gen_range(0u32..5) {
+                0 => {
+                    let depth = rng.gen_range(1usize..5);
+                    src.comment(&mut rng, depth);
+                }
+                1 => {
+                    src.push("// line ");
+                    src.push(pick(&mut rng, POISON));
+                    src.push("\n");
+                }
+                2 => {
+                    src.push("/// doc ");
+                    src.push(pick(&mut rng, POISON));
+                    src.push("\n");
+                }
+                3 => {
+                    let w = pick(&mut rng, KEEP);
+                    expected.push((TokKind::Ident, w.to_owned(), src.line));
+                    src.push(w);
+                }
+                _ => {
+                    expected.push((TokKind::Punct, ";".to_owned(), src.line));
+                    src.push(";");
+                }
+            }
+            src.sep(&mut rng);
+        }
+        let got = lex(&src.text);
+        let want: Vec<(TokKind, String)> =
+            expected.iter().map(|(k, t, _)| (*k, t.clone())).collect();
+        assert_eq!(kinds_and_texts(&got), want, "source:\n{}", src.text);
+        for (tok, (_, _, line)) in got.iter().zip(&expected) {
+            assert_eq!(tok.line, *line, "line of {:?} in:\n{}", tok.text, src.text);
+        }
+    }
+}
+
+/// A raw string lexes to exactly its contents — quotes, hashes, and
+/// newlines included — provided the delimiter uses more hashes than
+/// any run following a quote inside the contents (the same rule real
+/// Rust imposes). Neighbouring identifiers are unaffected.
+#[test]
+fn raw_strings_with_hashes_lex_to_their_exact_contents() {
+    let mut rng = SmallRng::seed_from_u64(0x1e_5eed_0002);
+    for _ in 0..200 {
+        let mut content = String::new();
+        for _ in 0..rng.gen_range(0usize..12) {
+            content.push_str(["a", "\"", "#", "\n", "x#", "\"#", " "][rng.gen_range(0usize..7)]);
+        }
+        // Smallest delimiter that cannot terminate early: one more hash
+        // than the longest `#` run that follows a `"` in the contents.
+        let mut hashes = 1usize;
+        let bytes: Vec<char> = content.chars().collect();
+        for (i, &c) in bytes.iter().enumerate() {
+            if c == '"' {
+                let run = bytes[i + 1..].iter().take_while(|&&c| c == '#').count();
+                hashes = hashes.max(run + 1);
+            }
+        }
+        let delim = "#".repeat(hashes);
+        let prefix = if rng.gen_range(0u32..2) == 0 {
+            "br"
+        } else {
+            "r"
+        };
+        let src = format!("before {prefix}{delim}\"{content}\"{delim} after");
+        let got = lex(&src);
+        let want = vec![
+            (TokKind::Ident, "before".to_owned()),
+            (TokKind::Str, content.clone()),
+            (TokKind::Ident, "after".to_owned()),
+        ];
+        assert_eq!(kinds_and_texts(&got), want, "source:\n{src}");
+    }
+}
+
+/// `'x'` is a char, `'x` is a lifetime — in any order, at any
+/// position, including escaped chars and multi-char lifetime names.
+#[test]
+fn char_literals_and_lifetimes_disambiguate() {
+    let mut rng = SmallRng::seed_from_u64(0x1e_5eed_0003);
+    let letters = ["a", "b", "q", "z"];
+    let lifetimes = ["a", "de", "static", "tick"];
+    for _ in 0..200 {
+        let mut src = Src::new();
+        let mut want: Vec<(TokKind, String)> = Vec::new();
+        for _ in 0..rng.gen_range(1usize..10) {
+            match rng.gen_range(0u32..4) {
+                0 => {
+                    let c = pick(&mut rng, &letters);
+                    src.push(&format!("'{c}'"));
+                    want.push((TokKind::Char, c.to_owned()));
+                }
+                1 => {
+                    // Escaped char literals keep kind, drop text.
+                    src.push("'\\n'");
+                    want.push((TokKind::Char, String::new()));
+                }
+                2 => {
+                    let lt = pick(&mut rng, &lifetimes);
+                    src.push(&format!("&'{lt}"));
+                    want.push((TokKind::Punct, "&".to_owned()));
+                    want.push((TokKind::Lifetime, lt.to_owned()));
+                }
+                _ => {
+                    let lt = pick(&mut rng, &lifetimes);
+                    src.push(&format!("<'{lt}>"));
+                    want.push((TokKind::Punct, "<".to_owned()));
+                    want.push((TokKind::Lifetime, lt.to_owned()));
+                    want.push((TokKind::Punct, ">".to_owned()));
+                }
+            }
+            src.sep(&mut rng);
+        }
+        let got = lex(&src.text);
+        assert_eq!(kinds_and_texts(&got), want, "source:\n{}", src.text);
+    }
+}
+
+/// `#[cfg(test)]` / `#[test]` items vanish wholesale — attribute, item,
+/// and nested braces — while every non-test token survives, wherever
+/// the test items are interleaved.
+#[test]
+fn cfg_test_items_are_stripped_wherever_they_sit() {
+    let mut rng = SmallRng::seed_from_u64(0x1e_5eed_0004);
+    for _ in 0..200 {
+        let mut src = Src::new();
+        let mut kept = 0usize;
+        for _ in 0..rng.gen_range(1usize..10) {
+            match rng.gen_range(0u32..4) {
+                0 => {
+                    // A real item; its body idents must survive.
+                    src.push(&format!("fn real() {{ {}(); }}", pick(&mut rng, KEEP)));
+                    kept += 1;
+                }
+                1 => {
+                    // Test module with nested braces and poison words.
+                    src.push(&format!(
+                        "#[cfg(test)]\nmod tests {{ fn t() {{ if x {{ {}.{}(); }} }} }}",
+                        pick(&mut rng, POISON),
+                        pick(&mut rng, POISON),
+                    ));
+                }
+                2 => {
+                    // Stacked attributes on a test fn.
+                    src.push(&format!(
+                        "#[test]\n#[should_panic]\nfn boom() {{ {}!(); }}",
+                        pick(&mut rng, POISON),
+                    ));
+                }
+                _ => {
+                    // Semicolon-terminated test item.
+                    src.push(&format!("#[cfg(test)] use {}::x;", pick(&mut rng, POISON)));
+                }
+            }
+            src.sep(&mut rng);
+        }
+        let toks = strip_tests(&lex(&src.text));
+        for p in POISON {
+            assert!(
+                !toks.iter().any(|t| t.is_ident(p)),
+                "{p} leaked from test code in:\n{}",
+                src.text
+            );
+        }
+        let real = toks.iter().filter(|t| t.is_ident("real")).count();
+        assert_eq!(real, kept, "non-test items lost in:\n{}", src.text);
+    }
+}

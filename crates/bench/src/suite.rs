@@ -20,7 +20,7 @@ use crate::experiments::{
 };
 use crate::report::Table;
 use crate::scheduler::{
-    run_units, run_units_spooled, RunTiming, SchedulerError, ShardTiming, Unit,
+    run_units, run_units_spooled, ExperimentTiming, RunTiming, SchedulerError, ShardTiming, Unit,
 };
 use crate::trace_report;
 use crate::BenchArgs;
@@ -360,6 +360,9 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
         }
     }
     timing.shard_scaling = shard_rows;
+    if let Some(row) = time_analyzer_pass() {
+        timing.experiments.push(row);
+    }
     let single_table = |singles: &mut Vec<(String, Table)>, name: &str| -> Option<Table> {
         let pos = singles.iter().position(|(n, _)| n == name)?;
         Some(singles.remove(pos).1)
@@ -476,6 +479,31 @@ pub fn run_suite(args: &BenchArgs) -> Result<SuiteOutcome, SchedulerError> {
         tables,
         timing,
         trace,
+    })
+}
+
+/// Times a full `pageforge-analyzer` pass over the workspace and returns
+/// it as a timing row, so `perf_budget.toml` covers the CI analysis gate
+/// alongside the experiments. Runs only when the workspace root
+/// (`Cargo.toml` + `crates/`) is discoverable above the current
+/// directory — out-of-tree invocations skip the row rather than fail.
+/// The analyzer reads sources and `analyzer.toml` only; nothing here
+/// touches `results/*.json`.
+fn time_analyzer_pass() -> Option<ExperimentTiming> {
+    let start = std::env::current_dir().ok()?;
+    let mut dir = start.as_path();
+    let root = loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            break dir.to_path_buf();
+        }
+        dir = dir.parent()?;
+    };
+    let started = std::time::Instant::now();
+    pageforge_analyzer::analyze_workspace(&root).ok()?;
+    Some(ExperimentTiming {
+        name: "analyzer".to_owned(),
+        secs: started.elapsed().as_secs_f64(),
+        units: 1,
     })
 }
 

@@ -253,7 +253,12 @@ where
                 if idx >= slots.len() {
                     break;
                 }
-                *slots[idx].lock().expect("shard map slot lock") = Some(f(idx));
+                // Poison-tolerant: a slot is written exactly once, so a
+                // poisoned lock (another worker panicked mid-store) still
+                // holds either None or the completed value.
+                *slots[idx]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(f(idx));
             });
         }
     });
@@ -261,7 +266,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("shard map slot lock")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("every item is computed exactly once")
         })
         .collect()
