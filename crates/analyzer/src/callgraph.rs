@@ -11,8 +11,10 @@
 //! Resolution order, most specific wins:
 //! - free calls (`helper(..)`): same module → unique in same crate →
 //!   unique among crates the file names (`pageforge_*` idents);
-//! - method calls (`x.helper(..)`): unique among methods in the
-//!   caller's crate → unique among visible crates;
+//! - method calls (`x.helper(..)`): `self.helper(..)` in an impl block
+//!   → unique same-type inherent impl in the caller's crate; otherwise
+//!   unique among methods in the caller's crate → unique among visible
+//!   crates;
 //! - qualified calls (`Type::helper`, `module::helper`): last path
 //!   segment must match the candidate's self type, module, or crate
 //!   (`Self`/`crate`/`self`/`super` map to the caller's scope).
@@ -40,6 +42,10 @@ pub struct CallSite {
     pub quals: Vec<String>,
     /// Whether this is a `.name(..)` method call.
     pub method: bool,
+    /// For method calls whose receiver is a single identifier
+    /// (`recv.name(..)`), that identifier; `None` for chained or
+    /// compound receivers (`a.b.name(..)`, `f().name(..)`).
+    pub recv: Option<String>,
 }
 
 /// A call that matched more than one workspace candidate.
@@ -68,6 +74,10 @@ pub struct CallGraph {
     pub edges: Vec<Vec<usize>>,
     /// Ambiguous calls, sorted; reported, never dropped.
     pub unresolved: Vec<Unresolved>,
+    /// Calls only the method-receiver tier could resolve (a unique
+    /// same-type inherent impl for a `self.name(..)` call that the
+    /// crate-wide name tiers would have left ambiguous).
+    pub receiver_resolved: usize,
     /// File path → indices of functions defined there.
     pub by_path: BTreeMap<String, Vec<usize>>,
 }
@@ -100,6 +110,7 @@ impl CallGraph {
         let mut resolved = Vec::with_capacity(fns.len());
         let mut edges: Vec<Vec<usize>> = Vec::with_capacity(fns.len());
         let mut unresolved: Vec<Unresolved> = Vec::new();
+        let mut receiver_resolved = 0usize;
 
         for f in &fns {
             let toks = toks_by_path.get(f.path.as_str()).copied().unwrap_or(&[]);
@@ -110,6 +121,11 @@ impl CallGraph {
             for (si, site) in fsites.iter().enumerate() {
                 match resolve(site, f, &fns, &by_name, &vis) {
                     Resolution::Edge(callee) => {
+                        fres.push((si, callee));
+                        fedges.insert(callee);
+                    }
+                    Resolution::ReceiverEdge(callee) => {
+                        receiver_resolved += 1;
                         fres.push((si, callee));
                         fedges.insert(callee);
                     }
@@ -135,6 +151,7 @@ impl CallGraph {
             resolved,
             edges,
             unresolved,
+            receiver_resolved,
             by_path,
         }
     }
@@ -253,12 +270,21 @@ pub fn extract_calls(toks: &[Tok], start: usize, end: usize) -> Vec<CallSite> {
             continue; // nested definition, not a call
         }
         if i > start && toks[i - 1].is_punct('.') {
+            // A receiver is only trustworthy when it is one bare
+            // identifier: `x.name(..)` but not `a.b.name(..)` (the
+            // leading `.` means `x` is itself a field access) and not
+            // `f().name(..)` (the receiver is an expression).
+            let recv = (i >= start + 2
+                && toks[i - 2].kind == TokKind::Ident
+                && !(i >= start + 3 && toks[i - 3].is_punct('.')))
+            .then(|| toks[i - 2].text.clone());
             out.push(CallSite {
                 tok: i,
                 line: t.line,
                 name: t.text.clone(),
                 quals: Vec::new(),
                 method: true,
+                recv,
             });
             continue;
         }
@@ -280,6 +306,7 @@ pub fn extract_calls(toks: &[Tok], start: usize, end: usize) -> Vec<CallSite> {
             name: t.text.clone(),
             quals,
             method: false,
+            recv: None,
         });
     }
     out
@@ -287,6 +314,9 @@ pub fn extract_calls(toks: &[Tok], start: usize, end: usize) -> Vec<CallSite> {
 
 enum Resolution {
     Edge(usize),
+    /// An edge that only the receiver tier could pin down — counted
+    /// separately so the report can show the tier pulling its weight.
+    ReceiverEdge(usize),
     External,
     Ambiguous(usize),
 }
@@ -321,6 +351,28 @@ fn resolve(
             .copied()
             .filter(|&i| fns[i].crate_name == caller.crate_name)
             .collect();
+        // Receiver tier: `self.name(..)` inside an impl block can only
+        // dispatch to an impl of the caller's own type — the one
+        // receiver whose type a name-based resolver knows exactly.
+        // Runs before the crate tiers so a unique same-type match wins
+        // over a same-crate name tie; edges the crate tier would have
+        // found anyway stay plain so the tier's count is honest.
+        if site.recv.as_deref() == Some("self") {
+            if let Some(ty) = caller.self_ty.as_deref() {
+                let own_ty: Vec<usize> = own
+                    .iter()
+                    .copied()
+                    .filter(|&i| fns[i].self_ty.as_deref() == Some(ty))
+                    .collect();
+                if own_ty.len() == 1 {
+                    return if own.len() == 1 {
+                        Resolution::Edge(own_ty[0])
+                    } else {
+                        Resolution::ReceiverEdge(own_ty[0])
+                    };
+                }
+            }
+        }
         if let Some(r) = pick(&own) {
             return r;
         }
@@ -480,6 +532,35 @@ mod tests {
         let top = idx(&g, "a::top");
         assert_eq!(g.edges[top], vec![idx(&g, "a::S::only")]);
         assert!(g.unresolved.is_empty()); // .len() is external
+    }
+
+    #[test]
+    fn self_receiver_breaks_same_crate_method_ties() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct S; struct T;
+             impl S { fn dup(&self) {} fn top(&self) { self.dup(); } }
+             impl T { fn dup(&self) {} }",
+        )]);
+        let top = idx(&g, "a::S::top");
+        assert_eq!(g.edges[top], vec![idx(&g, "a::S::dup")]);
+        assert!(g.unresolved.is_empty());
+        assert_eq!(g.receiver_resolved, 1);
+    }
+
+    #[test]
+    fn chained_receivers_are_not_trusted() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct S; struct T;
+             impl S { fn dup(&self) {} fn top(&self) { self.inner.dup(); } }
+             impl T { fn dup(&self) {} }",
+        )]);
+        let top = idx(&g, "a::S::top");
+        // `self.inner` could be a T: the tie must stay reported.
+        assert!(g.edges[top].is_empty());
+        assert_eq!(g.unresolved.len(), 1);
+        assert_eq!(g.receiver_resolved, 0);
     }
 
     #[test]

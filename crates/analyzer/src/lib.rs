@@ -146,6 +146,8 @@ pub struct Report {
     pub call_edges: usize,
     /// Ambiguous call sites the resolver surfaced rather than dropped.
     pub unresolved: Vec<Unresolved>,
+    /// Method calls only the receiver-resolution tier could pin down.
+    pub receiver_resolved: usize,
 }
 
 /// Analyses the workspace rooted at `root` (the directory holding the
@@ -229,6 +231,7 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
         functions: ws.graph.fns.len(),
         call_edges: ws.graph.edge_count(),
         unresolved: ws.graph.unresolved.clone(),
+        receiver_resolved: ws.graph.receiver_resolved,
     })
 }
 
@@ -243,10 +246,12 @@ pub fn render(report: &Report) -> String {
         out.push('\n');
     }
     out.push_str(&format!(
-        "pageforge-analyzer: call graph: {} functions, {} edges, {} unresolved calls\n",
+        "pageforge-analyzer: call graph: {} functions, {} edges, {} unresolved calls, \
+         {} resolved via receiver\n",
         report.functions,
         report.call_edges,
-        report.unresolved.len()
+        report.unresolved.len(),
+        report.receiver_resolved
     ));
     out.push_str(&format!(
         "pageforge-analyzer: {} files scanned, {} finding(s), {} suppressed by analyzer.toml\n",
@@ -286,7 +291,11 @@ pub fn render_json(report: &Report) -> String {
         "\n  ],\n"
     });
     out.push_str(&format!("  \"functions\": {},\n", report.functions));
-    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!(
+        "  \"receiver_resolved\": {},\n",
+        report.receiver_resolved
+    ));
+    out.push_str("  \"schema\": 2,\n");
     out.push_str(&format!("  \"suppressed\": {},\n", report.suppressed));
     out.push_str("  \"unresolved\": [");
     for (i, u) in report.unresolved.iter().enumerate() {
@@ -479,6 +488,7 @@ mod tests {
                 name: "dup".to_owned(),
                 candidates: 2,
             }],
+            receiver_resolved: 4,
         }
     }
 
@@ -486,7 +496,8 @@ mod tests {
     fn render_includes_the_call_graph_line() {
         let text = render(&sample_report());
         assert!(text.contains(
-            "pageforge-analyzer: call graph: 12 functions, 9 edges, 1 unresolved calls\n"
+            "pageforge-analyzer: call graph: 12 functions, 9 edges, 1 unresolved calls, \
+             4 resolved via receiver\n"
         ));
         assert!(text.ends_with(
             "pageforge-analyzer: 3 files scanned, 1 finding(s), 1 suppressed by analyzer.toml\n"
@@ -498,7 +509,8 @@ mod tests {
         let json = render_json(&sample_report());
         assert!(json.starts_with("{\n  \"call_edges\": 9,\n  \"files_scanned\": 3,\n"));
         assert!(json.contains("\"message\": \"say \\\"no\\\"\""));
-        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"schema\": 2"));
+        assert!(json.contains("\"receiver_resolved\": 4,\n"));
         assert!(json.contains("\"unresolved_calls\": 1\n}\n"));
         assert!(json.ends_with("}\n"));
         // Keys appear in alphabetical order.
@@ -507,6 +519,7 @@ mod tests {
             "files_scanned",
             "findings",
             "functions",
+            "receiver_resolved",
             "schema",
             "suppressed",
             "unresolved",
@@ -529,6 +542,7 @@ mod tests {
             functions: 0,
             call_edges: 0,
             unresolved: Vec::new(),
+            receiver_resolved: 0,
         };
         let json = render_json(&report);
         assert!(json.contains("\"findings\": [],\n"));

@@ -391,7 +391,7 @@ pub fn run_suite_cell_sharded(
     scale: Scale,
     shards: usize,
 ) -> SimResult {
-    System::with_shards(sim_config(app, mode, seed, scale), shards).run()
+    run_suite_cell_tuned(app, mode, seed, scale, shards, false, None, None)
 }
 
 /// Runs one cell with a fault plan installed. Only PageForge cells have an
@@ -404,8 +404,31 @@ pub fn run_suite_cell_faulted(
     shards: usize,
     plan: &FaultPlan,
 ) -> SimResult {
+    run_suite_cell_tuned(app, mode, seed, scale, shards, false, None, Some(plan))
+}
+
+/// The fully-tuned cell runner behind every latency-suite entry point:
+/// shard count, speculative execution (`--speculate`), epoch length
+/// (`--epoch-cycles`), and an optional fault plan. None of the executor
+/// knobs may move a result byte — only the fault plan changes outcomes,
+/// and only for PageForge cells (the others have no engine to fault).
+#[allow(clippy::too_many_arguments)]
+pub fn run_suite_cell_tuned(
+    app: &str,
+    mode: DedupMode,
+    seed: u64,
+    scale: Scale,
+    shards: usize,
+    speculate: bool,
+    epoch_cycles: Option<u64>,
+    plan: Option<&FaultPlan>,
+) -> SimResult {
     let mut cfg = sim_config(app, mode, seed, scale);
-    if matches!(cfg.dedup, DedupMode::PageForge(_)) {
+    cfg.speculate = speculate;
+    if let Some(cycles) = epoch_cycles {
+        cfg.epoch_cycles = cycles;
+    }
+    if let (Some(plan), DedupMode::PageForge(_)) = (plan, &cfg.dedup) {
         cfg.faults = Some(plan.clone());
     }
     System::with_shards(cfg, shards).run()
@@ -472,21 +495,26 @@ pub fn write_suite_cache(
 // ---------------------------------------------------------------------
 
 /// The `shard_scaling` experiment: the heaviest latency-suite cell
-/// (silo under PageForge) run under four executor configurations —
-/// the legacy exhaustive-refill-probe executor, then the sharded
-/// executor at 1, 2, and 4 worker threads. Every configuration must
-/// produce a bit-identical [`SimResult`] (the run panics otherwise),
-/// so the returned [`Table`] is deterministic; the wall-clock seconds
-/// go into the separate [`ShardTiming`] rows, which land in
-/// `meta/timing.json` outside the `results/*.json` determinism glob.
+/// (silo under PageForge) run under seven executor configurations —
+/// the legacy exhaustive-refill-probe executor, the sharded executor
+/// at 1, 2, and 4 worker threads, then the speculative executor at the
+/// same three shard levels. Every configuration must produce a
+/// bit-identical [`SimResult`] (the run panics otherwise), so the
+/// returned [`Table`] is deterministic; the wall-clock seconds go into
+/// the separate [`ShardTiming`] rows, which land in `meta/timing.json`
+/// outside the `results/*.json` determinism glob.
 pub fn shard_scaling(seed: u64, scale: Scale) -> (Table, Vec<ShardTiming>) {
-    // (label, exhaustive_refill_probe, shards). Run order matters: the
-    // first row is the reference executor the speedup is quoted against.
-    let configs: [(&str, bool, usize); 4] = [
-        ("legacy executor (exhaustive refill probe)", true, 1),
-        ("sharded executor", false, 1),
-        ("sharded executor", false, 2),
-        ("sharded executor", false, 4),
+    // (label, exhaustive_refill_probe, speculate, shards). Run order
+    // matters: the first row is the reference executor the speedup is
+    // quoted against.
+    let configs: [(&str, bool, bool, usize); 7] = [
+        ("legacy executor (exhaustive refill probe)", true, false, 1),
+        ("sharded executor", false, false, 1),
+        ("sharded executor", false, false, 2),
+        ("sharded executor", false, false, 4),
+        ("speculative executor", false, true, 1),
+        ("speculative executor", false, true, 2),
+        ("speculative executor", false, true, 4),
     ];
     let app = "silo";
     let mut table = Table::new(
@@ -506,7 +534,7 @@ pub fn shard_scaling(seed: u64, scale: Scale) -> (Table, Vec<ShardTiming>) {
     const REPS: usize = 2;
     let mut timing = Vec::new();
     let mut reference: Option<String> = None;
-    for (label, exhaustive, shards) in configs {
+    for (label, exhaustive, speculate, shards) in configs {
         let mut secs = f64::INFINITY;
         let mut result = None;
         for _ in 0..REPS {
@@ -519,6 +547,7 @@ pub fn shard_scaling(seed: u64, scale: Scale) -> (Table, Vec<ShardTiming>) {
             if let DedupMode::PageForge(pf) = &mut cfg.dedup {
                 pf.exhaustive_refill_probe = exhaustive;
             }
+            cfg.speculate = speculate;
             let start = std::time::Instant::now();
             let rep = System::with_shards(cfg, shards).run();
             secs = secs.min(start.elapsed().as_secs_f64());

@@ -31,16 +31,22 @@
 //! (`addr % controllers`), so consecutive accesses from one domain land
 //! in every other domain's controller. Under the byte-identity contract
 //! this coupling forces cross-domain events to retire in the canonical
-//! order; domains advance independently only between exchanges. DESIGN.md
-//! §8 documents the argument and what a relaxed (non-bit-exact) mode
-//! would look like.
+//! order; domains advance independently only between exchanges.
+//! `--speculate` removes the cost (not the order) of that coupling:
+//! epochs run ahead against a checkpoint of domain-local state and a
+//! published snapshot of the mapping tables, validate at every event
+//! retirement, and roll back deterministically on conflict — see
+//! `crate::spec` and DESIGN.md §8 for the protocol and the proof that
+//! `(cycle, seq)` order survives it.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use pageforge_types::Cycle;
 
-/// Fixed epoch length of the barrier clock, in cycles.
+/// Default epoch length of the barrier clock, in cycles — the default
+/// for `SimConfig::epoch_cycles` (override per run with
+/// `--epoch-cycles`).
 ///
 /// Chosen so a full-scale run (440M cycles) has a few hundred barrier
 /// crossings — frequent enough that staged cross-domain tallies stay
@@ -108,7 +114,11 @@ impl DomainPlan {
 /// the merged pop order is a *total* order identical to a single
 /// global heap — the equivalence that keeps sharded runs byte-identical
 /// to the legacy single-threaded loop at any shard count.
-#[derive(Debug)]
+///
+/// `Clone` exists for the speculation checkpoint: a rollback restores
+/// the heaps exactly, so the popped-but-unretired event comes back and
+/// replay re-pops it in the same `(cycle, seq)` slot.
+#[derive(Debug, Clone)]
 pub struct DomainQueues<E> {
     heaps: Vec<BinaryHeap<Reverse<(Cycle, u64, E)>>>,
     len: usize,

@@ -1,0 +1,268 @@
+//! Speculative cross-domain execution: the mapping view, dirty
+//! tracking, and speculation metrics behind `SimConfig::speculate`.
+//!
+//! With speculation enabled, the executor runs ahead of the epoch
+//! barrier against a copy-on-write checkpoint of domain-local state
+//! (event heaps, tally staging, DRAM-controller and cache state) and a
+//! *published* snapshot of the guest→host translation table — the
+//! [`MappingView`]. Translation mutations (merges, CoW breaks, churn
+//! remaps) are applied to the live [`HostMemory`] immediately but only
+//! *published* into the view at validation points, mirroring the
+//! cross-domain traffic exchange of the barrier protocol: a domain
+//! running ahead sees the translations that were globally agreed at the
+//! last barrier, not the in-flight ones.
+//!
+//! Every speculative translation read checks the entry's dirty bit. A
+//! dirty hit means the speculative span consumed a translation that has
+//! since changed — the span is *mis-speculated*. Validation happens at
+//! every event retirement (and at the final drain): a pending dirty hit
+//! triggers a deterministic rollback to the last checkpoint, the dirty
+//! entries are published, and the span re-executes against the agreed
+//! state. Because replay spans never contain a state-mutating event
+//! (checkpoints are taken immediately after every mutator — see
+//! `System::run_observed`), re-execution is exactly the canonical
+//! barrier-ordered schedule, which is why `results/*.json` stay
+//! byte-identical with speculation on or off (DESIGN.md §8).
+//!
+//! The module deliberately contains no locks, atomics, or channels:
+//! speculation is a domain-local protocol, so the SPEC-SAFE analyzer
+//! surface (`analyzer.toml`) must not grow because of it.
+
+use pageforge_types::{Cycle, Gfn, Ppn, VmId};
+use pageforge_vm::HostMemory;
+
+/// A packed, published snapshot of the guest→host translation table.
+///
+/// One `u32` per (vm, gfn) slot:
+///
+/// * bit 31 — mapped (the gfn has a backing frame),
+/// * bit 30 — the backing frame is CoW-protected,
+/// * bit 29 — dirty (the live translation has changed since the last
+///   publish; the remaining payload is the *stale* published value),
+/// * bits 0..=28 — the physical frame number.
+///
+/// The packed form exists for the query hot path: one dense 4-byte load
+/// replaces a `translate` (16-byte `Option<Ppn>` slot) plus an `is_cow`
+/// frame dereference, and the dirty check rides along in the same load.
+#[derive(Debug, Clone, Default)]
+pub struct MappingView {
+    /// `packed[vm][gfn]` — `0` means unmapped-and-clean.
+    packed: Vec<Vec<u32>>,
+    /// Slots holding a stale value (dirty bit set), pending publish.
+    /// May contain duplicates; publishing is idempotent per slot.
+    dirty: Vec<(VmId, Gfn)>,
+}
+
+impl MappingView {
+    /// Bit 31: the slot has a translation.
+    pub const MAPPED: u32 = 1 << 31;
+    /// Bit 30: the backing frame is CoW-protected.
+    pub const COW: u32 = 1 << 30;
+    /// Bit 29: the live translation diverged from this published value.
+    pub const DIRTY: u32 = 1 << 29;
+    /// Bits 0..=28: the physical frame number.
+    pub const PPN_MASK: u32 = Self::DIRTY - 1;
+
+    /// Builds a view publishing the current state of `mem`.
+    pub fn build(mem: &HostMemory) -> Self {
+        let mut view = MappingView::default();
+        for (vm, gfn, ppn) in mem.iter_mappings() {
+            let slot = view.slot_mut(vm, gfn);
+            *slot = Self::encode(ppn, mem.is_cow(ppn));
+        }
+        view
+    }
+
+    fn encode(ppn: Ppn, cow: bool) -> u32 {
+        assert!(
+            ppn.0 <= u64::from(Self::PPN_MASK),
+            "frame number {ppn} exceeds the 29-bit packed-view payload"
+        );
+        Self::MAPPED | if cow { Self::COW } else { 0 } | ppn.0 as u32
+    }
+
+    fn slot_mut(&mut self, vm: VmId, gfn: Gfn) -> &mut u32 {
+        let (v, g) = (vm.0 as usize, gfn.0 as usize);
+        if self.packed.len() <= v {
+            self.packed.resize(v + 1, Vec::new());
+        }
+        let table = &mut self.packed[v];
+        if table.len() <= g {
+            table.resize(g + 1, 0);
+        }
+        &mut table[g]
+    }
+
+    /// The published entry for `(vm, gfn)`; `0` when unmapped.
+    #[inline]
+    pub fn entry(&self, vm: VmId, gfn: Gfn) -> u32 {
+        self.packed
+            .get(vm.0 as usize)
+            .and_then(|t| t.get(gfn.0 as usize))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Marks slots whose live translation changed (from the host-memory
+    /// spec log). The published payload is kept — speculative reads see
+    /// the stale value and flag the mis-speculation via the dirty bit.
+    pub fn mark_dirty(&mut self, changed: &[(VmId, Gfn)]) {
+        for &(vm, gfn) in changed {
+            *self.slot_mut(vm, gfn) |= Self::DIRTY;
+            self.dirty.push((vm, gfn));
+        }
+    }
+
+    /// Publishes every dirty slot from the live memory, clearing the
+    /// dirty bits. Called at validation points (barrier commit and
+    /// rollback) — never mid-span.
+    pub fn publish(&mut self, mem: &HostMemory) {
+        let dirty = std::mem::take(&mut self.dirty);
+        for (vm, gfn) in dirty {
+            let fresh = match mem.translate(vm, gfn) {
+                Some(ppn) => Self::encode(ppn, mem.is_cow(ppn)),
+                None => 0,
+            };
+            *self.slot_mut(vm, gfn) = fresh;
+        }
+    }
+
+    /// Number of slots awaiting publish (duplicates included).
+    pub fn pending_dirty(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+/// Speculation activity counters, exported as `sim.spec.*` (only when
+/// speculation is on — with it off the namespace is absent and
+/// snapshots are byte-identical to pre-speculation builds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecMetrics {
+    /// Barrier (and final-drain) validations that found no dirty hit.
+    pub commits: u64,
+    /// Deterministic rollbacks to the last checkpoint.
+    pub rollbacks: u64,
+    /// Simulated cycles that were executed speculatively and survived
+    /// validation — the work the barrier protocol would have serialized.
+    pub saved_cycles: u64,
+}
+
+/// Live speculation state of a run (owned by the executor while
+/// `SimConfig::speculate` is set).
+#[derive(Debug)]
+pub struct SpecState {
+    /// The published translation view read by the query hot path.
+    pub view: MappingView,
+    /// Activity counters (not part of the rollback set: they describe
+    /// the speculation machinery, not the simulated system).
+    pub metrics: SpecMetrics,
+    /// A speculative read consumed a stale translation; the span must
+    /// roll back at the next validation point.
+    pub dirty_hit: bool,
+    /// Clock at the last validation point; `saved_cycles` accrues the
+    /// distance to the next clean validation.
+    pub run_start: Cycle,
+}
+
+impl SpecState {
+    /// Fresh state publishing `mem` as of `now`.
+    pub fn new(mem: &HostMemory, now: Cycle) -> Self {
+        SpecState {
+            view: MappingView::build(mem),
+            metrics: SpecMetrics::default(),
+            dirty_hit: false,
+            run_start: now,
+        }
+    }
+
+    /// One speculative translation read. Returns the packed entry
+    /// (possibly stale); a dirty entry additionally arms the rollback.
+    #[inline]
+    pub fn read(&mut self, vm: VmId, gfn: Gfn) -> u32 {
+        let e = self.view.entry(vm, gfn);
+        if e & MappingView::DIRTY != 0 {
+            self.dirty_hit = true;
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pageforge_types::PageData;
+
+    fn seeded_memory() -> HostMemory {
+        let mut mem = HostMemory::default();
+        mem.map_new_page(VmId(0), Gfn(0), PageData::from_fn(|_| 1));
+        mem.map_new_page(VmId(0), Gfn(1), PageData::from_fn(|_| 2));
+        mem.map_new_page(VmId(1), Gfn(0), PageData::from_fn(|_| 1));
+        mem
+    }
+
+    #[test]
+    fn view_mirrors_translate_and_is_cow() {
+        let mut mem = seeded_memory();
+        let keep = mem.translate(VmId(0), Gfn(0)).unwrap();
+        let drop = mem.translate(VmId(1), Gfn(0)).unwrap();
+        mem.merge_into(keep, drop).unwrap();
+
+        let view = MappingView::build(&mem);
+        for (vm, gfn, ppn) in mem.iter_mappings() {
+            let e = view.entry(vm, gfn);
+            assert_ne!(e & MappingView::MAPPED, 0);
+            assert_eq!(u64::from(e & MappingView::PPN_MASK), ppn.0);
+            assert_eq!(e & MappingView::COW != 0, mem.is_cow(ppn));
+            assert_eq!(e & MappingView::DIRTY, 0);
+        }
+        // Unmapped and out-of-range slots read as zero.
+        assert_eq!(view.entry(VmId(0), Gfn(999)), 0);
+        assert_eq!(view.entry(VmId(7), Gfn(0)), 0);
+    }
+
+    #[test]
+    fn dirty_reads_keep_the_stale_value_and_arm_rollback() {
+        let mut mem = seeded_memory();
+        let mut spec = SpecState::new(&mem, 0);
+        let stale = spec.read(VmId(0), Gfn(0));
+        assert!(!spec.dirty_hit);
+
+        // A merge changes VM1's translation; VM0/gfn0 becomes CoW.
+        let keep = mem.translate(VmId(0), Gfn(0)).unwrap();
+        let drop = mem.translate(VmId(1), Gfn(0)).unwrap();
+        mem.set_spec_logging(true);
+        mem.merge_into(keep, drop).unwrap();
+        let log = mem.take_spec_log();
+        assert!(!log.is_empty());
+        spec.view.mark_dirty(&log);
+        assert!(spec.view.pending_dirty() > 0);
+
+        // The stale payload is preserved under the dirty bit.
+        let hit = spec.read(VmId(0), Gfn(0));
+        assert_eq!(hit & !MappingView::DIRTY, stale);
+        assert_ne!(hit & MappingView::DIRTY, 0);
+        assert!(spec.dirty_hit);
+
+        // Publish folds the live state in and clears the dirty bits.
+        spec.view.publish(&mem);
+        assert_eq!(spec.view.pending_dirty(), 0);
+        let fresh = spec.view.entry(VmId(1), Gfn(0));
+        assert_eq!(
+            u64::from(fresh & MappingView::PPN_MASK),
+            mem.translate(VmId(1), Gfn(0)).unwrap().0
+        );
+        assert_ne!(fresh & MappingView::COW, 0);
+        assert_eq!(fresh & MappingView::DIRTY, 0);
+    }
+
+    #[test]
+    fn publish_clears_unmapped_slots() {
+        let mut mem = seeded_memory();
+        let mut view = MappingView::build(&mem);
+        mem.set_spec_logging(true);
+        mem.unmap(VmId(0), Gfn(1));
+        view.mark_dirty(&mem.take_spec_log());
+        view.publish(&mem);
+        assert_eq!(view.entry(VmId(0), Gfn(1)), 0);
+    }
+}
